@@ -1,0 +1,114 @@
+// Ablation: adaptive EWMA temporal grouping vs a single fixed gap cutoff.
+//
+// The naive alternative to §4.1.3 is "same group iff the gap is below T"
+// for one global T.  Compression alone rewards enormous T (merge anything
+// within hours), so we also report the mean time-span of the produced
+// groups: a useful event is compact.  The EWMA with per-template priors
+// reaches near-best compression at a fraction of the group span, because
+// it adapts the horizon to each signature's own period.
+#include <unordered_map>
+
+#include "common.h"
+#include "core/temporal/temporal.h"
+
+using namespace sld;
+
+namespace {
+
+struct Outcome {
+  std::size_t groups = 0;
+  double mean_span_minutes = 0;
+};
+
+// Shared span accounting: feed (key-or-group id per message, time).
+class SpanTracker {
+ public:
+  void Observe(std::size_t group, TimeMs t) {
+    auto [it, inserted] = spans_.try_emplace(group, std::pair{t, t});
+    it->second.first = std::min(it->second.first, t);
+    it->second.second = std::max(it->second.second, t);
+  }
+  Outcome Finish() const {
+    Outcome out;
+    out.groups = spans_.size();
+    double total = 0;
+    for (const auto& [group, span] : spans_) {
+      (void)group;
+      total += static_cast<double>(span.second - span.first);
+    }
+    out.mean_span_minutes =
+        spans_.empty() ? 0 : total / static_cast<double>(spans_.size()) /
+                                 kMsPerMinute;
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::size_t, std::pair<TimeMs, TimeMs>> spans_;
+};
+
+Outcome FixedGap(std::span<const core::Augmented> stream, TimeMs gap_ms) {
+  std::unordered_map<std::uint64_t, std::pair<TimeMs, std::size_t>> last;
+  SpanTracker tracker;
+  std::size_t next_group = 0;
+  for (const core::Augmented& msg : stream) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(msg.tmpl) << 32) | msg.router_key;
+    auto [it, inserted] =
+        last.try_emplace(key, std::pair{msg.time, next_group});
+    if (inserted) {
+      ++next_group;
+    } else if (msg.time - it->second.first > gap_ms) {
+      it->second.second = next_group++;
+    }
+    it->second.first = msg.time;
+    tracker.Observe(it->second.second, msg.time);
+  }
+  return tracker.Finish();
+}
+
+Outcome Ewma(std::span<const core::Augmented> stream,
+             const core::TemporalParams& params,
+             const core::TemporalPriors& priors) {
+  core::TemporalGrouper grouper(params, &priors);
+  SpanTracker tracker;
+  for (const core::Augmented& msg : stream) {
+    tracker.Observe(grouper.Feed(msg), msg.time);
+  }
+  return tracker.Finish();
+}
+
+void Run(const sim::DatasetSpec& spec) {
+  bench::Pipeline p = bench::BuildPipeline(spec, 14, 0);
+  const auto augmented = bench::Augment(p.kb, p.dict, p.history);
+  const core::TemporalPriors priors = core::MineTemporalPriors(augmented);
+
+  std::printf("dataset %s (%zu messages):\n", spec.name.c_str(),
+              augmented.size());
+  std::printf("  %-22s %-10s %-12s %s\n", "grouping", "groups", "ratio",
+              "mean group span");
+  const auto row = [&](const char* name, const Outcome& o) {
+    std::printf("  %-22s %-10zu %-12.3e %.1f min\n", name, o.groups,
+                static_cast<double>(o.groups) /
+                    static_cast<double>(augmented.size()),
+                o.mean_span_minutes);
+  };
+  for (const int gap_s : {30, 120, 600, 1800, 10800}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "fixed gap %ds", gap_s);
+    row(name, FixedGap(augmented, gap_s * kMsPerSecond));
+  }
+  core::TemporalParams params;  // paper defaults
+  params.alpha = spec.name == "A" ? 0.05 : 0.075;
+  row("EWMA (paper)", Ewma(augmented, params, priors));
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("ablation", "EWMA temporal grouping vs fixed gap cutoffs",
+                "only an S_max-scale cutoff matches the EWMA's compression, "
+                "and it pays with far longer (over-merged) groups");
+  Run(sim::DatasetASpec());
+  Run(sim::DatasetBSpec());
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation of §2's claim: vendor-assigned syslog severity "cannot be
+// directly used to rank-order the importance of events".
+//
+// We rank the two-week dataset-B digest two ways — by the paper's score
+// and by best (lowest) vendor severity — and compare how well each
+// ranking surfaces the operations-ticketed incidents (§5.3's match
+// criteria).  The paper's score should place tickets far higher.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common.h"
+#include "syslog/record.h"
+
+using namespace sld;
+
+namespace {
+
+struct Ranked {
+  const core::DigestEvent* event;
+  double key;  // ascending sort
+};
+
+double TicketPercentile(const std::vector<Ranked>& order,
+                        const bench::Pipeline& p,
+                        const std::map<std::string, std::string>& state_of) {
+  // Top-30 tickets by update count.
+  std::vector<sim::TroubleTicket> tickets = p.live.tickets;
+  std::sort(tickets.begin(), tickets.end(),
+            [](const sim::TroubleTicket& a, const sim::TroubleTicket& b) {
+              return a.update_count > b.update_count;
+            });
+  if (tickets.size() > 30) tickets.resize(30);
+
+  std::vector<std::set<std::string>> states(order.size());
+  for (std::size_t e = 0; e < order.size(); ++e) {
+    for (const std::uint32_t key : order[e].event->router_keys) {
+      if (key < p.dict.router_count()) {
+        states[e].insert(state_of.at(p.dict.RouterName(key)));
+      }
+    }
+  }
+  double worst = 0.0;
+  double sum = 0.0;
+  std::size_t matched = 0;
+  for (const sim::TroubleTicket& ticket : tickets) {
+    for (std::size_t e = 0; e < order.size(); ++e) {
+      const core::DigestEvent& ev = *order[e].event;
+      if (ev.start > ticket.created || ev.end < ticket.created) continue;
+      if (states[e].count(ticket.state) == 0) continue;
+      const double pct = 100.0 * static_cast<double>(e + 1) /
+                         static_cast<double>(order.size());
+      worst = std::max(worst, pct);
+      sum += pct;
+      ++matched;
+      break;
+    }
+  }
+  (void)sum;
+  return matched == 0 ? 100.0 : worst;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("ablation", "event ranking: paper score vs vendor severity",
+                "ranking by vendor severity buries ticketed incidents; the "
+                "paper's l_m/log(f_m) score keeps them near the top");
+  const sim::DatasetSpec spec = sim::DatasetBSpec();
+  bench::Pipeline p = bench::BuildPipeline(spec, 28, 14);
+  core::Digester digester(&p.kb, &p.dict);
+  const core::DigestResult result = digester.Digest(p.live.messages);
+
+  std::map<std::string, std::string> state_of;
+  for (const net::Router& r : p.live.topo.routers) {
+    state_of[r.name] = r.state;
+  }
+
+  // Ranking 1: the paper's score (result is already ordered by it).
+  std::vector<Ranked> by_score;
+  for (const auto& ev : result.events) {
+    by_score.push_back({&ev, -ev.score});
+  }
+
+  // Ranking 2: best (lowest) vendor severity of any message in the event,
+  // ties broken by message count (bigger first).
+  std::vector<Ranked> by_severity;
+  for (const auto& ev : result.events) {
+    int best = 7;
+    for (const std::size_t m : ev.messages) {
+      best = std::min(best,
+                      syslog::VendorSeverity(p.live.messages[m].code));
+    }
+    by_severity.push_back(
+        {&ev, best * 1e9 - static_cast<double>(ev.messages.size())});
+  }
+  std::sort(by_severity.begin(), by_severity.end(),
+            [](const Ranked& a, const Ranked& b) { return a.key < b.key; });
+
+  const double score_worst = TicketPercentile(by_score, p, state_of);
+  const double severity_worst = TicketPercentile(by_severity, p, state_of);
+  std::printf(
+      "worst rank percentile of a top-30 ticketed incident:\n"
+      "  paper score ranking:      top %.1f%%\n"
+      "  vendor severity ranking:  top %.1f%%\n",
+      score_worst, severity_worst);
+  std::printf(severity_worst > score_worst
+                  ? "vendor severity demotes real incidents, as §2 argues\n"
+                  : "NOTE: severity ranking unexpectedly competitive here\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: digesting with a stale / incomplete location dictionary.
+//
+// The paper's offline learning "will be periodically run to incorporate
+// the latest changes to router hardware and software configurations."
+// This bench quantifies why: we digest the same online stream with
+// dictionaries built from decreasing fractions of the router configs.
+// Messages from unknown routers can still group temporally (and by rules
+// among themselves), but location-dependent grouping and cross-router
+// assembly degrade.
+#include <algorithm>
+
+#include "common.h"
+#include "core/eval.h"
+
+using namespace sld;
+
+int main() {
+  bench::Header("ablation", "digest quality vs dictionary completeness",
+                "compression and event assembly degrade as the location "
+                "dictionary goes stale (missing routers)");
+  const sim::DatasetSpec spec = sim::DatasetASpec();
+  bench::Pipeline p = bench::BuildPipeline(spec, 28, 7);
+
+  std::printf("%-12s %-10s %-12s %-14s %s\n", "configs %", "events",
+              "ratio", "fragmentation", "fully assembled");
+  for (const int percent : {100, 75, 50, 25, 0}) {
+    // Dictionary from the first `percent` of router configs.
+    std::vector<net::ParsedConfig> parsed;
+    const std::size_t keep =
+        p.history.configs.size() * static_cast<std::size_t>(percent) / 100;
+    for (std::size_t i = 0; i < keep; ++i) {
+      parsed.push_back(net::ParseConfig(p.history.configs[i]));
+    }
+    const core::LocationDict dict = core::LocationDict::Build(parsed);
+    // The knowledge base must be learned against the same dictionary
+    // (router keys shift with it).
+    core::OfflineLearnerParams params;
+    params.rules = bench::PaperRuleParams(spec);
+    core::OfflineLearner learner(params);
+    core::KnowledgeBase kb = learner.Learn(p.history.messages, dict);
+    core::Digester digester(&kb, &dict);
+    const core::DigestResult result = digester.Digest(p.live.messages);
+    const core::GroupingQuality q = core::EvaluateGrouping(p.live, result);
+    std::printf("%-12d %-10zu %-12.3e %-14.2f %.1f%%\n", percent,
+                result.events.size(), result.CompressionRatio(),
+                q.mean_fragmentation, 100.0 * q.fully_assembled_fraction);
+  }
+  return 0;
+}

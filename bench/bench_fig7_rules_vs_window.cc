@@ -1,0 +1,41 @@
+// Figure 7 — Number of learned rules vs the transaction window W
+// (Conf_min = 0.8, SP_min = 5e-4, datasets A and B).
+//
+// The paper observes diminishing growth past W = 120 s for dataset A and
+// W = 40 s for dataset B, because new windows only add rules between
+// messages with longer implicit timing relationships (e.g. the 10-30 s
+// controller/link cascade in A; the 30-40 s ssh/ftp probes in B).
+#include "common.h"
+#include "core/rules/rules.h"
+
+using namespace sld;
+
+namespace {
+
+void Run(const sim::DatasetSpec& spec) {
+  bench::Pipeline p = bench::BuildPipeline(spec, 28, 0);
+  const auto augmented = bench::Augment(p.kb, p.dict, p.history);
+  std::printf("dataset %s:\n  %-10s %s\n", spec.name.c_str(), "W (s)",
+              "#rules");
+  for (const int w : {5, 10, 20, 30, 40, 60, 90, 120, 180, 240, 300}) {
+    const core::MiningStats stats =
+        core::MineCooccurrence(augmented, w * kMsPerSecond);
+    core::RuleMinerParams params;
+    params.window_ms = w * kMsPerSecond;
+    params.min_support = 0.0005;
+    params.min_confidence = 0.8;
+    std::printf("  %-10d %zu\n", w,
+                core::ExtractRules(stats, params).size());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 7", "rules vs window size W (Conf=0.8, SP=5e-4)",
+                "rule count grows with W with diminishing increase beyond "
+                "~120s (A) / ~40s (B)");
+  Run(sim::DatasetASpec());
+  Run(sim::DatasetBSpec());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 5 — Sensitivity of the minimal support SP_min.
+//
+// For SP_min in {1e-3, 5e-4, 1e-4}: the fraction of message types (i.e.
+// templates) whose support clears the threshold ("Top %") and the fraction
+// of raw messages those types cover ("Coverage").
+#include <algorithm>
+
+#include "common.h"
+#include "core/rules/rules.h"
+
+using namespace sld;
+
+namespace {
+
+void Run(const sim::DatasetSpec& spec) {
+  bench::Pipeline p = bench::BuildPipeline(spec, 28, 0);
+  const auto augmented = bench::Augment(p.kb, p.dict, p.history);
+  const core::MiningStats stats =
+      core::MineCooccurrence(augmented, bench::PaperRuleParams(spec).window_ms);
+
+  std::printf("dataset %s (%zu messages, %zu templates, %zu transactions)\n",
+              spec.name.c_str(), stats.message_count, stats.item_tx.size(),
+              stats.transaction_count);
+  std::printf("  %-10s %-10s %-10s\n", "SP_min", "Top %", "Coverage");
+  for (const double sp_min : {0.001, 0.0005, 0.0001}) {
+    std::size_t kept_types = 0;
+    std::size_t kept_messages = 0;
+    for (const auto& [tmpl, tx_count] : stats.item_tx) {
+      (void)tx_count;
+      if (stats.Support(tmpl) >= sp_min) {
+        ++kept_types;
+        kept_messages += stats.item_messages.at(tmpl);
+      }
+    }
+    std::printf("  %-10g %-10.1f %-10.2f\n", sp_min,
+                100.0 * static_cast<double>(kept_types) /
+                    static_cast<double>(stats.item_tx.size()),
+                100.0 * static_cast<double>(kept_messages) /
+                    static_cast<double>(stats.message_count));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Table 5", "SP_min sensitivity",
+                "a small top-% of types (13-55%) covers ~90-99.99% of "
+                "messages; both columns grow as SP_min shrinks");
+  Run(sim::DatasetASpec());
+  Run(sim::DatasetBSpec());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 7 — Compression ratio of the three grouping methodologies over the
+// two-week online period: T (temporal), T+R (+rule-based), T+R+C
+// (+cross-router), for datasets A and B.
+#include "common.h"
+
+using namespace sld;
+
+namespace {
+
+void Run(const sim::DatasetSpec& spec) {
+  bench::Pipeline p = bench::BuildPipeline(spec, 28, 14);
+  core::Digester digester(&p.kb, &p.dict);
+  struct Mode {
+    const char* name;
+    core::DigestOptions options;
+  };
+  const Mode modes[] = {
+      {"T", {false, false, kMsPerSecond}},
+      {"T+R", {true, false, kMsPerSecond}},
+      {"T+R+C", {true, true, kMsPerSecond}},
+  };
+  std::printf("dataset %s (%zu online messages over 14 days):\n",
+              spec.name.c_str(), p.live.messages.size());
+  std::printf("  %-8s %-10s %-12s %s\n", "mode", "events", "ratio",
+              "active rules");
+  for (const Mode& mode : modes) {
+    const core::DigestResult result =
+        digester.Digest(p.live.messages, mode.options);
+    std::printf("  %-8s %-10zu %-12.3e %zu\n", mode.name,
+                result.events.size(), result.CompressionRatio(),
+                result.active_rule_count);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Table 7", "compression ratio of T / T+R / T+R+C",
+                "each added grouping method improves the ratio; overall "
+                "events are orders of magnitude fewer than raw messages "
+                "(paper: 3.27e-3 for A, 0.91e-3 for B)");
+  Run(sim::DatasetASpec());
+  Run(sim::DatasetBSpec());
+  return 0;
+}

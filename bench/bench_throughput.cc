@@ -1,0 +1,95 @@
+// §5.3 — "it generally takes less than one hour to digest one day's
+// syslog".  Google-benchmark timings for the online digest of one day and
+// for the offline learning pass, in messages/second.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "core/stream.h"
+#include "syslog/wire.h"
+
+using namespace sld;
+
+namespace {
+
+struct Fixture {
+  Fixture() : p(bench::BuildPipeline(sim::DatasetASpec(), 14, 1)) {}
+  bench::Pipeline p;
+};
+
+Fixture& Shared() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void BM_DigestOneDay(benchmark::State& state) {
+  Fixture& f = Shared();
+  core::Digester digester(&f.p.kb, &f.p.dict);
+  for (auto _ : state) {
+    const core::DigestResult result = digester.Digest(f.p.live.messages);
+    benchmark::DoNotOptimize(result.events.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.p.live.messages.size()));
+}
+BENCHMARK(BM_DigestOneDay)->Unit(benchmark::kMillisecond);
+
+void BM_OfflineTemplateLearning(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    core::TemplateLearner learner;
+    for (const auto& rec : f.p.history.messages) {
+      learner.Add(rec.code, rec.detail);
+    }
+    benchmark::DoNotOptimize(learner.Learn().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(f.p.history.messages.size()));
+}
+BENCHMARK(BM_OfflineTemplateLearning)->Unit(benchmark::kMillisecond);
+
+void BM_RuleMiningOneWeek(benchmark::State& state) {
+  Fixture& f = Shared();
+  const auto augmented = bench::Augment(f.p.kb, f.p.dict, f.p.history);
+  for (auto _ : state) {
+    const core::MiningStats stats =
+        core::MineCooccurrence(augmented, 120 * kMsPerSecond);
+    benchmark::DoNotOptimize(stats.transaction_count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(augmented.size()));
+}
+BENCHMARK(BM_RuleMiningOneWeek)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingDigest(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    core::StreamingDigester digester(&f.p.kb, &f.p.dict);
+    std::size_t events = 0;
+    for (const auto& rec : f.p.live.messages) {
+      events += digester.Push(rec).size();
+    }
+    events += digester.Flush().size();
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.p.live.messages.size()));
+}
+BENCHMARK(BM_StreamingDigest)->Unit(benchmark::kMillisecond);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  Fixture& f = Shared();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& rec = f.p.live.messages[i++ % f.p.live.messages.size()];
+    const auto decoded =
+        syslog::DecodeRfc3164(syslog::EncodeRfc3164(rec), 2009);
+    benchmark::DoNotOptimize(decoded.has_value());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

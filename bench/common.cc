@@ -1,0 +1,57 @@
+#include "common.h"
+
+namespace sld::bench {
+
+core::RuleMinerParams PaperRuleParams(const sim::DatasetSpec& spec) {
+  core::RuleMinerParams params;
+  params.window_ms = (spec.name == "A" ? 120 : 40) * kMsPerSecond;
+  params.min_support = 0.0005;
+  params.min_confidence = 0.8;
+  return params;
+}
+
+core::LocationDict BuildDict(const sim::Dataset& ds) {
+  std::vector<net::ParsedConfig> parsed;
+  parsed.reserve(ds.configs.size());
+  for (const std::string& cfg : ds.configs) {
+    parsed.push_back(net::ParseConfig(cfg));
+  }
+  return core::LocationDict::Build(parsed);
+}
+
+Pipeline BuildPipeline(const sim::DatasetSpec& spec, int learn_days,
+                       int online_days, core::RuleEvolution* evolution,
+                       const core::OfflineLearnerParams* params) {
+  Pipeline p;
+  p.history = sim::GenerateDataset(spec, 0, learn_days, kOfflineSeed);
+  if (online_days > 0) {
+    p.live =
+        sim::GenerateDataset(spec, learn_days, online_days, kOnlineSeed);
+  }
+  p.dict = BuildDict(p.history);
+  core::OfflineLearnerParams learn_params;
+  if (params != nullptr) {
+    learn_params = *params;
+  } else {
+    learn_params.rules = PaperRuleParams(spec);
+  }
+  core::OfflineLearner learner(learn_params);
+  p.kb = learner.Learn(p.history.messages, p.dict, evolution);
+  return p;
+}
+
+std::vector<core::Augmented> Augment(core::KnowledgeBase& kb,
+                                     const core::LocationDict& dict,
+                                     const sim::Dataset& ds) {
+  core::Augmenter augmenter(&kb.templates, &dict);
+  return augmenter.AugmentAll(ds.messages);
+}
+
+void Header(const char* id, const char* title, const char* paper_shape) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("paper shape: %s\n", paper_shape);
+  std::printf("================================================================\n");
+}
+
+}  // namespace sld::bench

@@ -1,0 +1,146 @@
+// Complex network troubleshooting (§6.1 of the paper).
+//
+// Scenario: in the IPTV network, the secondary FRR path between two VHOs
+// silently fails to establish (setup retries every five minutes); hours
+// later the primary link fails, and — against design expectations — the
+// PIM neighbor session drops, disrupting live TV delivery.
+//
+// Without SyslogDigest an operator investigating the PIM loss must guess a
+// time window and sift raw syslog on every involved router.  This example
+// shows what the digest gives instead: ONE event whose signature spans the
+// retries, the link failure, and the downstream service churn.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "core/learn.h"
+#include "core/priority/report.h"
+#include "net/config_parser.h"
+#include "sim/generator.h"
+
+using namespace sld;
+
+int main() {
+  // Dataset B with the rare dual-failure scenario forced into the online
+  // window so the demo always has one to investigate.
+  sim::DatasetSpec spec = sim::DatasetBSpec();
+  const sim::Dataset history = sim::GenerateDataset(spec, 0, 28, 11);
+  spec.rates.pim_dual_failure = {3.0, 0};
+  const sim::Dataset live = sim::GenerateDataset(spec, 28, 2, 12);
+
+  std::vector<net::ParsedConfig> parsed;
+  for (const std::string& cfg : history.configs) {
+    parsed.push_back(net::ParseConfig(cfg));
+  }
+  const core::LocationDict dict = core::LocationDict::Build(parsed);
+  core::OfflineLearner learner;
+  core::KnowledgeBase kb = learner.Learn(history.messages, dict);
+  core::Digester digester(&kb, &dict);
+  const core::DigestResult result = digester.Digest(live.messages);
+
+  // The incident under investigation: the (rare) dual failure.  The
+  // operator's entry point is its PIM neighbor loss alarm; we use the
+  // simulator's ground truth only to locate that alarm in the stream.
+  const sim::GtEvent* incident = nullptr;
+  for (const sim::GtEvent& gt : live.ground_truth) {
+    if (gt.kind == "pim-dual-failure") {
+      incident = &gt;
+      break;
+    }
+  }
+  if (incident == nullptr) {
+    std::printf("no dual failure in this window\n");
+    return 1;
+  }
+  std::size_t alarm_index = incident->message_indices.front();
+  for (const std::size_t idx : incident->message_indices) {
+    if (live.messages[idx].code.find("pimNeighborLoss") !=
+        std::string::npos) {
+      alarm_index = idx;
+      break;
+    }
+  }
+  const core::DigestEvent* pim_event = nullptr;
+  std::size_t pim_rank = 0;
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    const auto& msgs = result.events[i].messages;
+    if (std::find(msgs.begin(), msgs.end(), alarm_index) != msgs.end()) {
+      pim_event = &result.events[i];
+      pim_rank = i + 1;
+      break;
+    }
+  }
+  if (pim_event == nullptr) {
+    std::printf("alarm not present in any digest event\n");
+    return 1;
+  }
+  // How completely did the digest assemble the incident?
+  std::size_t covered = 0;
+  for (const std::size_t idx : incident->message_indices) {
+    const auto& msgs = pim_event->messages;
+    if (std::find(msgs.begin(), msgs.end(), idx) != msgs.end()) ++covered;
+  }
+  std::printf(
+      "ground truth: the dual failure produced %zu messages; the digest "
+      "event holding the PIM alarm contains %zu of them (%.0f%%).\n\n",
+      incident->message_indices.size(), covered,
+      100.0 * static_cast<double>(covered) /
+          static_cast<double>(incident->message_indices.size()));
+
+  std::printf("PIM neighbor loss investigation\n");
+  std::printf("===============================\n\n");
+  std::printf("digest (rank %zu of %zu events):\n  %s\n\n", pim_rank,
+              result.events.size(), pim_event->Format().c_str());
+
+  std::set<std::string> codes;
+  std::set<std::string> routers;
+  std::set<std::string> facilities;
+  for (const std::size_t idx : pim_event->messages) {
+    codes.insert(live.messages[idx].code);
+    routers.insert(live.messages[idx].router);
+    facilities.insert(
+        std::string(syslog::CodeFacility(live.messages[idx].code)));
+  }
+  std::printf(
+      "the event groups %zu raw messages: %zu distinct error codes from "
+      "%zu subsystems across %zu routers\n",
+      pim_event->messages.size(), codes.size(), facilities.size(),
+      routers.size());
+  std::printf("subsystems:");
+  for (const std::string& f : facilities) std::printf(" %s", f.c_str());
+  std::printf("\nrouters:");
+  for (const std::string& r : routers) std::printf(" %s", r.c_str());
+  std::printf("\n\nevent timeline (first occurrence of each error code):\n");
+  std::fputs(core::RenderTimeline(*pim_event, live.messages).c_str(),
+             stdout);
+
+  // What manual search would have faced: all messages on the involved
+  // routers within +-1 hour of the PIM loss.
+  TimeMs pim_time = 0;
+  for (const std::size_t idx : pim_event->messages) {
+    if (live.messages[idx].code.find("pimNeighborLoss") !=
+        std::string::npos) {
+      pim_time = live.messages[idx].time;
+      break;
+    }
+  }
+  std::size_t haystack = 0;
+  for (const auto& msg : live.messages) {
+    if (routers.count(msg.router) != 0 &&
+        msg.time >= pim_time - kMsPerHour &&
+        msg.time <= pim_time + kMsPerHour) {
+      ++haystack;
+    }
+  }
+  std::printf(
+      "\nmanual alternative: a +-60 min window on these routers holds %zu "
+      "messages — and the root cause (the failed secondary-path setup) "
+      "started %.1f hours BEFORE the PIM loss, outside any such window.\n",
+      haystack,
+      static_cast<double>(pim_time - pim_event->start) / kMsPerHour);
+  std::printf(
+      "the digest covers %s -> %s in one line.\n",
+      FormatTimestamp(pim_event->start).c_str(),
+      FormatTimestamp(pim_event->end).c_str());
+  return 0;
+}

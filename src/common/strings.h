@@ -1,0 +1,45 @@
+// Small string helpers shared across the library.
+//
+// Syslog processing is dominated by tokenizing and re-assembling short ASCII
+// strings; these helpers keep that code allocation-light (string_view in,
+// string out only where ownership is required).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sld {
+
+// Splits on runs of whitespace (space/tab); no empty tokens are produced.
+// The returned views alias `text` and are invalidated with it.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+// Splits on every occurrence of `delim`; empty fields are preserved
+// ("a||b" -> {"a", "", "b"}).  The views alias `text`.
+std::vector<std::string_view> SplitChar(std::string_view text, char delim);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading and trailing whitespace (space/tab/CR/LF).
+std::string_view Trim(std::string_view text) noexcept;
+
+// Parses a non-negative decimal integer occupying the whole view.
+std::optional<std::int64_t> ParseInt(std::string_view text) noexcept;
+
+// True when every character of `text` is a decimal digit (and non-empty).
+bool IsAllDigits(std::string_view text) noexcept;
+
+// True when `text` is a syntactically valid dotted-quad IPv4 address.
+bool LooksLikeIpv4(std::string_view text) noexcept;
+
+// True when `text` looks like an interface position such as "1/0", "2/0/0",
+// "1/0/0:1", or "13/0.10/20:0" — digits joined by '/', '.', ':' with at
+// least one '/'.
+bool LooksLikeIfPosition(std::string_view text) noexcept;
+
+}  // namespace sld

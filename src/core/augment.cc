@@ -1,0 +1,40 @@
+#include "core/augment.h"
+
+namespace sld::core {
+
+Augmented Augmenter::Augment(const syslog::SyslogRecord& rec,
+                             std::size_t raw_index) {
+  Augmented aug;
+  aug.time = rec.time;
+  aug.raw_index = raw_index;
+  aug.tmpl = templates_->MatchOrFallback(rec.code, rec.detail);
+  if (const auto rid = dict_->RouterByName(rec.router)) {
+    aug.router_known = true;
+    aug.router_key = *rid;
+    aug.locs = extractor_.Extract(rec.router, rec.detail);
+    // Most specific (deepest-level) location named in the text.
+    aug.primary = aug.locs.front();
+    for (std::size_t i = 1; i < aug.locs.size(); ++i) {
+      if (static_cast<int>(dict_->Get(aug.locs[i]).level) >
+          static_cast<int>(dict_->Get(aug.primary).level)) {
+        aug.primary = aug.locs[i];
+      }
+    }
+  } else {
+    aug.router_key = static_cast<std::uint32_t>(dict_->router_count()) +
+                     unknown_routers_.Intern(rec.router);
+  }
+  return aug;
+}
+
+std::vector<Augmented> Augmenter::AugmentAll(
+    std::span<const syslog::SyslogRecord> records) {
+  std::vector<Augmented> out;
+  out.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out.push_back(Augment(records[i], i));
+  }
+  return out;
+}
+
+}  // namespace sld::core

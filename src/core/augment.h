@@ -1,0 +1,59 @@
+// Syslog+ construction (§3.1): raw records augmented with template id and
+// extracted, dictionary-validated locations.
+//
+// Both the offline miners and the online digester run on this augmented
+// stream, exactly as the paper's Fig. 1 routes "Syslog+ data" into rule
+// mining, temporal mining and the three grouping stages.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/interner.h"
+#include "core/location/extractor.h"
+#include "core/templates/template.h"
+#include "syslog/record.h"
+
+namespace sld::core {
+
+struct Augmented {
+  TimeMs time = 0;
+  std::size_t raw_index = 0;     // position in the input stream
+  TemplateId tmpl = kNoTemplate;
+  // Router key: the dictionary router id, or (for routers absent from all
+  // configs) an interned id offset past the dictionary range, so grouping
+  // keys stay well-defined for every message.
+  std::uint32_t router_key = kNoId;
+  bool router_known = false;
+  // Extracted locations; element 0 is the originating router's location
+  // when the router is known.  Later elements come from the detail text.
+  std::vector<LocationId> locs;
+  // The most specific detail-text location, or the router-level location
+  // when the text names none (used for temporal keys and scoring).
+  // kNoId when the router is unknown.
+  LocationId primary = kNoId;
+
+  bool HasDetailLocation() const noexcept { return locs.size() > 1; }
+};
+
+// Augments records with template ids (creating catch-all fallbacks for
+// unmatched messages) and locations.
+class Augmenter {
+ public:
+  Augmenter(TemplateSet* templates, const LocationDict* dict)
+      : templates_(templates), extractor_(dict), dict_(dict) {}
+
+  Augmented Augment(const syslog::SyslogRecord& rec, std::size_t raw_index);
+  std::vector<Augmented> AugmentAll(
+      std::span<const syslog::SyslogRecord> records);
+
+  const LocationDict& dict() const noexcept { return *dict_; }
+
+ private:
+  TemplateSet* templates_;
+  LocationExtractor extractor_;
+  const LocationDict* dict_;
+  StringInterner unknown_routers_;
+};
+
+}  // namespace sld::core

@@ -1,0 +1,187 @@
+#include "core/digest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/union_find.h"
+
+namespace sld::core {
+
+std::string DigestEvent::Format() const {
+  std::string out = FormatTimestamp(start);
+  out += '|';
+  out += FormatTimestamp(end);
+  out += '|';
+  out += location_text;
+  out += '|';
+  out += label;
+  out += '|';
+  out += std::to_string(messages.size());
+  out += " messages";
+  return out;
+}
+
+double MessageScore(const Augmented& msg, const KnowledgeBase& kb,
+                    const LocationDict& dict) {
+  // l_m: weight of the message's most significant location level; f_m:
+  // historical frequency of the signature on this router (§4.2.4).  The
+  // +2 smoothing keeps log(f_m) positive for rare and unseen signatures.
+  double level_weight = LevelWeight(LocLevel::kRouter);
+  if (msg.HasDetailLocation()) {
+    int best = 99;
+    for (std::size_t i = 1; i < msg.locs.size(); ++i) {
+      best = std::min(best, static_cast<int>(dict.Get(msg.locs[i]).level));
+    }
+    level_weight = LevelWeight(static_cast<LocLevel>(best));
+  }
+  const double freq =
+      static_cast<double>(kb.FrequencyOf(msg.tmpl, msg.router_key));
+  return level_weight / std::log(freq + 2.0);
+}
+
+DigestEvent BuildEvent(const std::vector<const Augmented*>& messages,
+                       const KnowledgeBase& kb, const LocationDict& dict) {
+  DigestEvent ev;
+  for (const Augmented* msg : messages) {
+    ev.messages.push_back(msg->raw_index);
+    ev.start = ev.messages.size() == 1 ? msg->time
+                                       : std::min(ev.start, msg->time);
+    ev.end = std::max(ev.end, msg->time);
+    ev.score += MessageScore(*msg, kb, dict);
+    ev.templates.push_back(msg->tmpl);
+    ev.router_keys.push_back(msg->router_key);
+  }
+  std::sort(ev.templates.begin(), ev.templates.end());
+  ev.templates.erase(std::unique(ev.templates.begin(), ev.templates.end()),
+                     ev.templates.end());
+  std::sort(ev.router_keys.begin(), ev.router_keys.end());
+  ev.router_keys.erase(
+      std::unique(ev.router_keys.begin(), ev.router_keys.end()),
+      ev.router_keys.end());
+  ev.label = LabelFor(ev.templates, kb.templates,
+                      kb.label_rules.empty() ? nullptr : &kb.label_rules);
+  ev.location_text = LocationTextFor(messages, dict);
+  return ev;
+}
+
+DigestResult Digester::Digest(std::span<const syslog::SyslogRecord> stream,
+                              const DigestOptions& options) {
+  DigestResult result;
+  result.message_count = stream.size();
+  if (stream.empty()) return result;
+
+  Augmenter augmenter(&kb_->templates, dict_);
+  const std::vector<Augmented> msgs = augmenter.AugmentAll(stream);
+
+  UnionFind groups(msgs.size());
+
+  // Pass 1: temporal grouping (same template, same location, periodic).
+  {
+    TemporalGrouper grouper(kb_->temporal_params, &kb_->temporal_priors);
+    std::unordered_map<std::size_t, std::size_t> last_of_group;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      const std::size_t group = grouper.Feed(msgs[i]);
+      const auto [it, inserted] = last_of_group.emplace(group, i);
+      if (!inserted) {
+        groups.Union(it->second, i);
+        it->second = i;
+      }
+    }
+  }
+
+  std::unordered_set<std::uint64_t> active_rules;
+
+  // Pass 2: rule-based grouping (different templates, same router,
+  // spatially matched, within the mining window W).
+  if (options.use_rules) {
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> per_router;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      per_router[msgs[i].router_key].push_back(i);
+    }
+    for (const auto& [router, indices] : per_router) {
+      (void)router;
+      std::size_t tail = 0;
+      for (std::size_t head = 0; head < indices.size(); ++head) {
+        const Augmented& mi = msgs[indices[head]];
+        while (mi.time - msgs[indices[tail]].time >
+               kb_->rule_params.window_ms) {
+          ++tail;
+        }
+        for (std::size_t j = tail; j < head; ++j) {
+          const Augmented& mj = msgs[indices[j]];
+          if (mi.tmpl == mj.tmpl) continue;
+          if (!kb_->rules.Has(mi.tmpl, mj.tmpl)) continue;
+          // Spatial match between any location pair of the two messages.
+          bool matched = false;
+          for (const LocationId la : mi.locs) {
+            for (const LocationId lb : mj.locs) {
+              if (dict_->SpatiallyMatched(la, lb)) {
+                matched = true;
+                break;
+              }
+            }
+            if (matched) break;
+          }
+          // Messages whose router is absent from the configs have no
+          // locations; same router key is the best spatial evidence.
+          if (mi.locs.empty() && mj.locs.empty()) matched = true;
+          if (!matched) continue;
+          active_rules.insert(MiningStats::PairKey(mi.tmpl, mj.tmpl));
+          groups.Union(indices[head], indices[j]);
+        }
+      }
+    }
+  }
+
+  // Pass 3: cross-router grouping (same template, connected locations,
+  // almost simultaneous).
+  if (options.use_cross_router) {
+    std::size_t tail = 0;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      while (msgs[i].time - msgs[tail].time > options.cross_router_window) {
+        ++tail;
+      }
+      for (std::size_t j = tail; j < i; ++j) {
+        if (msgs[i].tmpl != msgs[j].tmpl) continue;
+        if (msgs[i].router_key == msgs[j].router_key) continue;
+        if (groups.Connected(i, j)) continue;
+        bool connected = false;
+        for (const LocationId la : msgs[i].locs) {
+          for (const LocationId lb : msgs[j].locs) {
+            if (dict_->Connected(la, lb)) {
+              connected = true;
+              break;
+            }
+          }
+          if (connected) break;
+        }
+        if (connected) groups.Union(i, j);
+      }
+    }
+  }
+  result.active_rule_count = active_rules.size();
+
+  // Build events from the union-find partition.
+  std::unordered_map<std::size_t, std::vector<const Augmented*>> by_root;
+  std::vector<std::size_t> root_order;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const std::size_t root = groups.Find(i);
+    auto [it, inserted] = by_root.try_emplace(root);
+    if (inserted) root_order.push_back(root);
+    it->second.push_back(&msgs[i]);
+  }
+  result.events.reserve(by_root.size());
+  for (const std::size_t root : root_order) {
+    result.events.push_back(BuildEvent(by_root[root], *kb_, *dict_));
+  }
+
+  std::sort(result.events.begin(), result.events.end(),
+            [](const DigestEvent& a, const DigestEvent& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.start < b.start;
+            });
+  return result;
+}
+
+}  // namespace sld::core

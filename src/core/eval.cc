@@ -1,0 +1,76 @@
+#include "core/eval.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sld::core {
+
+GroupingQuality EvaluateGrouping(const sim::Dataset& dataset,
+                                 const DigestResult& result) {
+  GroupingQuality quality;
+  if (dataset.ground_truth.empty()) return quality;
+
+  // Message -> digest event, and message -> ground-truth event.
+  std::vector<int> digest_of(dataset.messages.size(), -1);
+  for (std::size_t e = 0; e < result.events.size(); ++e) {
+    for (const std::size_t m : result.events[e].messages) {
+      if (m < digest_of.size()) digest_of[m] = static_cast<int>(e);
+    }
+  }
+  std::vector<int> truth_of(dataset.messages.size(), -1);
+  for (const sim::GtEvent& gt : dataset.ground_truth) {
+    for (const std::size_t m : gt.message_indices) {
+      truth_of[m] = gt.id;
+    }
+  }
+
+  double frag_sum = 0;
+  double purity_sum = 0;
+  double completeness_sum = 0;
+  std::size_t assembled = 0;
+  for (const sim::GtEvent& gt : dataset.ground_truth) {
+    // Digest events touched by this condition, with per-event counts.
+    std::map<int, std::size_t> hits;
+    for (const std::size_t m : gt.message_indices) {
+      ++hits[digest_of[m]];
+    }
+    frag_sum += static_cast<double>(hits.size());
+    if (hits.size() == 1) ++assembled;
+
+    // completeness@1: share held by the best digest event.
+    std::size_t best = 0;
+    for (const auto& [event, count] : hits) {
+      (void)event;
+      best = std::max(best, count);
+    }
+    completeness_sum += static_cast<double>(best) /
+                        static_cast<double>(gt.message_indices.size());
+
+    // purity: among labeled messages in the touched digest events, the
+    // fraction belonging to this condition.
+    std::size_t labeled = 0;
+    std::size_t own = 0;
+    for (const auto& [event, count] : hits) {
+      (void)count;
+      if (event < 0) continue;
+      for (const std::size_t m : result.events[event].messages) {
+        if (truth_of[m] < 0) continue;  // background noise: not counted
+        ++labeled;
+        if (truth_of[m] == gt.id) ++own;
+      }
+    }
+    purity_sum += labeled == 0 ? 1.0
+                               : static_cast<double>(own) /
+                                     static_cast<double>(labeled);
+  }
+
+  const double n = static_cast<double>(dataset.ground_truth.size());
+  quality.gt_events = dataset.ground_truth.size();
+  quality.mean_fragmentation = frag_sum / n;
+  quality.mean_purity = purity_sum / n;
+  quality.mean_completeness = completeness_sum / n;
+  quality.fully_assembled_fraction = static_cast<double>(assembled) / n;
+  return quality;
+}
+
+}  // namespace sld::core

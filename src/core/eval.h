@@ -1,0 +1,42 @@
+// Grouping-quality evaluation against labeled ground truth.
+//
+// The paper validated digests manually ("by people who have rich network
+// experience"); with the simulator's ground truth we can quantify what
+// they eyeballed.  For a digest of a labeled stream:
+//
+//  * fragmentation — how many digest events the average true network
+//    condition was split across (1.0 = perfect assembly);
+//  * purity — of the messages sharing a digest event with a given true
+//    event's messages, the fraction that actually belong to it
+//    (1.0 = no unrelated messages were pulled in);
+//  * completeness@1 — fraction of a true event's messages captured by the
+//    single digest event that holds most of them.
+//
+// These support both the integration tests and bench_grouping_quality.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/digest.h"
+#include "sim/dataset.h"
+
+namespace sld::core {
+
+struct GroupingQuality {
+  std::size_t gt_events = 0;       // labeled conditions evaluated
+  double mean_fragmentation = 0.0; // digest events per true event
+  double mean_purity = 0.0;        // see above, averaged over true events
+  double mean_completeness = 0.0;  // best-event coverage, averaged
+  // Fraction of true events assembled into exactly one digest event.
+  double fully_assembled_fraction = 0.0;
+};
+
+// Scores `result` (a digest of `dataset.messages`) against the dataset's
+// ground truth.  Background-noise messages (no ground-truth label) do not
+// count against purity.
+GroupingQuality EvaluateGrouping(const sim::Dataset& dataset,
+                                 const DigestResult& result);
+
+}  // namespace sld::core

@@ -1,0 +1,81 @@
+#include "core/learn.h"
+
+namespace sld::core {
+
+KnowledgeBase OfflineLearner::Learn(
+    std::span<const syslog::SyslogRecord> history, const LocationDict& dict,
+    RuleEvolution* evolution) const {
+  KnowledgeBase kb;
+  kb.rule_params = params_.rules;
+  kb.temporal_params = params_.temporal;
+  kb.history_message_count = history.size();
+
+  // 1. Message templates (§4.1.1).
+  TemplateLearner template_learner(params_.templates);
+  for (const syslog::SyslogRecord& rec : history) {
+    template_learner.Add(rec.code, rec.detail);
+  }
+  kb.templates = template_learner.Learn();
+
+  // 2. Syslog+ augmentation (template + location per message).
+  Augmenter augmenter(&kb.templates, &dict);
+  const std::vector<Augmented> augmented = augmenter.AugmentAll(history);
+
+  // 3. Temporal patterns (§4.1.3): per-template priors, optional α/β tune.
+  kb.temporal_priors = MineTemporalPriors(augmented, params_.temporal.smax);
+  if (params_.sweep_temporal) {
+    TemporalParams tuned = SelectTemporalParams(
+        augmented, kb.temporal_priors, params_.alpha_grid,
+        params_.beta_grid);
+    tuned.smin = params_.temporal.smin;
+    tuned.smax = params_.temporal.smax;
+    kb.temporal_params = tuned;
+  }
+
+  // 4. Association rules (§4.1.4), mined per update period with the
+  // adaptive add / conservative-delete policy.
+  if (!augmented.empty()) {
+    const TimeMs period =
+        static_cast<TimeMs>(params_.update_period_days) * kMsPerDay;
+    const TimeMs t0 = augmented.front().time;
+    std::size_t begin = 0;
+    std::size_t prev_size = 0;
+    while (begin < augmented.size()) {
+      const TimeMs period_end =
+          t0 + ((augmented[begin].time - t0) / period + 1) * period;
+      std::size_t end = begin;
+      while (end < augmented.size() && augmented[end].time < period_end) {
+        ++end;
+      }
+      // A trailing sliver (long-running scenarios spilling past the last
+      // full period) is not a representative sample; judging the rule
+      // base against it would cause spurious deletions.
+      const bool sliver =
+          end == augmented.size() && prev_size > 0 &&
+          (end - begin) < prev_size / 10;
+      if (!sliver) {
+        const MiningStats stats = MineCooccurrence(
+            std::span<const Augmented>(augmented).subspan(begin,
+                                                          end - begin),
+            params_.rules.window_ms);
+        const RuleBase::UpdateResult update =
+            kb.rules.Update(stats, params_.rules);
+        if (evolution != nullptr) {
+          evolution->total.push_back(kb.rules.size());
+          evolution->added.push_back(update.added);
+          evolution->deleted.push_back(update.deleted);
+        }
+      }
+      prev_size = end - begin;
+      begin = end;
+    }
+  }
+
+  // 5. Historical signature frequencies (the f_m of §4.2.4).
+  for (const Augmented& msg : augmented) {
+    ++kb.signature_freq[KnowledgeBase::FreqKey(msg.tmpl, msg.router_key)];
+  }
+  return kb;
+}
+
+}  // namespace sld::core

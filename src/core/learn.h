@@ -1,0 +1,58 @@
+// Offline domain-knowledge learning (§3.1, §4.1): the component that turns
+// months of historical syslog plus router configs into the knowledge base
+// the online digester runs on.
+//
+// Pipeline: template learning -> Syslog+ augmentation -> temporal priors
+// (and optional α/β grid search) -> periodic association-rule mining with
+// the adaptive add/conservative-delete update -> signature frequency
+// table.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/digest.h"
+#include "core/knowledge.h"
+#include "core/templates/learner.h"
+
+namespace sld::core {
+
+struct OfflineLearnerParams {
+  TemplateLearnerParams templates;
+  RuleMinerParams rules;
+  TemporalParams temporal;  // defaults; α/β replaced when sweeping
+  // When true, grid-search α and β for the best temporal compression on
+  // the history (Figs. 10-11).  Off by default: the sweep costs one full
+  // pass per grid point.
+  bool sweep_temporal = false;
+  std::vector<double> alpha_grid = {0.025, 0.05, 0.075, 0.1, 0.2, 0.4};
+  std::vector<double> beta_grid = {2, 3, 4, 5, 6, 7};
+  // Rule-base update period (the paper updates weekly).
+  int update_period_days = 7;
+};
+
+// Per-update-period rule base sizes, for the Figs. 8-9 evolution curves.
+struct RuleEvolution {
+  std::vector<std::size_t> total;
+  std::vector<std::size_t> added;
+  std::vector<std::size_t> deleted;
+};
+
+class OfflineLearner {
+ public:
+  explicit OfflineLearner(OfflineLearnerParams params = {})
+      : params_(params) {}
+
+  // Learns a knowledge base from a time-sorted historical stream.
+  // `evolution`, when non-null, receives the weekly rule-base trajectory.
+  KnowledgeBase Learn(std::span<const syslog::SyslogRecord> history,
+                      const LocationDict& dict,
+                      RuleEvolution* evolution = nullptr) const;
+
+  const OfflineLearnerParams& params() const noexcept { return params_; }
+
+ private:
+  OfflineLearnerParams params_;
+};
+
+}  // namespace sld::core

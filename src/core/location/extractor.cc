@@ -1,0 +1,65 @@
+#include "core/location/extractor.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "core/templates/token_class.h"
+
+namespace sld::core {
+
+std::vector<LocationId> LocationExtractor::Extract(
+    std::string_view router, std::string_view detail) const {
+  std::vector<LocationId> out;
+  const auto rid = dict_->RouterByName(router);
+  if (!rid) return out;
+  const auto add = [&out](LocationId id) {
+    if (std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(id);
+    }
+  };
+  add(dict_->RouterLocation(*rid));
+
+  const std::vector<std::string_view> tokens = SplitWhitespace(detail);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string_view s = StripPunct(tokens[i]);
+    if (s.empty()) continue;
+    if (LooksLikeIpv4(s)) {
+      // A neighbor statement on this router (BGP session endpoint)...
+      if (const auto sess = dict_->SessionOnRouter(*rid, s)) add(*sess);
+      // ...and/or an address configured somewhere in the network; an
+      // unconfigured address still resolves if it falls inside a
+      // configured interface subnet (the far end of a point-to-point).
+      if (const auto owner = dict_->ByIp(s)) {
+        add(*owner);
+      } else if (const auto subnet = dict_->ByIpInPrefix(s)) {
+        add(*subnet);
+      }
+      continue;
+    }
+    // Two-token controller form: "T1 0/3".
+    if (s.size() <= 3 && !s.empty() && i + 1 < tokens.size()) {
+      const std::string_view pos = StripPunct(tokens[i + 1]);
+      if (LooksLikeIfPosition(pos)) {
+        std::string name(s);
+        name += ' ';
+        name += pos;
+        if (const auto loc = dict_->NameOnRouter(*rid, name)) {
+          add(*loc);
+          ++i;
+          continue;
+        }
+      }
+    }
+    if (const auto loc = dict_->NameOnRouter(*rid, s)) {
+      add(*loc);
+      continue;
+    }
+    if (const auto path = dict_->PathByName(s)) {
+      add(*path);
+      continue;
+    }
+  }
+  return out;
+}
+
+}  // namespace sld::core

@@ -1,0 +1,34 @@
+// Online location extraction from syslog detail text (§4.1.2).
+//
+// Location-format patterns (addresses, interface names, port positions)
+// are matched in the free text and then *validated against the dictionary*
+// — an address that belongs to no configured interface (a scanner, a
+// remote host) yields no location, as the paper requires ("naive pattern
+// matching is not sufficient...").
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/location/location.h"
+
+namespace sld::core {
+
+class LocationExtractor {
+ public:
+  explicit LocationExtractor(const LocationDict* dict) : dict_(dict) {}
+
+  // Locations mentioned by a message.  When the originating router is
+  // known, its router-level location is always the first element; an
+  // unknown router yields an empty result.  Results are deduplicated and
+  // dictionary-validated.
+  std::vector<LocationId> Extract(std::string_view router,
+                                  std::string_view detail) const;
+
+  const LocationDict& dict() const noexcept { return *dict_; }
+
+ private:
+  const LocationDict* dict_;
+};
+
+}  // namespace sld::core

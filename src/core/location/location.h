@@ -1,0 +1,138 @@
+// Location model and dictionary (§4.1.2, Fig. 3).
+//
+// The dictionary is learned offline from router configuration text: every
+// interface, port, controller, bundle and path becomes a Location with its
+// place in the physical hierarchy (router -> slot -> port/interface ->
+// logical interface), every layer-3 address maps to its interface, and
+// cross-router relationships (links from description lines, BGP sessions
+// from neighbor statements, multi-hop paths) are recorded so the online
+// groupers can test both same-router spatial matching and cross-router
+// connectedness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/config_parser.h"
+
+namespace sld::core {
+
+using LocationId = std::uint32_t;
+using DictRouterId = std::uint32_t;
+inline constexpr std::uint32_t kNoId = 0xffffffffu;
+
+// Hierarchy levels, ordered from most to least significant.  The scoring
+// weight of a level is 10x the level below it (§4.2.4).
+enum class LocLevel : std::uint8_t {
+  kRouter = 0,
+  kBundle,     // multilink/LAG: spans several ports
+  kPath,       // multi-hop path: spans several routers
+  kSession,    // BGP session endpoint on a router
+  kPhysIf,     // port / physical interface / controller
+  kLogicalIf,  // layer-3 sub-interface
+};
+
+// Importance weight of a level (router = 10^4 ... logical = 10^0).
+double LevelWeight(LocLevel level) noexcept;
+
+struct Location {
+  LocationId id = kNoId;
+  DictRouterId router = kNoId;  // owning router (head router for paths)
+  LocLevel level = LocLevel::kRouter;
+  int slot = -1;  // physical position; -1 when not applicable
+  int port = -1;
+  std::string name;            // display name ("cr01.dllstx Serial1/0")
+  std::uint32_t link = kNoId;  // link index when this terminates a link
+  std::uint32_t path = kNoId;  // path index for kPath locations
+  LocationId parent = kNoId;   // owning port for logical interfaces
+  std::vector<int> bundle_slots;  // member slots for kBundle locations
+};
+
+// A cross-router link learned from interface description lines.
+struct DictLink {
+  DictRouterId router_a = kNoId;
+  DictRouterId router_b = kNoId;
+  LocationId phys_a = kNoId;
+  LocationId phys_b = kNoId;
+};
+
+// A multi-hop path learned from config.
+struct DictPath {
+  std::string name;
+  std::vector<DictRouterId> hops;
+};
+
+// The learned location knowledge base.
+class LocationDict {
+ public:
+  // Builds the dictionary from parsed router configurations.
+  static LocationDict Build(const std::vector<net::ParsedConfig>& configs);
+
+  // -- lookups -----------------------------------------------------------
+  std::optional<DictRouterId> RouterByName(std::string_view name) const;
+  // Router-level location of a router.
+  LocationId RouterLocation(DictRouterId router) const;
+  // Named location (interface/port/controller/bundle) on a router.
+  std::optional<LocationId> NameOnRouter(DictRouterId router,
+                                         std::string_view name) const;
+  // Location owning a layer-3 address (any router).
+  std::optional<LocationId> ByIp(std::string_view ip) const;
+  // Longest-prefix resolution: an address that is not configured anywhere
+  // but falls inside a configured interface subnet maps to that interface
+  // (e.g. the far end of a /30 when only one side's config is on hand).
+  std::optional<LocationId> ByIpInPrefix(std::string_view ip) const;
+  // Path by name (any router).
+  std::optional<LocationId> PathByName(std::string_view name) const;
+  // BGP session-endpoint location for (router, neighbor address), learned
+  // from the router's neighbor statements.
+  std::optional<LocationId> SessionOnRouter(DictRouterId router,
+                                            std::string_view neighbor) const;
+
+  const Location& Get(LocationId id) const { return locations_.at(id); }
+  std::size_t size() const noexcept { return locations_.size(); }
+  std::size_t router_count() const noexcept { return router_names_.size(); }
+  const std::string& RouterName(DictRouterId router) const {
+    return router_names_.at(router);
+  }
+  const std::vector<DictLink>& links() const noexcept { return links_; }
+  const std::vector<DictPath>& paths() const noexcept { return paths_; }
+
+  // -- relations used by the groupers -------------------------------------
+  // Same-router spatial match (§4.2 "mapped to the same location in the
+  // hierarchy"): true when the locations share a router and either one has
+  // no specific slot (router/session scope) or their slot sets intersect.
+  bool SpatiallyMatched(LocationId a, LocationId b) const;
+  // Cross-router connectedness: two ends of one link, membership of one
+  // path, or a location that (via an address) resolves onto the other
+  // location's router.
+  bool Connected(LocationId a, LocationId b) const;
+
+ private:
+  LocationId AddLocation(Location loc);
+
+  std::vector<Location> locations_;
+  std::vector<std::string> router_names_;
+  std::unordered_map<std::string, DictRouterId> router_index_;
+  std::vector<LocationId> router_locations_;
+  // Per-router name maps are merged into one keyed map "router\x1fname".
+  std::unordered_map<std::string, LocationId> names_;
+  std::unordered_map<std::string, LocationId> by_ip_;
+  // prefix length (descending iteration) -> network address -> location.
+  std::map<int, std::unordered_map<std::uint32_t, LocationId>,
+           std::greater<int>>
+      by_prefix_;
+  std::unordered_map<std::string, LocationId> path_by_name_;
+  std::unordered_map<std::string, LocationId> session_by_key_;
+  std::vector<DictLink> links_;
+  std::vector<DictPath> paths_;
+
+  static std::string Key(DictRouterId router, std::string_view name);
+};
+
+}  // namespace sld::core

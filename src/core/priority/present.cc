@@ -1,0 +1,199 @@
+#include "core/priority/present.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sld::core {
+namespace {
+
+bool Contains(std::string_view hay, std::string_view needle) {
+  return hay.find(needle) != std::string_view::npos;
+}
+
+bool AnyTokenIs(const Template& tmpl, std::string_view word) {
+  for (const std::string& tok : tmpl.tokens) {
+    if (tok == word) return true;
+  }
+  return false;
+}
+
+// One subsystem family recognized in error codes.
+struct Family {
+  std::string_view code_marker;
+  std::string_view noun;
+  bool flappable;  // "X flap" when both down and up variants are present
+};
+
+constexpr Family kFamilies[] = {
+    {"LINEPROTO", "line protocol", true},
+    {"LINK-", "link", true},
+    {"SNMP-WARNING-link", "link", true},
+    {"PORT-", "port", true},
+    {"CONTROLLER", "controller", true},
+    {"BGP", "BGP adjacency", true},
+    {"OSPF", "OSPF adjacency", true},
+    {"PIM", "PIM neighbor", true},
+    {"LAG", "bundle", true},
+    {"Multilink", "bundle", true},
+    {"MPLS", "LSP", true},
+    {"LSP", "LSP", true},
+    {"CPU", "CPU threshold", false},
+    {"BADAUTH", "TCP bad authentication", false},
+    {"authenticationFailure", "authentication failures", false},
+    {"AUTHFAIL", "authentication failures", false},
+    {"LOGIN", "login failures", false},
+    {"Login", "login failures", false},
+    {"sap", "SAP status", false},
+    {"service", "service status", false},
+    {"CONFIG", "configuration change", false},
+    {"configurationSaved", "configuration change", false},
+    {"ENVMON", "environment alarm", false},
+    {"TEMP", "environment alarm", false},
+    {"EnvTemp", "environment alarm", false},
+    {"fanFailure", "environment alarm", false},
+    {"OIR", "card maintenance", false},
+    {"SWITCHOVER", "redundancy switchover", false},
+    {"cpmSwitchover", "redundancy switchover", false},
+    {"card", "card maintenance", false},
+    {"DUPLEX", "duplex mismatch", false},
+    {"NTP", "time sync", false},
+    {"TimeSync", "time sync", false},
+};
+
+}  // namespace
+
+std::string LabelFor(const std::vector<TemplateId>& templates,
+                     const TemplateSet& set,
+                     const std::vector<LabelRule>* custom) {
+  struct FamilyState {
+    bool down = false;
+    bool up = false;
+    bool flappable = false;
+  };
+  // Keep insertion order for a stable, readable label.
+  std::vector<std::pair<std::string, FamilyState>> found;
+  const auto state_of = [&found](std::string_view noun) -> FamilyState& {
+    for (auto& [name, st] : found) {
+      if (name == noun) return st;
+    }
+    found.emplace_back(std::string(noun), FamilyState{});
+    return found.back().second;
+  };
+
+  for (const TemplateId id : templates) {
+    const Template& tmpl = set.Get(id);
+    Family expert_match{};
+    const Family* match = nullptr;
+    if (custom != nullptr) {
+      for (const LabelRule& rule : *custom) {
+        if (Contains(tmpl.code, rule.code_marker)) {
+          expert_match = Family{rule.code_marker, rule.noun,
+                                rule.flappable};
+          match = &expert_match;
+          break;
+        }
+      }
+    }
+    if (match == nullptr) {
+      for (const Family& family : kFamilies) {
+        if (Contains(tmpl.code, family.code_marker)) {
+          match = &family;
+          break;
+        }
+      }
+    }
+    if (match == nullptr) {
+      // Fall back to the code facility.
+      std::string facility(tmpl.code.substr(0, tmpl.code.find('-')));
+      for (char& c : facility) c = static_cast<char>(std::tolower(c));
+      state_of(facility + " events");
+      continue;
+    }
+    FamilyState& st = state_of(match->noun);
+    st.flappable = st.flappable || match->flappable;
+    const bool down = AnyTokenIs(tmpl, "down") || AnyTokenIs(tmpl, "Down") ||
+                      AnyTokenIs(tmpl, "DOWN") || AnyTokenIs(tmpl, "lost") ||
+                      Contains(tmpl.code, "Down") ||
+                      Contains(tmpl.code, "Loss");
+    const bool up = AnyTokenIs(tmpl, "up") || AnyTokenIs(tmpl, "Up") ||
+                    AnyTokenIs(tmpl, "UP") ||
+                    AnyTokenIs(tmpl, "operational") ||
+                    Contains(tmpl.code, "linkup") ||
+                    Contains(tmpl.code, "lspUp");
+    st.down = st.down || down;
+    st.up = st.up || (up && !down);
+  }
+
+  std::string label;
+  for (const auto& [noun, st] : found) {
+    if (!label.empty()) label += ", ";
+    label += noun;
+    if (st.flappable) {
+      if (st.down && st.up) {
+        label += " flap";
+      } else if (st.down) {
+        label += " down";
+      } else if (st.up) {
+        label += " up";
+      } else {
+        label += " change";
+      }
+    }
+  }
+  return label.empty() ? "unclassified" : label;
+}
+
+std::string LocationTextFor(const std::vector<const Augmented*>& messages,
+                            const LocationDict& dict) {
+  // Per router: count detail locations, remembering the most significant
+  // (lowest-numbered) level seen.
+  struct PerRouter {
+    std::map<LocationId, std::size_t> counts;
+    int best_level = 99;
+  };
+  std::map<std::string, PerRouter> routers;  // keyed by router name
+  for (const Augmented* msg : messages) {
+    if (!msg->router_known || msg->locs.empty()) continue;
+    const std::string& rname = dict.RouterName(
+        dict.Get(msg->locs.front()).router);
+    PerRouter& pr = routers[rname];
+    for (std::size_t i = 1; i < msg->locs.size(); ++i) {
+      const Location& loc = dict.Get(msg->locs[i]);
+      const int level = static_cast<int>(loc.level);
+      ++pr.counts[msg->locs[i]];
+      pr.best_level = std::min(pr.best_level, level);
+    }
+    if (msg->locs.size() == 1) pr.best_level = std::min(pr.best_level, 0);
+  }
+
+  std::string out;
+  std::size_t shown = 0;
+  for (const auto& [rname, pr] : routers) {
+    if (shown == 4) {
+      out += " +" + std::to_string(routers.size() - shown) + " more";
+      break;
+    }
+    if (!out.empty()) out += "; ";
+    out += rname;
+    // The most common location at the most significant level.
+    LocationId best = kNoId;
+    std::size_t best_count = 0;
+    for (const auto& [loc_id, count] : pr.counts) {
+      if (static_cast<int>(dict.Get(loc_id).level) != pr.best_level) {
+        continue;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best = loc_id;
+      }
+    }
+    if (best != kNoId) {
+      out += ' ';
+      out += dict.Get(best).name;
+    }
+    ++shown;
+  }
+  return out.empty() ? "(unknown routers)" : out;
+}
+
+}  // namespace sld::core

@@ -1,0 +1,42 @@
+// Event labeling and presentation (§4.2.4).
+//
+// A digest line is "start | end | locations | label | message count".  The
+// label is derived from the templates present in the event via a small
+// built-in phrasebook (the paper notes that domain experts can name event
+// types; these defaults cover the common router subsystems), and the
+// location field shows, per router, the most common highest-level location
+// the event's messages mention.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/augment.h"
+#include "core/templates/template.h"
+
+namespace sld::core {
+
+// An expert-supplied naming rule (§4.2.4: "domain experts can certainly
+// assign a name for each type of event"): any template whose error code
+// contains `code_marker` is labeled `noun` (with down/up/flap suffixes
+// when `flappable`).  Custom rules take precedence over the built-ins.
+struct LabelRule {
+  std::string code_marker;
+  std::string noun;
+  bool flappable = false;
+};
+
+// Human-readable event type from the set of templates in the event, e.g.
+// "link flap, line protocol flap" or "BGP adjacency change".
+// `custom` rules, when given, are consulted before the built-in
+// phrasebook.
+std::string LabelFor(const std::vector<TemplateId>& templates,
+                     const TemplateSet& set,
+                     const std::vector<LabelRule>* custom = nullptr);
+
+// Per-router location summary for the messages of one event.
+std::string LocationTextFor(const std::vector<const Augmented*>& messages,
+                            const LocationDict& dict);
+
+}  // namespace sld::core

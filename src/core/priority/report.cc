@@ -1,0 +1,136 @@
+#include "core/priority/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace sld::core {
+namespace {
+
+void Append(std::string& out, const char* fmt, auto... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (const char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string RenderReport(const DigestResult& result,
+                         const LocationDict& dict,
+                         const ReportOptions& options) {
+  std::string out;
+  Append(out, "network event digest\n====================\n");
+  Append(out, "%zu events from %zu messages (compression %.2e, %zu active "
+              "rules)\n\n",
+         result.events.size(), result.message_count,
+         result.CompressionRatio(), result.active_rule_count);
+
+  // Events by type.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> by_label;
+  for (const DigestEvent& ev : result.events) {
+    by_label[ev.label].first += 1;
+    by_label[ev.label].second += ev.messages.size();
+  }
+  std::vector<std::pair<std::size_t, std::string>> labels;
+  for (const auto& [label, counts] : by_label) {
+    labels.emplace_back(counts.first, label);
+  }
+  std::sort(labels.rbegin(), labels.rend());
+  Append(out, "events by type:\n");
+  for (const auto& [count, label] : labels) {
+    Append(out, "  %5zu  %-50s (%zu messages)\n", count, label.c_str(),
+           by_label[label].second);
+  }
+
+  // Top events by priority.
+  Append(out, "\ntop %zu events by priority:\n",
+         std::min(options.top_events, result.events.size()));
+  for (std::size_t i = 0;
+       i < result.events.size() && i < options.top_events; ++i) {
+    Append(out, "  %3zu. [%8.1f] %s\n", i + 1, result.events[i].score,
+           result.events[i].Format().c_str());
+  }
+
+  // Busiest routers by events.
+  std::map<std::string, std::size_t> events_of;
+  for (const DigestEvent& ev : result.events) {
+    for (const std::uint32_t key : ev.router_keys) {
+      if (key < dict.router_count()) ++events_of[dict.RouterName(key)];
+    }
+  }
+  std::vector<std::pair<std::size_t, std::string>> routers;
+  for (const auto& [router, count] : events_of) {
+    routers.emplace_back(count, router);
+  }
+  std::sort(routers.rbegin(), routers.rend());
+  Append(out, "\nrouters with most events:\n");
+  for (std::size_t i = 0;
+       i < routers.size() && i < options.top_routers; ++i) {
+    Append(out, "  %5zu  %s\n", routers[i].first,
+           routers[i].second.c_str());
+  }
+  return out;
+}
+
+std::string RenderTimeline(const DigestEvent& event,
+                           std::span<const syslog::SyslogRecord> stream,
+                           std::size_t max_lines) {
+  std::vector<const syslog::SyslogRecord*> records;
+  for (const std::size_t index : event.messages) {
+    if (index < stream.size()) records.push_back(&stream[index]);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const syslog::SyslogRecord* a,
+               const syslog::SyslogRecord* b) { return a->time < b->time; });
+  std::string out;
+  std::set<std::string> seen_codes;
+  std::size_t lines = 0;
+  for (const syslog::SyslogRecord* rec : records) {
+    if (!seen_codes.insert(rec->code).second) continue;
+    if (lines++ >= max_lines) {
+      out += "  ...\n";
+      break;
+    }
+    Append(out, "  %s %-14s %-40s %.70s\n",
+           FormatTimestamp(rec->time).c_str(), rec->router.c_str(),
+           rec->code.c_str(), rec->detail.c_str());
+  }
+  return out;
+}
+
+std::string ToCsv(const DigestResult& result) {
+  std::string out = "start,end,score,messages,routers,label,locations\n";
+  for (const DigestEvent& ev : result.events) {
+    out += FormatTimestamp(ev.start);
+    out += ',';
+    out += FormatTimestamp(ev.end);
+    out += ',';
+    char score[32];
+    std::snprintf(score, sizeof(score), "%.3f", ev.score);
+    out += score;
+    out += ',';
+    out += std::to_string(ev.messages.size());
+    out += ',';
+    out += std::to_string(ev.router_keys.size());
+    out += ',';
+    out += CsvField(ev.label);
+    out += ',';
+    out += CsvField(ev.location_text);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sld::core

@@ -1,0 +1,39 @@
+// Digest reporting: operator-facing summaries and machine-readable export.
+//
+// The digest's value is what an operator reads at the top of their day
+// (§6.2): how many events of which kinds, where, and which deserve
+// attention first.  RenderReport produces that text; ToCsv exports the
+// event list for downstream tooling (tickets, dashboards).
+#pragma once
+
+#include <string>
+
+#include "core/digest.h"
+
+namespace sld::core {
+
+struct ReportOptions {
+  std::size_t top_events = 15;   // rows in the "top events" section
+  std::size_t top_routers = 10;  // rows in the per-router section
+};
+
+// Human-readable summary: headline counts, events by type, top events by
+// priority, busiest routers by event count.
+std::string RenderReport(const DigestResult& result,
+                         const LocationDict& dict,
+                         const ReportOptions& options = {});
+
+// CSV export: header plus one row per event
+// (start,end,score,messages,routers,label,locations).  Fields containing
+// commas or quotes are quoted per RFC 4180.
+std::string ToCsv(const DigestResult& result);
+
+// Incident timeline: the event's raw messages with one line per FIRST
+// occurrence of each error code, in time order — the view an operator
+// reads to follow an incident's causal chain (§6.1).  `stream` must be
+// the record span the digest was produced from.
+std::string RenderTimeline(const DigestEvent& event,
+                           std::span<const syslog::SyslogRecord> stream,
+                           std::size_t max_lines = 20);
+
+}  // namespace sld::core

@@ -1,0 +1,51 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+namespace sld::core {
+
+std::vector<const DigestEvent*> FilterEvents(const DigestResult& result,
+                                             const LocationDict& dict,
+                                             const EventFilter& filter) {
+  // Resolve the router name once.
+  std::optional<DictRouterId> router;
+  if (!filter.router.empty()) {
+    router = dict.RouterByName(filter.router);
+    if (!router) return {};  // unknown router matches nothing
+  }
+  std::vector<const DigestEvent*> out;
+  for (const DigestEvent& ev : result.events) {
+    if (filter.from && ev.end < *filter.from) continue;
+    if (filter.to && ev.start > *filter.to) continue;
+    if (ev.score < filter.min_score) continue;
+    if (ev.messages.size() < filter.min_messages) continue;
+    if (!filter.label_contains.empty() &&
+        ev.label.find(filter.label_contains) == std::string::npos) {
+      continue;
+    }
+    if (router) {
+      const bool involved =
+          std::binary_search(ev.router_keys.begin(), ev.router_keys.end(),
+                             static_cast<std::uint32_t>(*router));
+      if (!involved) continue;
+    }
+    out.push_back(&ev);
+  }
+  return out;
+}
+
+std::vector<const syslog::SyslogRecord*> EventRecords(
+    const DigestEvent& event,
+    std::span<const syslog::SyslogRecord> stream) {
+  std::vector<const syslog::SyslogRecord*> out;
+  out.reserve(event.messages.size());
+  for (const std::size_t index : event.messages) {
+    if (index < stream.size()) out.push_back(&stream[index]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const syslog::SyslogRecord* a,
+               const syslog::SyslogRecord* b) { return a->time < b->time; });
+  return out;
+}
+
+}  // namespace sld::core

@@ -1,0 +1,42 @@
+// Event querying and raw-message retrieval.
+//
+// A digest line carries "an index field that allows us to retrieve these
+// raw syslog messages if necessary" (§3.2); DigestEvent::messages is that
+// index.  This module adds the operator-side queries on top: filter the
+// event list by time / label / router / size, and pull an event's raw
+// records back out of the stream in timestamp order.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/digest.h"
+
+namespace sld::core {
+
+// All set fields must match (conjunction).
+struct EventFilter {
+  // Events overlapping [from, to] (either bound optional).
+  std::optional<TimeMs> from;
+  std::optional<TimeMs> to;
+  // Case-sensitive substring of the event label.
+  std::string label_contains;
+  // Router (by name) that must be involved in the event.
+  std::string router;
+  double min_score = 0.0;
+  std::size_t min_messages = 0;
+};
+
+// Events of `result` matching `filter`, in result (priority) order.
+std::vector<const DigestEvent*> FilterEvents(const DigestResult& result,
+                                             const LocationDict& dict,
+                                             const EventFilter& filter);
+
+// The raw records of one event, ordered by timestamp.  `stream` must be
+// the record span the digest was produced from.
+std::vector<const syslog::SyslogRecord*> EventRecords(
+    const DigestEvent& event, std::span<const syslog::SyslogRecord> stream);
+
+}  // namespace sld::core

@@ -1,0 +1,92 @@
+// StreamingDigester: the truly online deployment form of the digester.
+//
+// The batch Digester (digest.h) processes a closed stream; this class
+// accepts one record at a time, runs the same three grouping passes
+// incrementally, and emits an event as soon as its group has been idle
+// long enough that no further message could join it.  With an unbounded
+// idle horizon the stream partition is identical to the batch partition
+// (tests/core/stream_test.cc holds the two against each other).
+//
+// Memory is bounded: closed groups are dropped, and the message arena is
+// compacted when closed messages dominate it.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/union_find.h"
+#include "core/digest.h"
+
+namespace sld::core {
+
+class StreamingDigester {
+ public:
+  // `idle_close_ms`: a group closes once the stream clock passes its last
+  // message by this much.  0 selects the smallest horizon that preserves
+  // batch equivalence: S_max (the longest temporal-grouping gap) plus the
+  // rule window W.
+  // `max_group_age_ms`: a still-active group is force-closed (emitted)
+  // once it has spanned this long, bounding both reporting latency and
+  // memory for never-ending periodic trains; its continuation starts a
+  // fresh event.
+  StreamingDigester(KnowledgeBase* kb, const LocationDict* dict,
+                    DigestOptions options = {}, TimeMs idle_close_ms = 0,
+                    TimeMs max_group_age_ms = 24 * kMsPerHour);
+
+  // Feeds one record (timestamps must be non-decreasing; a collector in
+  // front guarantees that) and returns any events that closed.
+  std::vector<DigestEvent> Push(const syslog::SyslogRecord& rec);
+
+  // Closes and returns every open group (end of stream).
+  std::vector<DigestEvent> Flush();
+
+  std::size_t open_group_count() const noexcept { return groups_.size(); }
+  std::size_t open_message_count() const noexcept { return open_messages_; }
+  std::size_t processed_count() const noexcept { return processed_; }
+  // Distinct rules that have fired so far.
+  std::size_t active_rule_count() const noexcept {
+    return active_rules_.size();
+  }
+
+ private:
+  struct GroupMeta {
+    TimeMs first_time = 0;
+    TimeMs last_time = 0;
+  };
+
+  void MergeRoots(std::size_t a, std::size_t b);
+  std::vector<DigestEvent> CloseIdle(TimeMs now);
+  void CompactArena();
+
+  KnowledgeBase* kb_;
+  const LocationDict* dict_;
+  DigestOptions options_;
+  TimeMs idle_close_ms_;
+  TimeMs max_group_age_ms_;
+  Augmenter augmenter_;
+  TemporalGrouper temporal_;
+
+  // Arena of messages still belonging to open groups (plus closed ones
+  // awaiting compaction); union-find indexes into it.
+  std::vector<Augmented> arena_;
+  std::vector<bool> closed_;
+  UnionFind uf_{0};
+  std::size_t open_messages_ = 0;
+
+  // root -> group bookkeeping (kept in sync across unions).
+  std::unordered_map<std::size_t, GroupMeta> groups_;
+  // temporal group id -> latest arena index of that temporal chain.
+  std::unordered_map<std::size_t, std::size_t> temporal_tail_;
+  // per-router sliding window (arena indices) for the rule pass.
+  std::unordered_map<std::uint32_t, std::deque<std::size_t>> router_window_;
+  // global sliding window for the cross-router pass.
+  std::deque<std::size_t> cross_window_;
+  std::unordered_set<std::uint64_t> active_rules_;
+
+  TimeMs clock_ = INT64_MIN;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace sld::core

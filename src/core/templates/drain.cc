@@ -1,0 +1,97 @@
+#include "core/templates/drain.h"
+
+#include "common/strings.h"
+
+namespace sld::core {
+
+bool DrainLearner::HasDigit(std::string_view token) noexcept {
+  for (const char c : token) {
+    if (c >= '0' && c <= '9') return true;
+  }
+  return false;
+}
+
+std::string DrainLearner::LeafKey(
+    std::string_view code,
+    const std::vector<std::string_view>& tokens) const {
+  std::string key(code);
+  key += '\x1f';
+  key += std::to_string(tokens.size());
+  for (int d = 0; d < params_.tree_depth &&
+                  d < static_cast<int>(tokens.size());
+       ++d) {
+    key += '\x1f';
+    const std::string_view tok = tokens[static_cast<std::size_t>(d)];
+    // Digit-bearing tokens route to the wildcard branch (Drain's rule for
+    // keeping parameters out of the tree).
+    if (HasDigit(tok)) {
+      key += "<*>";
+    } else {
+      key += tok;
+    }
+  }
+  return key;
+}
+
+void DrainLearner::Add(std::string_view code, std::string_view detail) {
+  ++messages_;
+  const std::vector<std::string_view> tokens = SplitWhitespace(detail);
+  std::vector<Cluster>& leaf = leaves_[LeafKey(code, tokens)];
+
+  // Most similar cluster: fraction of positions with equal tokens (an
+  // existing "*" matches anything).
+  Cluster* best = nullptr;
+  double best_sim = -1.0;
+  for (Cluster& cluster : leaf) {
+    std::size_t equal = 0;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (cluster.tokens[i] == kMask || cluster.tokens[i] == tokens[i]) {
+        ++equal;
+      }
+    }
+    const double sim = tokens.empty()
+                           ? 1.0
+                           : static_cast<double>(equal) /
+                                 static_cast<double>(tokens.size());
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = &cluster;
+    }
+  }
+
+  const bool join =
+      best != nullptr &&
+      (best_sim >= params_.similarity ||
+       static_cast<int>(leaf.size()) >= params_.max_children);
+  if (join) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (best->tokens[i] != kMask && best->tokens[i] != tokens[i]) {
+        best->tokens[i] = std::string(kMask);
+      }
+    }
+    ++best->count;
+    return;
+  }
+  Cluster cluster;
+  cluster.code = std::string(code);
+  cluster.tokens.reserve(tokens.size());
+  for (const std::string_view tok : tokens) {
+    cluster.tokens.emplace_back(tok);
+  }
+  cluster.count = 1;
+  leaf.push_back(std::move(cluster));
+  ++clusters_;
+}
+
+TemplateSet DrainLearner::Templates() const {
+  TemplateSet set;
+  for (const auto& [key, leaf] : leaves_) {
+    (void)key;
+    for (const Cluster& cluster : leaf) {
+      set.Add(cluster.code, cluster.tokens);
+    }
+  }
+  return set;
+}
+
+}  // namespace sld::core

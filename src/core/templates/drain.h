@@ -1,0 +1,64 @@
+// A Drain-style baseline template miner (He et al., ICWS 2017).
+//
+// Drain is the de-facto modern baseline for log template mining (Drain3,
+// logpai).  It is *online*: a fixed-depth prefix tree routes each message
+// — level 1 by token count, the next `tree_depth` levels by leading
+// tokens (tokens containing digits route to a wildcard branch) — to a
+// list of clusters; the message joins the most similar cluster (token-
+// equality ratio >= `similarity`) and positions that disagree become "*",
+// or founds a new cluster.
+//
+// We implement it for the §5.2.1 comparison (`bench_baseline_drain`):
+// unlike the paper's learner it has no notion of location words, no
+// sample-size masking cap, and no sub-type tree semantics — exactly the
+// trade-offs the comparison surfaces.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/templates/template.h"
+
+namespace sld::core {
+
+struct DrainParams {
+  int tree_depth = 2;        // leading tokens used for routing
+  double similarity = 0.5;   // join threshold (fraction of equal tokens)
+  int max_children = 100;    // clusters per leaf before forced join
+};
+
+class DrainLearner {
+ public:
+  explicit DrainLearner(DrainParams params = {}) : params_(params) {}
+
+  // Feeds one message (online).
+  void Add(std::string_view code, std::string_view detail);
+
+  // Extracts the current clusters as a TemplateSet (code + masked detail),
+  // comparable with TemplateLearner's output and the simulator's ground
+  // truth.
+  TemplateSet Templates() const;
+
+  std::size_t cluster_count() const noexcept { return clusters_; }
+  std::size_t message_count() const noexcept { return messages_; }
+
+ private:
+  struct Cluster {
+    std::string code;
+    std::vector<std::string> tokens;  // "*" where positions disagreed
+    std::size_t count = 0;
+  };
+
+  static bool HasDigit(std::string_view token) noexcept;
+  std::string LeafKey(std::string_view code,
+                      const std::vector<std::string_view>& tokens) const;
+
+  DrainParams params_;
+  std::unordered_map<std::string, std::vector<Cluster>> leaves_;
+  std::size_t clusters_ = 0;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace sld::core

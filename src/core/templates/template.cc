@@ -1,0 +1,122 @@
+#include "core/templates/template.h"
+
+#include "common/strings.h"
+
+namespace sld::core {
+
+std::string Template::Canonical() const {
+  std::string out = code;
+  for (const std::string& tok : tokens) {
+    out += ' ';
+    out += tok;
+  }
+  return out;
+}
+
+bool Template::Matches(
+    const std::vector<std::string_view>& detail_tokens) const {
+  if (detail_tokens.size() != tokens.size()) return false;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] != kMask && tokens[i] != detail_tokens[i]) return false;
+  }
+  return true;
+}
+
+std::size_t Template::FixedCount() const noexcept {
+  std::size_t n = 0;
+  for (const std::string& tok : tokens) {
+    if (tok != kMask) ++n;
+  }
+  return n;
+}
+
+std::string TemplateSet::IndexKey(std::string_view code, std::size_t len) {
+  std::string key(code);
+  key += '\x1f';
+  key += std::to_string(len);
+  return key;
+}
+
+TemplateId TemplateSet::Add(std::string code,
+                            std::vector<std::string> tokens) {
+  Template probe;
+  probe.code = code;
+  probe.tokens = tokens;
+  const std::string canonical = probe.Canonical();
+  const auto it = by_canonical_.find(canonical);
+  if (it != by_canonical_.end()) return it->second;
+  return AddUnchecked(std::move(code), std::move(tokens));
+}
+
+TemplateId TemplateSet::AddUnchecked(std::string code,
+                                     std::vector<std::string> tokens) {
+  Template tmpl;
+  tmpl.id = static_cast<TemplateId>(templates_.size());
+  tmpl.code = std::move(code);
+  tmpl.tokens = std::move(tokens);
+  index_[IndexKey(tmpl.code, tmpl.tokens.size())].push_back(tmpl.id);
+  by_canonical_.emplace(tmpl.Canonical(), tmpl.id);
+  templates_.push_back(std::move(tmpl));
+  return templates_.back().id;
+}
+
+std::optional<TemplateId> TemplateSet::Match(std::string_view code,
+                                             std::string_view detail) const {
+  const auto tokens = SplitWhitespace(detail);
+  const auto it = index_.find(IndexKey(code, tokens.size()));
+  if (it == index_.end()) return std::nullopt;
+  const Template* best = nullptr;
+  for (const TemplateId id : it->second) {
+    const Template& tmpl = templates_[id];
+    if (!tmpl.Matches(tokens)) continue;
+    if (best == nullptr || tmpl.FixedCount() > best->FixedCount()) {
+      best = &tmpl;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id;
+}
+
+TemplateId TemplateSet::MatchOrFallback(std::string_view code,
+                                        std::string_view detail) {
+  if (const auto id = Match(code, detail)) return *id;
+  const std::vector<std::string_view> tokens = SplitWhitespace(detail);
+  std::vector<std::string> masked(tokens.size(), std::string(kMask));
+  return Add(std::string(code), std::move(masked));
+}
+
+std::string TemplateSet::Serialize() const {
+  std::string out;
+  for (const Template& tmpl : templates_) {
+    out += "T ";
+    out += tmpl.code;
+    out += '\t';
+    bool first = true;
+    for (const std::string& tok : tmpl.tokens) {
+      if (!first) out += ' ';
+      out += tok;
+      first = false;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TemplateSet TemplateSet::Deserialize(std::string_view text) {
+  TemplateSet set;
+  for (const std::string_view line : SplitChar(text, '\n')) {
+    if (!line.starts_with("T ")) continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) continue;
+    std::string code(line.substr(2, tab - 2));
+    std::vector<std::string> tokens;
+    for (const std::string_view tok :
+         SplitWhitespace(line.substr(tab + 1))) {
+      tokens.emplace_back(tok);
+    }
+    set.Add(std::move(code), std::move(tokens));
+  }
+  return set;
+}
+
+}  // namespace sld::core

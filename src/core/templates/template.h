@@ -1,0 +1,81 @@
+// Message templates: the learned "type + sub type" signatures of §4.1.1.
+//
+// A template is an error code plus the detail text's token sequence with
+// variable tokens masked as "*".  Its canonical string form
+// ("BGP-5-ADJCHANGE neighbor * vpn vrf * Down Interface flap") is the unit
+// the rest of the system reasons about: temporal patterns, association
+// rules and event labels are all keyed on template ids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sld::core {
+
+using TemplateId = std::uint32_t;
+inline constexpr TemplateId kNoTemplate = 0xffffffffu;
+
+// The masked-token marker.
+inline constexpr std::string_view kMask = "*";
+
+struct Template {
+  TemplateId id = kNoTemplate;
+  std::string code;                 // message type / error code
+  std::vector<std::string> tokens;  // detail tokens; kMask for variables
+
+  // "code tok tok * tok" — the canonical comparable form.
+  std::string Canonical() const;
+
+  // True when `detail_tokens` (whitespace-split detail text) matches this
+  // template: same length, equal at every non-masked position.
+  bool Matches(const std::vector<std::string_view>& detail_tokens) const;
+
+  // Number of non-masked positions (used to break ties toward the most
+  // specific template).
+  std::size_t FixedCount() const noexcept;
+};
+
+// An immutable collection of learned templates with an online matcher.
+class TemplateSet {
+ public:
+  TemplateSet() = default;
+
+  // Adds a template (id assigned); returns its id.  Duplicate canonical
+  // forms return the existing id.
+  TemplateId Add(std::string code, std::vector<std::string> tokens);
+
+  // Matches a raw message to the most specific learned template, or
+  // nullopt when no learned template fits.
+  std::optional<TemplateId> Match(std::string_view code,
+                                  std::string_view detail) const;
+
+  // Matches like Match(), but unmatched messages are assigned a catch-all
+  // template "<code> <len> tokens, all masked" that is created on demand.
+  // This keeps the online pipeline total: every message gets a template id,
+  // as the paper's online Signature Matching stage requires.
+  TemplateId MatchOrFallback(std::string_view code, std::string_view detail);
+
+  const Template& Get(TemplateId id) const { return templates_.at(id); }
+  std::size_t size() const noexcept { return templates_.size(); }
+  const std::vector<Template>& All() const noexcept { return templates_; }
+
+  // Serialization: one template per line ("T <code>\t<tok> <tok> ...").
+  std::string Serialize() const;
+  static TemplateSet Deserialize(std::string_view text);
+
+ private:
+  TemplateId AddUnchecked(std::string code, std::vector<std::string> tokens);
+
+  std::vector<Template> templates_;
+  // (code, token-count) -> candidate template ids, for O(candidates) match.
+  std::unordered_map<std::string, std::vector<TemplateId>> index_;
+  std::unordered_map<std::string, TemplateId> by_canonical_;
+
+  static std::string IndexKey(std::string_view code, std::size_t len);
+};
+
+}  // namespace sld::core

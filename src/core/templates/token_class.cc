@@ -1,0 +1,87 @@
+#include "core/templates/token_class.h"
+
+#include "common/strings.h"
+
+namespace sld::core {
+namespace {
+
+bool IsAlpha(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+bool IsDigit(char c) noexcept { return c >= '0' && c <= '9'; }
+
+bool IsPositionChar(char c) noexcept {
+  return IsDigit(c) || c == '/' || c == '.' || c == ':' || c == '-';
+}
+
+}  // namespace
+
+std::string_view StripPunct(std::string_view token) noexcept {
+  // Cut a parenthesized suffix: "10.1.2.3(179)" -> "10.1.2.3".
+  const std::size_t paren = token.find('(');
+  if (paren != std::string_view::npos && paren > 0) {
+    token = token.substr(0, paren);
+  }
+  while (!token.empty() && (token.front() == '(' || token.front() == '[' ||
+                            token.front() == '"')) {
+    token.remove_prefix(1);
+  }
+  while (!token.empty()) {
+    const char c = token.back();
+    if (c == ')' || c == ']' || c == ',' || c == ';' || c == '"') {
+      token.remove_suffix(1);
+    } else if ((c == '.' || c == ':') && token.size() >= 2 &&
+               !IsDigit(token[token.size() - 2])) {
+      // Sentence punctuation ("updated.") but not channel suffixes
+      // ("0/0:1").  A '.'/':' preceded by a digit stays.
+      token.remove_suffix(1);
+    } else if ((c == '.' || c == ':') && token.size() == 1) {
+      token.remove_suffix(1);
+    } else {
+      break;
+    }
+  }
+  return token;
+}
+
+namespace {
+
+// "1000:1001"-style VRF / route-distinguisher ids: digits on both sides of
+// a single colon.  These identify a routing instance — a location in the
+// logical hierarchy — and are excluded from signatures like other
+// location words.
+bool LooksLikeVrfId(std::string_view s) noexcept {
+  const std::size_t colon = s.find(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= s.size()) {
+    return false;
+  }
+  return sld::IsAllDigits(s.substr(0, colon)) &&
+         sld::IsAllDigits(s.substr(colon + 1));
+}
+
+}  // namespace
+
+bool LooksLikeLocationToken(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  if (LooksLikeIpv4(s)) return true;
+  if (LooksLikeIfPosition(s)) return true;
+  if (LooksLikeVrfId(s)) return true;
+  // Interface-style name: >= 2 letters, then a position with >= 1 digit
+  // and >= 1 separator ("Serial1/0.10:0", "lag-1" — but not "MD5"/"vty0",
+  // which are ordinary words that happen to end in digits).
+  std::size_t i = 0;
+  while (i < s.size() && IsAlpha(s[i])) ++i;
+  if (i < 2 || i == s.size()) return false;
+  bool any_digit = false;
+  bool any_separator = false;
+  for (std::size_t j = i; j < s.size(); ++j) {
+    if (!IsPositionChar(s[j])) return false;
+    any_digit = any_digit || IsDigit(s[j]);
+    any_separator = any_separator || !IsDigit(s[j]);
+  }
+  return any_digit && any_separator;
+}
+
+}  // namespace sld::core

@@ -1,0 +1,28 @@
+// Token classification shared by the template learner and the location
+// extractor.
+//
+// Syslog detail text attaches punctuation to tokens ("Serial1/0.10:0,",
+// "(10.1.2.3)"); stripping it is the first step of both recognizing a
+// location word (which the learner must exclude from signatures, §3.1)
+// and looking a location up in the dictionary.
+#pragma once
+
+#include <string_view>
+
+namespace sld::core {
+
+// Removes surrounding punctuation: leading "([" and trailing ")],.;:"
+// (a trailing ':' is stripped only when it is not part of a channel
+// position like "0/0:1").  Also cuts a "(...)" suffix, so
+// "10.1.2.3(179)" -> "10.1.2.3".
+std::string_view StripPunct(std::string_view token) noexcept;
+
+// True when the (stripped) token denotes a specific location:
+//  - a dotted-quad IPv4 address,
+//  - a bare position like "1/1/1" or "2/0.10:0",
+//  - an interface-style name: >= 2 leading letters followed by a position
+//    ("Serial1/0.10:0", "GigabitEthernet0/1/0", "Multilink3", "lag-1").
+// Such tokens are excluded from message signatures by construction.
+bool LooksLikeLocationToken(std::string_view stripped) noexcept;
+
+}  // namespace sld::core

@@ -1,0 +1,75 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace sld::net {
+
+std::optional<Ipv4> Ipv4::Parse(std::string_view text) noexcept {
+  if (!LooksLikeIpv4(text)) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const std::string_view part : SplitChar(text, '.')) {
+    value = (value << 8) | static_cast<std::uint32_t>(*ParseInt(part));
+  }
+  return Ipv4(value);
+}
+
+std::string Ipv4::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 255,
+                (value_ >> 16) & 255, (value_ >> 8) & 255, value_ & 255);
+  return buf;
+}
+
+namespace {
+
+constexpr std::uint32_t MaskBits(int length) noexcept {
+  if (length <= 0) return 0;
+  if (length >= 32) return 0xffffffffu;
+  return ~((1u << (32 - length)) - 1);
+}
+
+}  // namespace
+
+Ipv4Prefix::Ipv4Prefix(Ipv4 addr, int length) noexcept
+    : network_(addr.value() & MaskBits(length)),
+      length_(length < 0 ? 0 : (length > 32 ? 32 : length)) {}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::Parse(std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4::Parse(text.substr(0, slash));
+  const auto length = ParseInt(text.substr(slash + 1));
+  if (!addr || !length || *length > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<int>(*length));
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::FromMask(
+    std::string_view addr, std::string_view mask) noexcept {
+  const auto parsed = Ipv4::Parse(addr);
+  const auto length = MaskToPrefixLength(mask);
+  if (!parsed || !length) return std::nullopt;
+  return Ipv4Prefix(*parsed, *length);
+}
+
+bool Ipv4Prefix::Contains(Ipv4 addr) const noexcept {
+  return (addr.value() & MaskBits(length_)) == network_.value();
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return network_.ToString() + "/" + std::to_string(length_);
+}
+
+std::optional<int> MaskToPrefixLength(std::string_view mask) noexcept {
+  const auto parsed = Ipv4::Parse(mask);
+  if (!parsed) return std::nullopt;
+  const std::uint32_t bits = parsed->value();
+  // Must be ones followed by zeros.
+  int length = 0;
+  while (length < 32 && (bits & (1u << (31 - length)))) ++length;
+  if (bits != MaskBits(length)) return std::nullopt;
+  return length;
+}
+
+}  // namespace sld::net

@@ -1,0 +1,233 @@
+#include "net/config_parser.h"
+
+#include <stdexcept>
+
+#include "common/strings.h"
+#include "net/addr.h"
+
+namespace sld::net {
+namespace {
+
+std::string Unquote(std::string_view s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    s = s.substr(1, s.size() - 2);
+  }
+  return std::string(s);
+}
+
+// Is this interface name a sub-interface of a previously declared port?
+// V1 logical interfaces contain a '.' ("Serial0/0.10:0"); V1 physical
+// interfaces do not.
+bool IsV1Logical(std::string_view name) {
+  return name.find('.') != std::string_view::npos;
+}
+
+ParsedConfig ParseV1(std::string_view text) {
+  ParsedConfig cfg;
+  cfg.vendor = Vendor::kV1;
+
+  // Section state while scanning line by line.
+  enum class Section { kNone, kInterface, kBgp, kPath };
+  Section section = Section::kNone;
+  std::string current_if;  // interface block we are inside
+  bool current_is_port = false;
+  std::string current_vrf;  // BGP address-family VRF context
+
+  for (const std::string_view raw : SplitChar(text, '\n')) {
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line == "!") continue;
+    const auto words = SplitWhitespace(line);
+
+    if (words[0] == "hostname" && words.size() >= 2) {
+      cfg.hostname = std::string(words[1]);
+      section = Section::kNone;
+    } else if (words[0] == "controller" && words.size() >= 3) {
+      cfg.controllers.push_back(std::string(words[1]) + " " +
+                                std::string(words[2]));
+      section = Section::kNone;
+    } else if (words[0] == "interface" && words.size() >= 2) {
+      current_if = std::string(words[1]);
+      section = Section::kInterface;
+      if (current_if.starts_with("Loopback")) {
+        current_is_port = false;
+      } else if (current_if.starts_with("Multilink")) {
+        cfg.bundles.push_back({current_if, 0, {}});
+        current_is_port = false;
+      } else if (IsV1Logical(current_if)) {
+        current_is_port = false;
+      } else {
+        cfg.ports.push_back({current_if, "", "", 0});
+        current_is_port = true;
+      }
+    } else if (words[0] == "router" && words.size() >= 2 &&
+               words[1] == "bgp") {
+      section = Section::kBgp;
+      current_vrf.clear();
+    } else if (words[0] == "mpls" && words.size() >= 4) {
+      cfg.paths.push_back({std::string(words[3]), {}});
+      section = Section::kPath;
+    } else if (section == Section::kInterface) {
+      if (words[0] == "ip" && words.size() >= 4 && words[1] == "address") {
+        if (current_if.starts_with("Loopback")) {
+          cfg.loopback_ip = std::string(words[2]);
+        } else {
+          ParsedInterface intf;
+          intf.name = current_if;
+          intf.ip = std::string(words[2]);
+          intf.prefix_len = MaskToPrefixLength(words[3]).value_or(32);
+          cfg.interfaces.push_back(std::move(intf));
+        }
+      } else if (words[0] == "description" && words.size() >= 4 &&
+                 words[1] == "to" && current_is_port) {
+        cfg.ports.back().peer_router = std::string(words[2]);
+        cfg.ports.back().peer_if = std::string(words[3]);
+      } else if (words[0] == "ppp" && words.size() >= 4 &&
+                 words[1] == "multilink" && words[2] == "group") {
+        const auto group = ParseInt(words[3]);
+        if (group) {
+          if (current_is_port) {
+            cfg.ports.back().bundle_group = static_cast<int>(*group);
+          } else if (!cfg.bundles.empty() &&
+                     cfg.bundles.back().name == current_if) {
+            cfg.bundles.back().group = static_cast<int>(*group);
+          }
+        }
+      }
+    } else if (section == Section::kBgp) {
+      if (words[0] == "address-family" && words.size() >= 4 &&
+          words[2] == "vrf") {
+        current_vrf = std::string(words[3]);
+      } else if (words[0] == "exit-address-family") {
+        current_vrf.clear();
+      } else if (words[0] == "neighbor" && words.size() >= 2) {
+        cfg.bgp_neighbors.push_back({std::string(words[1]), current_vrf});
+      }
+    } else if (section == Section::kPath) {
+      if (words[0] == "hop" && words.size() >= 2) {
+        cfg.paths.back().hops.push_back(std::string(words[1]));
+      }
+    }
+  }
+
+  // Attach bundle members recorded as "ppp multilink group N" on ports.
+  for (const ParsedPort& port : cfg.ports) {
+    if (port.bundle_group == 0) continue;
+    for (ParsedBundle& bundle : cfg.bundles) {
+      if (bundle.group == port.bundle_group) {
+        bundle.members.push_back(port.name);
+      }
+    }
+  }
+
+  if (cfg.hostname.empty()) {
+    throw std::runtime_error("V1 config without hostname");
+  }
+  return cfg;
+}
+
+ParsedConfig ParseV2(std::string_view text) {
+  ParsedConfig cfg;
+  cfg.vendor = Vendor::kV2;
+
+  enum class Section { kNone, kSystem, kPort, kLag, kInterface, kBgpGroup,
+                       kPath };
+  Section section = Section::kNone;
+  std::string current_if;
+  std::string current_vrf;
+
+  for (const std::string_view raw : SplitChar(text, '\n')) {
+    const std::string_view line = Trim(raw);
+    if (line.empty()) continue;
+    const auto words = SplitWhitespace(line);
+
+    if (words[0] == "exit") {
+      // Blocks are shallow; returning to kNone after any exit is safe
+      // because every recognized directive re-establishes its section.
+      section = Section::kNone;
+    } else if (words[0] == "system") {
+      section = Section::kSystem;
+    } else if (words[0] == "name" && section == Section::kSystem &&
+               words.size() >= 2) {
+      cfg.hostname = Unquote(words[1]);
+    } else if (words[0] == "port" && section == Section::kLag &&
+               words.size() >= 2) {
+      if (!cfg.bundles.empty()) {
+        cfg.bundles.back().members.push_back(std::string(words[1]));
+      }
+    } else if (words[0] == "port" && section == Section::kInterface &&
+               words.size() >= 2) {
+      // "port 1/1/1" inside an interface block: binds the logical
+      // interface to its physical port — recorded via name match later.
+    } else if (words[0] == "port" && words.size() >= 2) {
+      cfg.ports.push_back({std::string(words[1]), "", "", 0});
+      section = Section::kPort;
+    } else if (words[0] == "description" && section == Section::kPort &&
+               words.size() >= 2) {
+      // description "to <router> <ifname>"
+      const std::string body =
+          Unquote(Trim(line.substr(line.find(' ') + 1)));
+      const auto inner = SplitWhitespace(body);
+      if (inner.size() >= 3 && inner[0] == "to" && !cfg.ports.empty()) {
+        cfg.ports.back().peer_router = std::string(inner[1]);
+        cfg.ports.back().peer_if = std::string(inner[2]);
+      }
+    } else if (words[0] == "lag" && words.size() >= 2) {
+      cfg.bundles.push_back({"lag-" + std::string(words[1]), 0, {}});
+      section = Section::kLag;
+    } else if (words[0] == "interface" && words.size() >= 2) {
+      current_if = Unquote(words[1]);
+      section = Section::kInterface;
+    } else if (words[0] == "address" && section == Section::kInterface &&
+               words.size() >= 2) {
+      const std::string_view addr = words[1];
+      const std::size_t slash = addr.find('/');
+      const std::string ip(addr.substr(0, slash));
+      if (current_if == "system") {
+        cfg.loopback_ip = ip;
+      } else {
+        ParsedInterface intf;
+        intf.name = current_if;
+        intf.ip = ip;
+        if (slash != std::string_view::npos) {
+          intf.prefix_len = static_cast<int>(
+              ParseInt(addr.substr(slash + 1)).value_or(32));
+        }
+        cfg.interfaces.push_back(std::move(intf));
+      }
+    } else if (words[0] == "group" && words.size() >= 2) {
+      const std::string group_name = Unquote(words[1]);
+      current_vrf = group_name.starts_with("vpn-") ? group_name.substr(4)
+                                                   : std::string();
+      section = Section::kBgpGroup;
+    } else if (words[0] == "neighbor" && section == Section::kBgpGroup &&
+               words.size() >= 2) {
+      cfg.bgp_neighbors.push_back({std::string(words[1]), current_vrf});
+    } else if (words[0] == "mpls" && words.size() >= 3 &&
+               words[1] == "path") {
+      cfg.paths.push_back({Unquote(words[2]), {}});
+      section = Section::kPath;
+    } else if (words[0] == "hop" && section == Section::kPath &&
+               words.size() >= 3 && !cfg.paths.empty()) {
+      cfg.paths.back().hops.push_back(std::string(words[2]));
+    }
+  }
+
+  if (cfg.hostname.empty()) {
+    throw std::runtime_error("V2 config without system name");
+  }
+  return cfg;
+}
+
+}  // namespace
+
+ParsedConfig ParseConfig(std::string_view text) {
+  for (const std::string_view raw : SplitChar(text, '\n')) {
+    const std::string_view line = Trim(raw);
+    if (line.empty()) continue;
+    if (line.starts_with("hostname ")) return ParseV1(text);
+    if (line == "configure") return ParseV2(text);
+  }
+  throw std::runtime_error("unrecognized config dialect");
+}
+
+}  // namespace sld::net

@@ -1,0 +1,70 @@
+// Parses vendor-style router configuration text back into a structured
+// form.  This is the front half of the paper's offline "Location
+// Extraction" component (Fig. 1): configs in, per-router location facts
+// out.  The location dictionary (core/location) is built on top of the
+// structures returned here.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace sld::net {
+
+// One layer-3 interface with its address.
+struct ParsedInterface {
+  std::string name;
+  std::string ip;
+  int prefix_len = 32;  // from the netmask (V1) or CIDR suffix (V2)
+  bool loopback = false;
+};
+
+// One physical port / interface and, when the config records it, the
+// link adjacency taken from its description line.
+struct ParsedPort {
+  std::string name;
+  std::string peer_router;  // empty if no adjacency recorded
+  std::string peer_if;
+  int bundle_group = 0;  // V1: "ppp multilink group N"; 0 = none
+};
+
+// A multilink / LAG bundle with its member ports.
+struct ParsedBundle {
+  std::string name;
+  int group = 0;  // V1 group number linking members to the bundle
+  std::vector<std::string> members;
+};
+
+// A BGP neighbor; `vrf` is empty for iBGP (infrastructure) neighbors.
+struct ParsedBgpNeighbor {
+  std::string ip;
+  std::string vrf;
+};
+
+// A named multi-hop path with router-name hops.
+struct ParsedPath {
+  std::string name;
+  std::vector<std::string> hops;
+};
+
+// Everything location-relevant extracted from one router's config.
+struct ParsedConfig {
+  std::string hostname;
+  Vendor vendor = Vendor::kV1;
+  std::string loopback_ip;
+  std::vector<std::string> controllers;  // e.g. "T1 0/0"
+  std::vector<ParsedPort> ports;
+  std::vector<ParsedInterface> interfaces;
+  std::vector<ParsedBundle> bundles;
+  std::vector<ParsedBgpNeighbor> bgp_neighbors;
+  std::vector<ParsedPath> paths;
+};
+
+// Parses one router's configuration.  The vendor dialect is auto-detected
+// ("hostname ..." => V1, "configure"/"system" block => V2).
+// Throws std::runtime_error when no hostname can be found.
+ParsedConfig ParseConfig(std::string_view text);
+
+}  // namespace sld::net

@@ -1,0 +1,177 @@
+#include "net/config_writer.h"
+
+#include <cstdio>
+#include <string>
+
+namespace sld::net {
+namespace {
+
+void Append(std::string& out, const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+// IOS-flavoured configuration.
+std::string WriteV1(const Topology& topo, const Router& router) {
+  std::string out;
+  Append(out, "hostname %s\n!\n", router.name.c_str());
+  Append(out, "interface Loopback0\n ip address %s 255.255.255.255\n!\n",
+         router.loopback_ip.c_str());
+
+  for (const PhysIfId pid : router.phys_ifs) {
+    const PhysIf& phys = topo.phys_ifs[pid];
+    if (phys.has_controller) {
+      Append(out, "controller T1 %d/%d\n!\n", phys.slot, phys.port);
+    }
+    Append(out, "interface %s\n", phys.name.c_str());
+    if (phys.link.has_value()) {
+      const Link& link = topo.links[*phys.link];
+      const RouterId peer = topo.LinkPeer(link.id, router.id);
+      const PhysIfId peer_if = topo.LinkEnd(link.id, peer);
+      Append(out, " description to %s %s\n", topo.routers[peer].name.c_str(),
+             topo.phys_ifs[peer_if].name.c_str());
+    }
+    if (phys.bundle.has_value()) {
+      Append(out, " ppp multilink group %u\n", *phys.bundle + 1);
+    }
+    out += " no ip address\n!\n";
+    for (const LogicalIfId lid : phys.logical_ifs) {
+      const LogicalIf& logical = topo.logical_ifs[lid];
+      Append(out, "interface %s\n ip address %s 255.255.255.252\n!\n",
+             logical.name.c_str(), logical.ip.c_str());
+    }
+  }
+
+  for (const BundleId bid : router.bundles) {
+    const Bundle& bundle = topo.bundles[bid];
+    Append(out, "interface %s\n ppp multilink group %u\n!\n",
+           bundle.name.c_str(), bid + 1);
+  }
+
+  out += "router bgp 7018\n";
+  for (const SessionId sid : router.sessions) {
+    const BgpSession& s = topo.sessions[sid];
+    if (s.vrf.empty()) {
+      const bool is_a = s.router_a == router.id;
+      const std::string& neighbor =
+          is_a ? s.neighbor_ip_of_a : s.neighbor_ip_of_b;
+      Append(out, " neighbor %s remote-as 7018\n", neighbor.c_str());
+    }
+  }
+  for (const SessionId sid : router.sessions) {
+    const BgpSession& s = topo.sessions[sid];
+    if (!s.vrf.empty()) {
+      Append(out, " address-family ipv4 vrf %s\n", s.vrf.c_str());
+      Append(out, "  neighbor %s remote-as 65001\n",
+             s.neighbor_ip_of_a.c_str());
+      out += " exit-address-family\n";
+    }
+  }
+  out += "!\n";
+
+  for (const Path& path : topo.paths) {
+    if (path.hops.front() != router.id) continue;
+    Append(out, "mpls traffic-eng tunnel %s\n", path.name.c_str());
+    for (const RouterId hop : path.hops) {
+      Append(out, " hop %s\n", topo.routers[hop].name.c_str());
+    }
+    out += "!\n";
+  }
+  return out;
+}
+
+// TiMOS-flavoured configuration.
+std::string WriteV2(const Topology& topo, const Router& router) {
+  std::string out;
+  out += "configure\n";
+  Append(out, "    system\n        name \"%s\"\n    exit\n",
+         router.name.c_str());
+
+  for (const PhysIfId pid : router.phys_ifs) {
+    const PhysIf& phys = topo.phys_ifs[pid];
+    Append(out, "    port %s\n", phys.name.c_str());
+    if (phys.link.has_value()) {
+      const Link& link = topo.links[*phys.link];
+      const RouterId peer = topo.LinkPeer(link.id, router.id);
+      const PhysIfId peer_if = topo.LinkEnd(link.id, peer);
+      Append(out, "        description \"to %s %s\"\n",
+             topo.routers[peer].name.c_str(),
+             topo.phys_ifs[peer_if].name.c_str());
+    }
+    out += "    exit\n";
+  }
+
+  for (const BundleId bid : router.bundles) {
+    const Bundle& bundle = topo.bundles[bid];
+    Append(out, "    lag %u\n", bid + 1);
+    for (const PhysIfId member : bundle.members) {
+      Append(out, "        port %s\n", topo.phys_ifs[member].name.c_str());
+    }
+    out += "    exit\n";
+  }
+
+  out += "    router\n";
+  Append(out,
+         "        interface \"system\"\n            address %s/32\n"
+         "        exit\n",
+         router.loopback_ip.c_str());
+  for (const PhysIfId pid : router.phys_ifs) {
+    const PhysIf& phys = topo.phys_ifs[pid];
+    for (const LogicalIfId lid : phys.logical_ifs) {
+      const LogicalIf& logical = topo.logical_ifs[lid];
+      Append(out, "        interface \"%s\"\n", logical.name.c_str());
+      Append(out, "            address %s/30\n", logical.ip.c_str());
+      Append(out, "            port %s\n", phys.name.c_str());
+      out += "        exit\n";
+    }
+  }
+  out += "        bgp\n";
+  out += "            group \"internal\"\n";
+  for (const SessionId sid : router.sessions) {
+    const BgpSession& s = topo.sessions[sid];
+    if (!s.vrf.empty()) continue;
+    const bool is_a = s.router_a == router.id;
+    Append(out, "                neighbor %s\n",
+           (is_a ? s.neighbor_ip_of_a : s.neighbor_ip_of_b).c_str());
+  }
+  out += "            exit\n";
+  for (const SessionId sid : router.sessions) {
+    const BgpSession& s = topo.sessions[sid];
+    if (s.vrf.empty()) continue;
+    Append(out, "            group \"vpn-%s\"\n", s.vrf.c_str());
+    Append(out, "                neighbor %s\n", s.neighbor_ip_of_a.c_str());
+    out += "            exit\n";
+  }
+  out += "        exit\n    exit\n";
+
+  for (const Path& path : topo.paths) {
+    if (path.hops.front() != router.id) continue;
+    Append(out, "    mpls path \"%s\"\n", path.name.c_str());
+    for (std::size_t i = 0; i < path.hops.size(); ++i) {
+      Append(out, "        hop %zu %s\n", i + 1,
+             topo.routers[path.hops[i]].name.c_str());
+    }
+    out += "    exit\n";
+  }
+  out += "exit\n";
+  return out;
+}
+
+}  // namespace
+
+std::string WriteConfig(const Topology& topo, RouterId router) {
+  const Router& r = topo.routers.at(router);
+  return r.vendor == Vendor::kV1 ? WriteV1(topo, r) : WriteV2(topo, r);
+}
+
+std::vector<std::string> WriteAllConfigs(const Topology& topo) {
+  std::vector<std::string> out;
+  out.reserve(topo.routers.size());
+  for (const Router& r : topo.routers) {
+    out.push_back(WriteConfig(topo, r.id));
+  }
+  return out;
+}
+
+}  // namespace sld::net

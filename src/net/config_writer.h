@@ -1,0 +1,23 @@
+// Renders a router's configuration as vendor-style text.
+//
+// The paper's offline location learner works from router configs ("much
+// better formatted and documented than syslog messages").  We therefore
+// serialize the generated topology into realistic config text per router —
+// IOS-like for V1, TiMOS-like for V2 — and make the digest pipeline parse
+// that text back (config_parser.h), so the location dictionary is learned
+// the same way it would be in production.
+#pragma once
+
+#include <string>
+
+#include "net/topology.h"
+
+namespace sld::net {
+
+// The full configuration text for one router.
+std::string WriteConfig(const Topology& topo, RouterId router);
+
+// Convenience: configs for every router, indexed by RouterId.
+std::vector<std::string> WriteAllConfigs(const Topology& topo);
+
+}  // namespace sld::net

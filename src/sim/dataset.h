@@ -1,0 +1,63 @@
+// A generated evaluation dataset: topology + configs + a time-sorted syslog
+// stream with ground-truth event labels and synthesized trouble tickets.
+//
+// This stands in for the paper's "Dataset A" (tier-1 ISP backbone) and
+// "Dataset B" (IPTV backbone) feeds.  Ground truth lets the reproduction
+// *measure* what the paper validated manually: which raw messages belong to
+// the same network condition, what the true templates are, and which
+// events operations would have ticketed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "net/topology.h"
+#include "syslog/record.h"
+
+namespace sld::sim {
+
+// One injected network condition and the messages it triggered.
+struct GtEvent {
+  int id = 0;
+  std::string kind;  // e.g. "link-flap", "bgp-vpn-flap", "pim-dual-failure"
+  TimeMs start = 0;
+  TimeMs end = 0;
+  std::vector<std::size_t> message_indices;  // into Dataset::messages
+  std::vector<net::RouterId> routers;        // involved routers
+  std::string state;                         // coarse location (e.g. "TX")
+};
+
+// An operations trouble ticket synthesized from a ground-truth event
+// (§5.3's validation data).
+struct TroubleTicket {
+  int case_id = 0;
+  int gt_event_id = 0;
+  TimeMs created = 0;
+  std::string state;  // event location at state granularity
+  int update_count = 0;  // proxy for importance, as in the paper
+};
+
+struct Dataset {
+  std::string name;  // "A" or "B"
+  net::Topology topo;
+  std::vector<std::string> configs;            // per-router config text
+  std::vector<syslog::SyslogRecord> messages;  // sorted by timestamp
+  std::vector<GtEvent> ground_truth;
+  std::vector<TroubleTicket> tickets;
+  // Every distinct ground-truth template emitted into `messages`, with its
+  // occurrence count (the learner can only be expected to recover
+  // templates it has seen enough of — the paper's §4.1.1 caveat).
+  std::map<std::string, std::size_t> gt_templates;
+
+  // Day index (0-based, relative to `epoch`) of a timestamp.
+  int DayOf(TimeMs t) const noexcept {
+    return static_cast<int>((t - epoch) / kMsPerDay);
+  }
+  TimeMs epoch = 0;  // midnight starting the first generated day
+  int num_days = 0;
+};
+
+}  // namespace sld::sim

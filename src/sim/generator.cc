@@ -1,0 +1,1012 @@
+#include "sim/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/config_writer.h"
+#include "sim/messages.h"
+
+namespace sld::sim {
+namespace {
+
+using net::kInvalidId;
+using net::LinkId;
+using net::PhysIfId;
+using net::RouterId;
+using net::Topology;
+using net::Vendor;
+
+constexpr std::array<std::string_view, 14> kUsers = {
+    "admin",  "neteng", "oper1",   "oper2", "backup", "noc",   "autossh",
+    "root",   "jsmith", "mjones",  "tchen", "provis", "nagios", "rancid"};
+
+// Accumulates messages before the final time sort.
+struct Pending {
+  TimeMs t = 0;
+  RouterId router = kInvalidId;
+  Msg msg;
+  int event_id = -1;  // -1: background noise, not a ground-truth event
+};
+
+// External (never-configured) source address, e.g. a scanner.
+std::string ExternalIp(Rng& rng) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "203.0.%d.%d",
+                static_cast<int>(rng.UniformInt(0, 255)),
+                static_cast<int>(rng.UniformInt(1, 254)));
+  return buf;
+}
+
+// Management-LAN address (also not in router configs).
+std::string MgmtIp(Rng& rng) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "172.30.0.%d",
+                static_cast<int>(rng.UniformInt(1, 254)));
+  return buf;
+}
+
+std::string ControllerName(const net::PhysIf& phys) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "T1 %d/%d", phys.slot, phys.port);
+  return buf;
+}
+
+// The whole generation pass lives in one context object so scenario
+// emitters can share the topology, the output buffer, and per-kind RNGs.
+class Generator {
+ public:
+  Generator(const DatasetSpec& spec, int day0, int days, std::uint64_t seed)
+      : spec_(spec),
+        day0_(day0),
+        days_(days),
+        rng_(seed ^ 0x5851f42d4c957f2dULL),
+        topo_(net::GenerateTopology(spec.topo)) {
+    // Zipf-like router activity weights: a few routers are much chattier.
+    router_weight_.resize(topo_.routers.size());
+    std::vector<std::size_t> order(topo_.routers.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_.Shuffle(order);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      router_weight_[order[rank]] = 1.0 / std::pow(rank + 1.0, 0.8);
+    }
+  }
+
+  Dataset Run() {
+    const TimeMs window_start = DatasetEpoch() + day0_ * kMsPerDay;
+    for (int d = 0; d < days_; ++d) {
+      const int abs_day = day0_ + d;
+      const TimeMs day_start = window_start + d * kMsPerDay;
+      RunDay(abs_day, day_start);
+    }
+    return Finalize(window_start);
+  }
+
+ private:
+  // ---- scheduling -------------------------------------------------------
+
+  void RunDay(int abs_day, TimeMs day_start) {
+    const ScenarioRates& r = spec_.rates;
+    const bool v1 = spec_.topo.vendor == Vendor::kV1;
+    ForEach(r.link_flap, abs_day, day_start,
+            [&](TimeMs t) { LinkFlap(t); });
+    if (v1) {
+      ForEach(r.controller_flap, abs_day, day_start,
+              [&](TimeMs t) { ControllerFlap(t); });
+    }
+    ForEach(r.bundle_flap, abs_day, day_start,
+            [&](TimeMs t) { BundleFlap(t); });
+    ForEach(r.bgp_vpn_flap, abs_day, day_start,
+            [&](TimeMs t) { BgpVpnFlap(t); });
+    ForEach(r.ibgp_flap, abs_day, day_start, [&](TimeMs t) { IbgpFlap(t); });
+    ForEach(r.cpu_spike, abs_day, day_start, [&](TimeMs t) { CpuSpike(t); });
+    ForEach(r.bad_auth_scan, abs_day, day_start,
+            [&](TimeMs t) { BadAuthScan(t); });
+    ForEach(r.login_scan, abs_day, day_start,
+            [&](TimeMs t) { LoginScan(t); });
+    ForEachBusinessHours(r.config_change, abs_day, day_start,
+                         [&](TimeMs t) { ConfigChange(t); });
+    ForEach(r.env_alarm, abs_day, day_start, [&](TimeMs t) { EnvAlarm(t); });
+    ForEachBusinessHours(r.card_oir, abs_day, day_start,
+                         [&](TimeMs t) { CardOir(t); });
+    ForEachBusinessHours(r.maintenance_window, abs_day, day_start,
+                         [&](TimeMs t) { MaintenanceWindow(t); });
+    ForEach(r.rp_switchover, abs_day, day_start,
+            [&](TimeMs t) { RpSwitchover(t); });
+    if (!v1) {
+      ForEach(r.sap_churn, abs_day, day_start,
+              [&](TimeMs t) { SapChurn(t); });
+      ForEach(r.service_churn, abs_day, day_start,
+              [&](TimeMs t) { ServiceChurn(t); });
+      ForEach(r.pim_dual_failure, abs_day, day_start,
+              [&](TimeMs t) { PimDualFailure(t); });
+    }
+    if (v1) {
+      ForEach(r.duplex_mismatch, abs_day, day_start,
+              [&](TimeMs t) { DuplexTrain(t); });
+    }
+    TimerNoise(day_start);
+    RandomNoise(day_start);
+  }
+
+  template <typename Fn>
+  void ForEach(const Rate& rate, int abs_day, TimeMs day_start, Fn&& fn) {
+    if (abs_day < rate.from_day) return;
+    const std::int64_t n = rng_.Poisson(rate.per_day);
+    for (std::int64_t i = 0; i < n; ++i) {
+      fn(day_start + rng_.UniformInt(0, kMsPerDay - 1));
+    }
+  }
+
+  // Human-driven activity (maintenance, config work) clusters in business
+  // hours rather than spreading uniformly over the day.
+  template <typename Fn>
+  void ForEachBusinessHours(const Rate& rate, int abs_day, TimeMs day_start,
+                            Fn&& fn) {
+    if (abs_day < rate.from_day) return;
+    const std::int64_t n = rng_.Poisson(rate.per_day);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double hour =
+          std::clamp(rng_.Normal(13.5, 3.0), 7.0, 20.0);
+      fn(day_start + static_cast<TimeMs>(hour * kMsPerHour) +
+         rng_.UniformInt(0, kMsPerHour - 1));
+    }
+  }
+
+  // ---- emission helpers -------------------------------------------------
+
+  int NewEvent(std::string kind, RouterId router) {
+    GtEvent ev;
+    ev.id = static_cast<int>(events_.size());
+    ev.kind = std::move(kind);
+    ev.state = topo_.routers[router].state;
+    events_.push_back(std::move(ev));
+    return events_.back().id;
+  }
+
+  void Emit(TimeMs t, RouterId router, Msg msg, int event_id) {
+    pending_.push_back({t, router, std::move(msg), event_id});
+  }
+
+  // Zipf-weighted pick: used for the high-volume, low-event message
+  // sources (scans, nuisance trains, background noise) so some routers
+  // are much chattier without hosting proportionally more events.
+  RouterId PickRouter() {
+    return static_cast<RouterId>(rng_.Weighted(router_weight_));
+  }
+
+  // Uniform pick: used for genuine network events, which strike routers
+  // far more evenly than message volume does (the paper's Fig. 13).
+  RouterId PickRouterUniform() {
+    return static_cast<RouterId>(rng_.Index(topo_.routers.size()));
+  }
+
+  // Activity weight normalized to [0, 1]; chatty routers host LONGER
+  // nuisance trains (not more events), which is what makes high message
+  // counts compress best (Fig. 13).
+  double WeightOf(RouterId r) const {
+    return router_weight_[r];  // max weight is 1.0 by construction
+  }
+
+  bool V1() const { return spec_.topo.vendor == Vendor::kV1; }
+
+  TimeMs Jitter(TimeMs max_ms) {
+    return rng_.UniformInt(0, std::max<TimeMs>(max_ms, 1));
+  }
+
+  // Emits the vendor-appropriate "interface down/up" cascade for one side
+  // of a link flap: physical layer first, then line protocol / SAPs, then
+  // routing-protocol consequences with their own (probabilistic) lags.
+  void EmitIfFlapSide(int ev, RouterId router, PhysIfId phys_id, TimeMs t,
+                      bool up, RouterId peer) {
+    const net::PhysIf& phys = topo_.phys_ifs[phys_id];
+    const TimeMs base = t + Jitter(800);
+    if (V1()) {
+      Emit(base, router, V1LinkUpDown(phys.name, up), ev);
+      for (const net::LogicalIfId lid : phys.logical_ifs) {
+        Emit(base + 300 + Jitter(700), router,
+             V1LineProtoUpDown(topo_.logical_ifs[lid].name, up), ev);
+      }
+      // OSPF notices the adjacency change a little later.
+      if (peer != kInvalidId && rng_.Bernoulli(0.7)) {
+        const net::LogicalIfId lid = topo_.PrimaryLogical(phys_id);
+        if (lid != kInvalidId) {
+          const PhysIfId peer_phys = topo_.LinkEnd(*phys.link, peer);
+          const net::LogicalIfId peer_lid = topo_.PrimaryLogical(peer_phys);
+          if (peer_lid != kInvalidId) {
+            Emit(base + 2000 + Jitter(8000), router,
+                 V1OspfAdj(topo_.logical_ifs[peer_lid].ip,
+                           topo_.logical_ifs[lid].name, up),
+                 ev);
+          }
+        }
+      }
+    } else {
+      Emit(base, router, V2PortState(phys.name, up), ev);
+      for (const net::LogicalIfId lid : phys.logical_ifs) {
+        Emit(base + 200 + Jitter(500), router,
+             V2LinkState(topo_.logical_ifs[lid].name, up), ev);
+      }
+      if (rng_.Bernoulli(0.9)) {
+        Emit(base + 500 + Jitter(1500), router, V2SapPortChange(phys.name),
+             ev);
+      }
+      if (peer != kInvalidId && !up && rng_.Bernoulli(0.5)) {
+        const PhysIfId peer_phys = topo_.LinkEnd(*phys.link, peer);
+        const net::LogicalIfId peer_lid = topo_.PrimaryLogical(peer_phys);
+        const net::LogicalIfId lid = topo_.PrimaryLogical(phys_id);
+        if (peer_lid != kInvalidId && lid != kInvalidId) {
+          Emit(base + 1000 + Jitter(1500), router,
+               V2PimNeighborLoss(topo_.logical_ifs[peer_lid].ip,
+                                 topo_.logical_ifs[lid].name),
+               ev);
+        }
+      }
+    }
+  }
+
+  // ---- scenarios --------------------------------------------------------
+
+  void LinkFlap(TimeMs t0) {
+    if (topo_.links.empty()) return;
+    const net::Link& link = rng_.Pick(topo_.links);
+    const int ev = NewEvent("link-flap", link.router_a);
+    // Heavy-tailed flap count: mostly 1-3, occasionally dozens.
+    const int flaps = 1 + std::min<int>(
+        static_cast<int>(1.0 / std::pow(rng_.UniformReal() + 1e-9, 0.7)) - 1,
+        80);
+    const TimeMs period = rng_.UniformInt(8, 60) * kMsPerSecond;
+    // Paths traversing the link suffer along with it, every flap: the
+    // point of local repair (the link's own routers) and the head log the
+    // LSP bouncing, the head retries signalling after each drop, and IPTV
+    // services riding the path react.
+    std::vector<const net::Path*> affected;
+    for (const net::Path& path : topo_.paths) {
+      if (std::find(path.links.begin(), path.links.end(), link.id) !=
+              path.links.end() &&
+          rng_.Bernoulli(0.8)) {
+        affected.push_back(&path);
+      }
+    }
+    TimeMs t = t0;
+    for (int k = 0; k < flaps; ++k) {
+      const TimeMs down_for = rng_.UniformInt(1, 5) * kMsPerSecond;
+      EmitIfFlapSide(ev, link.router_a, link.phys_a, t, false, link.router_b);
+      EmitIfFlapSide(ev, link.router_b, link.phys_b, t, false, link.router_a);
+      EmitIfFlapSide(ev, link.router_a, link.phys_a, t + down_for, true,
+                     link.router_b);
+      EmitIfFlapSide(ev, link.router_b, link.phys_b, t + down_for, true,
+                     link.router_a);
+      // A sustained outage takes down iBGP over the link.
+      if (down_for >= 3 * kMsPerSecond && rng_.Bernoulli(0.5)) {
+        EmitIbgpOverLink(ev, link, t + 1500, down_for);
+      }
+      for (const net::Path* path : affected) {
+        const RouterId head = path->hops.front();
+        const TimeMs down_at = t + 800 + Jitter(600);
+        const TimeMs up_at = t + down_for + 1000 + Jitter(2000);
+        std::set<RouterId> loggers = {link.router_a, link.router_b, head};
+        for (const RouterId at : loggers) {
+          if (V1()) {
+            Emit(down_at + Jitter(400), at, V1MplsTeLsp(path->name, false),
+                 ev);
+            Emit(up_at + Jitter(800), at, V1MplsTeLsp(path->name, true),
+                 ev);
+          } else {
+            Emit(down_at + Jitter(400), at, V2LspState(path->name, false),
+                 ev);
+            Emit(up_at + Jitter(800), at, V2LspState(path->name, true),
+                 ev);
+          }
+        }
+        if (!V1() && rng_.Bernoulli(0.9)) {
+          Emit(down_at + 1500 + Jitter(1500), head,
+               V2LspRetry(path->name, 300), ev);
+        }
+        if (!V1() && rng_.Bernoulli(0.15)) {
+          // A service riding the path degrades with it (logged at the
+          // point of local repair alongside the port messages).
+          const int service =
+              static_cast<int>(rng_.UniformInt(1000, 1200));
+          Emit(down_at + 3000 + Jitter(3000), link.router_a,
+               V2ServiceState(service, false), ev);
+          Emit(up_at + 3000 + Jitter(3000), link.router_a,
+               V2ServiceState(service, true), ev);
+        }
+      }
+      t += static_cast<TimeMs>(period * (0.7 + 0.6 * rng_.UniformReal()));
+    }
+  }
+
+  void EmitIbgpOverLink(int ev, const net::Link& link, TimeMs t,
+                        TimeMs down_for) {
+    for (const net::BgpSession& s : topo_.sessions) {
+      if (!s.vrf.empty()) continue;
+      const bool over = (s.router_a == link.router_a &&
+                         s.router_b == link.router_b) ||
+                        (s.router_a == link.router_b &&
+                         s.router_b == link.router_a);
+      if (!over) continue;
+      if (V1()) {
+        Emit(t + Jitter(800), s.router_a,
+             V1BgpAdj(s.neighbor_ip_of_a, false,
+                      BgpDownReason::kNotificationSent),
+             ev);
+        Emit(t + Jitter(800), s.router_b,
+             V1BgpAdj(s.neighbor_ip_of_b, false,
+                      BgpDownReason::kNotificationReceived),
+             ev);
+        Emit(t + down_for + 20000 + Jitter(40000), s.router_a,
+             V1BgpAdj(s.neighbor_ip_of_a, true, BgpDownReason::kPeerClosed),
+             ev);
+        Emit(t + down_for + 20000 + Jitter(40000), s.router_b,
+             V1BgpAdj(s.neighbor_ip_of_b, true, BgpDownReason::kPeerClosed),
+             ev);
+      } else {
+        Emit(t + Jitter(800), s.router_a,
+             V2BgpSessionState(s.neighbor_ip_of_a, false), ev);
+        Emit(t + Jitter(800), s.router_b,
+             V2BgpSessionState(s.neighbor_ip_of_b, false), ev);
+        Emit(t + down_for + 20000 + Jitter(40000), s.router_a,
+             V2BgpSessionState(s.neighbor_ip_of_a, true), ev);
+        Emit(t + down_for + 20000 + Jitter(40000), s.router_b,
+             V2BgpSessionState(s.neighbor_ip_of_b, true), ev);
+      }
+      break;
+    }
+  }
+
+  // An unstable controller takes its interface down many times in a short
+  // interval (the paper's Fig. 4 shape).
+  void ControllerFlap(TimeMs t0) {
+    std::vector<PhysIfId> candidates;
+    const RouterId router = PickRouterUniform();
+    for (const PhysIfId pid : topo_.routers[router].phys_ifs) {
+      if (topo_.phys_ifs[pid].has_controller) candidates.push_back(pid);
+    }
+    if (candidates.empty()) return;
+    const PhysIfId pid = rng_.Pick(candidates);
+    const net::PhysIf& phys = topo_.phys_ifs[pid];
+    const std::string ctrl = ControllerName(phys);
+    const int ev = NewEvent("controller-flap", router);
+    const int flaps = static_cast<int>(rng_.UniformInt(20, 150));
+    const TimeMs period = rng_.UniformInt(5, 60) * kMsPerSecond;
+    TimeMs t = t0;
+    const RouterId peer =
+        phys.link ? topo_.LinkPeer(*phys.link, router) : kInvalidId;
+    for (int k = 0; k < flaps; ++k) {
+      const TimeMs down_for = rng_.UniformInt(1, 3) * kMsPerSecond;
+      Emit(t, router, V1ControllerUpDown(ctrl, false), ev);
+      Emit(t + down_for, router, V1ControllerUpDown(ctrl, true), ev);
+      // The controller drags its interface (and the far end) along.
+      if (rng_.Bernoulli(0.9)) {
+        EmitIfFlapSide(ev, router, pid, t + 10000 + Jitter(20000), false,
+                       peer);
+        EmitIfFlapSide(ev, router, pid, t + 10000 + down_for + Jitter(20000),
+                       true, peer);
+        if (peer != kInvalidId && phys.link) {
+          const PhysIfId peer_phys = topo_.LinkEnd(*phys.link, peer);
+          EmitIfFlapSide(ev, peer, peer_phys, t + 10000 + Jitter(20000),
+                         false, router);
+          EmitIfFlapSide(ev, peer, peer_phys,
+                         t + 10000 + down_for + Jitter(20000), true, router);
+        }
+      }
+      t += static_cast<TimeMs>(period * (0.7 + 0.6 * rng_.UniformReal()));
+    }
+  }
+
+  void BundleFlap(TimeMs t0) {
+    if (topo_.bundles.empty()) return;
+    const net::Bundle& bundle = rng_.Pick(topo_.bundles);
+    const int ev = NewEvent("bundle-flap", bundle.router);
+    const int flaps = static_cast<int>(rng_.UniformInt(1, 6));
+    TimeMs t = t0;
+    for (int k = 0; k < flaps; ++k) {
+      const TimeMs down_for = rng_.UniformInt(2, 8) * kMsPerSecond;
+      for (const PhysIfId member : bundle.members) {
+        EmitIfFlapSide(ev, bundle.router, member, t, false, kInvalidId);
+        EmitIfFlapSide(ev, bundle.router, member, t + down_for, true,
+                       kInvalidId);
+      }
+      if (V1()) {
+        Emit(t + 1500 + Jitter(2000), bundle.router,
+             V1LineProtoUpDown(bundle.name, false), ev);
+        Emit(t + down_for + 1500 + Jitter(2000), bundle.router,
+             V1LineProtoUpDown(bundle.name, true), ev);
+      } else {
+        Emit(t + 1500 + Jitter(2000), bundle.router,
+             V2LagState(bundle.name, false), ev);
+        Emit(t + down_for + 1500 + Jitter(2000), bundle.router,
+             V2LagState(bundle.name, true), ev);
+      }
+      t += rng_.UniformInt(20, 90) * kMsPerSecond;
+    }
+  }
+
+  // A burst of VPN adjacency changes on one router (Table 3 shape):
+  // many VRF neighbors go down with assorted reasons, then recover.
+  void BgpVpnFlap(TimeMs t0) {
+    const RouterId router = PickRouterUniform();
+    std::vector<const net::BgpSession*> vpn;
+    for (const net::SessionId sid : topo_.routers[router].sessions) {
+      const net::BgpSession& s = topo_.sessions[sid];
+      if (!s.vrf.empty()) vpn.push_back(&s);
+    }
+    if (vpn.empty()) return;
+    const int ev = NewEvent("bgp-vpn-flap", router);
+    const std::size_t count =
+        1 + rng_.Index(std::min<std::size_t>(vpn.size(), 12));
+    rng_.Shuffle(vpn);
+    for (std::size_t i = 0; i < count; ++i) {
+      const net::BgpSession& s = *vpn[i];
+      const auto reason = static_cast<BgpDownReason>(rng_.UniformInt(0, 3));
+      const TimeMs down_at = t0 + Jitter(30 * kMsPerSecond);
+      const TimeMs up_at = down_at + rng_.UniformInt(30, 300) * kMsPerSecond;
+      if (V1()) {
+        Emit(down_at, router, V1BgpVpnAdj(s.neighbor_ip_of_a, s.vrf, false,
+                                          reason), ev);
+        Emit(up_at, router,
+             V1BgpVpnAdj(s.neighbor_ip_of_a, s.vrf, true, reason), ev);
+      } else {
+        Emit(down_at, router, V2BgpSessionState(s.neighbor_ip_of_a, false),
+             ev);
+        Emit(up_at, router, V2BgpSessionState(s.neighbor_ip_of_a, true), ev);
+      }
+    }
+  }
+
+  void IbgpFlap(TimeMs t0) {
+    std::vector<const net::BgpSession*> ibgp;
+    for (const net::BgpSession& s : topo_.sessions) {
+      if (s.vrf.empty()) ibgp.push_back(&s);
+    }
+    if (ibgp.empty()) return;
+    const net::BgpSession& s = *rng_.Pick(ibgp);
+    const int ev = NewEvent("ibgp-flap", s.router_a);
+    const TimeMs down_for = rng_.UniformInt(10, 55) * kMsPerSecond;
+    if (V1()) {
+      Emit(t0 + Jitter(500), s.router_a,
+           V1BgpAdj(s.neighbor_ip_of_a, false,
+                    BgpDownReason::kNotificationSent), ev);
+      Emit(t0 + Jitter(500), s.router_b,
+           V1BgpAdj(s.neighbor_ip_of_b, false,
+                    BgpDownReason::kNotificationReceived), ev);
+      Emit(t0 + down_for, s.router_a,
+           V1BgpAdj(s.neighbor_ip_of_a, true, BgpDownReason::kPeerClosed),
+           ev);
+      Emit(t0 + down_for + Jitter(500), s.router_b,
+           V1BgpAdj(s.neighbor_ip_of_b, true, BgpDownReason::kPeerClosed),
+           ev);
+    } else {
+      Emit(t0 + Jitter(500), s.router_a,
+           V2BgpSessionState(s.neighbor_ip_of_a, false), ev);
+      Emit(t0 + Jitter(500), s.router_b,
+           V2BgpSessionState(s.neighbor_ip_of_b, false), ev);
+      Emit(t0 + down_for, s.router_a,
+           V2BgpSessionState(s.neighbor_ip_of_a, true), ev);
+      Emit(t0 + down_for + Jitter(500), s.router_b,
+           V2BgpSessionState(s.neighbor_ip_of_b, true), ev);
+    }
+  }
+
+  void CpuSpike(TimeMs t0) {
+    const RouterId router = PickRouterUniform();
+    const int ev = NewEvent("cpu-spike", router);
+    const int cycles = static_cast<int>(rng_.UniformInt(1, 5));
+    TimeMs t = t0;
+    for (int k = 0; k < cycles; ++k) {
+      const int total = static_cast<int>(rng_.UniformInt(80, 99));
+      const int intr = static_cast<int>(rng_.UniformInt(0, 3));
+      if (V1()) {
+        Emit(t, router,
+             V1CpuRising(total, intr,
+                         static_cast<int>(rng_.UniformInt(2, 400)),
+                         static_cast<int>(rng_.UniformInt(40, 80)),
+                         static_cast<int>(rng_.UniformInt(2, 400)),
+                         static_cast<int>(rng_.UniformInt(3, 20)),
+                         static_cast<int>(rng_.UniformInt(2, 400)),
+                         static_cast<int>(rng_.UniformInt(1, 5))),
+             ev);
+      } else {
+        Emit(t, router, V2CpuUsage(true, total), ev);
+      }
+      const TimeMs hold = rng_.UniformInt(10, 55) * kMsPerSecond;
+      const int low = static_cast<int>(rng_.UniformInt(15, 40));
+      if (V1()) {
+        Emit(t + hold, router, V1CpuFalling(low, intr), ev);
+      } else {
+        Emit(t + hold, router, V2CpuUsage(false, low), ev);
+      }
+      t += hold + rng_.UniformInt(60, 900) * kMsPerSecond;
+    }
+  }
+
+  // Long periodic train of MD5 authentication failures from one scanner
+  // (the paper's Fig. 5).  The source address is intentionally absent from
+  // every router config: the location extractor must not trust it.
+  void BadAuthScan(TimeMs t0) {
+    const RouterId router = PickRouter();
+    const int ev = NewEvent("bad-auth-scan", router);
+    const std::string src = ExternalIp(rng_);
+    const TimeMs period = rng_.UniformInt(15, 60) * kMsPerSecond;
+    const TimeMs duration = static_cast<TimeMs>(
+        rng_.UniformInt(2, 12) * kMsPerHour * (1.0 + 3.0 * WeightOf(router)));
+    const std::string dst = topo_.routers[router].loopback_ip;
+    for (TimeMs t = t0; t < t0 + duration;) {
+      if (V1()) {
+        Emit(t, router,
+             V1TcpBadAuth(src, static_cast<int>(rng_.UniformInt(1024, 65535)),
+                          dst),
+             ev);
+      } else {
+        Emit(t, router, V2SnmpAuthFail(src), ev);
+      }
+      t += static_cast<TimeMs>(period * (0.9 + 0.2 * rng_.UniformReal()));
+    }
+  }
+
+  // Brute-force login attempts; SSH and FTP probes arrive as a pair tens of
+  // seconds apart — the association the paper observed in dataset B at
+  // W = 30-40 s.
+  void LoginScan(TimeMs t0) {
+    const RouterId router = PickRouter();
+    const int ev = NewEvent("login-scan", router);
+    const std::string src = ExternalIp(rng_);
+    const int rounds = static_cast<int>(
+        rng_.UniformInt(20, 60) * (1.0 + 2.0 * WeightOf(router)));
+    TimeMs t = t0;
+    for (int k = 0; k < rounds; ++k) {
+      const std::string_view user = rng_.Pick(users_);
+      if (V1()) {
+        Emit(t, router, V1LoginFailed(user, src), ev);
+        if (rng_.Bernoulli(0.8)) {
+          Emit(t + rng_.UniformInt(10, 30) * kMsPerSecond, router,
+               V1SnmpAuthFail(src), ev);
+        }
+      } else {
+        Emit(t, router, V2SshLoginFailed(user, src), ev);
+        if (rng_.Bernoulli(0.85)) {
+          Emit(t + rng_.UniformInt(30, 40) * kMsPerSecond, router,
+               V2FtpLoginFailed(user, src), ev);
+        }
+      }
+      t += rng_.UniformInt(60, 300) * kMsPerSecond;
+    }
+  }
+
+  void ConfigChange(TimeMs t0) {
+    const RouterId router = PickRouterUniform();
+    const int ev = NewEvent("config-change", router);
+    const std::string src = MgmtIp(rng_);
+    const std::string_view user = rng_.Pick(users_);
+    if (V1()) {
+      Emit(t0, router, V1ConfigI(user, src), ev);
+    } else {
+      Emit(t0, router, V2ConfigChange(user, src), ev);
+    }
+  }
+
+  void EnvAlarm(TimeMs t0) {
+    const RouterId router = PickRouterUniform();
+    const int ev = NewEvent("env-alarm", router);
+    const int sensor = static_cast<int>(rng_.UniformInt(1, 8));
+    const int repeats = static_cast<int>(rng_.UniformInt(1, 4));
+    TimeMs t = t0;
+    for (int k = 0; k < repeats; ++k) {
+      if (V1()) {
+        Emit(t, router,
+             V1EnvTemp(sensor, static_cast<int>(rng_.UniformInt(55, 75))),
+             ev);
+      } else {
+        Emit(t, router,
+             V2EnvTemp(static_cast<int>(rng_.UniformInt(55, 75))), ev);
+      }
+      // An overheating chassis re-raises the fan alarm with each reading.
+      if (rng_.Bernoulli(0.9)) {
+        Emit(t + rng_.UniformInt(2, 20) * kMsPerSecond, router,
+             V1() ? V1FanFail() : V2FanFail(), ev);
+      }
+      t += rng_.UniformInt(120, 600) * kMsPerSecond;
+    }
+  }
+
+  // Online insertion/removal of a line card (maintenance activity): a
+  // removed/inserted message pair seconds apart.
+  void CardOir(TimeMs t0) {
+    const RouterId router = PickRouterUniform();
+    const int ev = NewEvent("card-oir", router);
+    char slot[16];
+    std::snprintf(slot, sizeof(slot), "%d/0",
+                  static_cast<int>(rng_.UniformInt(
+                      0, topo_.routers[router].num_slots - 1)));
+    Emit(t0, router, V1() ? V1OirCard(slot, true) : V2OirCard(slot, true),
+         ev);
+    Emit(t0 + rng_.UniformInt(5, 30) * kMsPerSecond, router,
+         V1() ? V1OirCard(slot, false) : V2OirCard(slot, false), ev);
+  }
+
+  void SapChurn(TimeMs t0) {
+    const RouterId router = PickRouterUniform();
+    const net::Router& r = topo_.routers[router];
+    if (r.phys_ifs.empty()) return;
+    const PhysIfId pid = rng_.Pick(r.phys_ifs);
+    const net::PhysIf& phys = topo_.phys_ifs[pid];
+    const int ev = NewEvent("sap-churn", router);
+    const int flaps = static_cast<int>(rng_.UniformInt(1, 4));
+    TimeMs t = t0;
+    for (int k = 0; k < flaps; ++k) {
+      const TimeMs down_for = rng_.UniformInt(2, 10) * kMsPerSecond;
+      Emit(t, router, V2PortState(phys.name, false), ev);
+      Emit(t + 500 + Jitter(1000), router, V2SapPortChange(phys.name), ev);
+      const int services = static_cast<int>(rng_.UniformInt(2, 8));
+      for (int s = 0; s < services; ++s) {
+        const int id = static_cast<int>(rng_.UniformInt(1000, 1200));
+        Emit(t + 1000 + Jitter(3000), router, V2ServiceState(id, false), ev);
+        Emit(t + down_for + 1000 + Jitter(3000), router,
+             V2ServiceState(id, true), ev);
+      }
+      Emit(t + down_for, router, V2PortState(phys.name, true), ev);
+      Emit(t + down_for + 500 + Jitter(1000), router,
+           V2SapPortChange(phys.name), ev);
+      t += rng_.UniformInt(30, 120) * kMsPerSecond;
+    }
+  }
+
+  void ServiceChurn(TimeMs t0) {
+    const RouterId router = PickRouterUniform();
+    const int ev = NewEvent("service-churn", router);
+    const int n = static_cast<int>(rng_.UniformInt(3, 20));
+    TimeMs t = t0;
+    for (int k = 0; k < n; ++k) {
+      const int id = static_cast<int>(rng_.UniformInt(1000, 1200));
+      Emit(t, router, V2ServiceState(id, false), ev);
+      Emit(t + rng_.UniformInt(5, 60) * kMsPerSecond, router,
+           V2ServiceState(id, true), ev);
+      t += rng_.UniformInt(10, 60) * kMsPerSecond;
+    }
+  }
+
+  // §6.1: the secondary FRR path has silently failed to establish and
+  // retries every five minutes; when the primary link later fails, the PIM
+  // neighbor session is lost — a complex event spanning many routers,
+  // protocols and layers that should end up in ONE digest.
+  void PimDualFailure(TimeMs t0) {
+    // Need a path of >= 3 hops whose head terminates a link.
+    const net::Path* path = nullptr;
+    for (const net::Path& p : topo_.paths) {
+      if (p.hops.size() >= 3) {
+        path = &p;
+        break;
+      }
+    }
+    if (path == nullptr || topo_.links.empty()) return;
+    const RouterId head = path->hops.front();
+    // Primary link: any link at the head router not on the secondary path.
+    const net::Link* primary = nullptr;
+    for (const net::Link& l : topo_.links) {
+      const bool at_head = l.router_a == head || l.router_b == head;
+      const bool on_path = std::find(path->links.begin(), path->links.end(),
+                                     l.id) != path->links.end();
+      if (at_head && !on_path) {
+        primary = &l;
+        break;
+      }
+    }
+    if (primary == nullptr) return;
+    const int ev = NewEvent("pim-dual-failure", head);
+
+    // Phase 1: secondary-path setup retries, every 5 minutes.  The head
+    // logs the retry and the path staying down; mid-path routers log the
+    // failed setup within a second of the head (they reject the same
+    // signalling attempt).
+    const TimeMs retry_span = rng_.UniformInt(1, 3) * kMsPerHour;
+    const TimeMs fail_at = t0 + retry_span;
+    for (TimeMs t = t0; t < fail_at + 10 * kMsPerMinute;
+         t += 5 * kMsPerMinute) {
+      // Attempt fails (path down), then the retry is scheduled.
+      Emit(t + Jitter(400), head, V2LspState(path->name, false), ev);
+      for (std::size_t h = 1; h < path->hops.size(); ++h) {
+        if (!rng_.Bernoulli(0.5)) continue;
+        Emit(t + Jitter(400), path->hops[h],
+             V2LspState(path->name, false), ev);
+      }
+      Emit(t + 1500 + Jitter(800), head, V2LspRetry(path->name, 300), ev);
+    }
+
+    // Phase 2: the primary link fails; FRR immediately attempts the
+    // secondary path (which is still down), and PIM drops.
+    const RouterId peer = topo_.LinkPeer(primary->id, head);
+    const TimeMs recover_at = fail_at + rng_.UniformInt(10, 60) * kMsPerMinute;
+    EmitIfFlapSide(ev, head, topo_.LinkEnd(primary->id, head), fail_at, false,
+                   peer);
+    EmitIfFlapSide(ev, peer, topo_.LinkEnd(primary->id, peer), fail_at, false,
+                   head);
+    Emit(fail_at + 1500 + Jitter(500), head, V2LspRetry(path->name, 300),
+         ev);
+    Emit(fail_at + 2500 + Jitter(800), head,
+         V2LspState(path->name, false), ev);
+    const net::LogicalIfId head_lid =
+        topo_.PrimaryLogical(topo_.LinkEnd(primary->id, head));
+    const net::LogicalIfId peer_lid =
+        topo_.PrimaryLogical(topo_.LinkEnd(primary->id, peer));
+    if (head_lid != kInvalidId && peer_lid != kInvalidId) {
+      Emit(fail_at + 2000 + Jitter(3000), head,
+           V2PimNeighborLoss(topo_.logical_ifs[peer_lid].ip,
+                             topo_.logical_ifs[head_lid].name), ev);
+      Emit(fail_at + 2000 + Jitter(3000), peer,
+           V2PimNeighborLoss(topo_.logical_ifs[head_lid].ip,
+                             topo_.logical_ifs[peer_lid].name), ev);
+    }
+    // Services and downstream VHOs react along the path.
+    for (std::size_t i = 0; i < path->hops.size(); ++i) {
+      const RouterId hop = path->hops[i];
+      if (rng_.Bernoulli(0.7)) {
+        Emit(fail_at + 4000 + Jitter(20000), hop,
+             V2ServiceState(static_cast<int>(rng_.UniformInt(1000, 1200)),
+                            false), ev);
+      }
+    }
+    EmitIbgpOverLink(ev, *primary, fail_at + 1500, recover_at - fail_at);
+
+    // Recovery.
+    EmitIfFlapSide(ev, head, topo_.LinkEnd(primary->id, head), recover_at,
+                   true, peer);
+    EmitIfFlapSide(ev, peer, topo_.LinkEnd(primary->id, peer), recover_at,
+                   true, head);
+    if (head_lid != kInvalidId && peer_lid != kInvalidId) {
+      Emit(recover_at + 2000 + Jitter(3000), head,
+           V2PimNeighborUp(topo_.logical_ifs[peer_lid].ip,
+                           topo_.logical_ifs[head_lid].name), ev);
+    }
+    Emit(recover_at + 10000, head, V2LspState(path->name, true), ev);
+  }
+
+  // Planned maintenance: an operator saves config, pulls a line card
+  // (taking its links down), reseats it, and saves config again — a
+  // composite event mixing human and hardware messages.
+  void MaintenanceWindow(TimeMs t0) {
+    const RouterId router = PickRouterUniform();
+    const net::Router& r = topo_.routers[router];
+    const int ev = NewEvent("maintenance-window", router);
+    const std::string_view user = rng_.Pick(users_);
+    const std::string src = MgmtIp(rng_);
+    Emit(t0, router, V1() ? V1ConfigI(user, src) : V2ConfigChange(user, src),
+         ev);
+    const int slot = static_cast<int>(rng_.UniformInt(0, r.num_slots - 1));
+    char slot_pos[16];
+    std::snprintf(slot_pos, sizeof(slot_pos), "%d/0", slot);
+    const TimeMs pull_at = t0 + rng_.UniformInt(30, 180) * kMsPerSecond;
+    const TimeMs reseat_at =
+        pull_at + rng_.UniformInt(20, 90) * kMsPerSecond;
+    Emit(pull_at, router,
+         V1() ? V1OirCard(slot_pos, true) : V2OirCard(slot_pos, true), ev);
+    // Links terminating in the pulled slot drop and return.
+    for (const PhysIfId pid : r.phys_ifs) {
+      const net::PhysIf& phys = topo_.phys_ifs[pid];
+      if (phys.slot != slot || !phys.link.has_value()) continue;
+      const RouterId peer = topo_.LinkPeer(*phys.link, router);
+      EmitIfFlapSide(ev, router, pid, pull_at + 1000 + Jitter(2000), false,
+                     peer);
+      EmitIfFlapSide(ev, peer, topo_.LinkEnd(*phys.link, peer),
+                     pull_at + 1000 + Jitter(2000), false, router);
+      EmitIfFlapSide(ev, router, pid, reseat_at + 2000 + Jitter(3000), true,
+                     peer);
+      EmitIfFlapSide(ev, peer, topo_.LinkEnd(*phys.link, peer),
+                     reseat_at + 2000 + Jitter(3000), true, router);
+    }
+    Emit(reseat_at, router,
+         V1() ? V1OirCard(slot_pos, false) : V2OirCard(slot_pos, false),
+         ev);
+    Emit(reseat_at + rng_.UniformInt(30, 120) * kMsPerSecond, router,
+         V1() ? V1ConfigI(user, src) : V2ConfigChange(user, src), ev);
+  }
+
+  // A route-processor switchover resets control-plane adjacencies across
+  // the whole chassis — a genuinely router-scoped event.
+  void RpSwitchover(TimeMs t0) {
+    const RouterId router = PickRouterUniform();
+    const int ev = NewEvent("rp-switchover", router);
+    Emit(t0, router, V1() ? V1Switchover() : V2Switchover(), ev);
+    // BGP sessions reset...
+    for (const net::SessionId sid : topo_.routers[router].sessions) {
+      const net::BgpSession& s = topo_.sessions[sid];
+      if (!rng_.Bernoulli(0.6)) continue;
+      const bool is_a = s.router_a == router;
+      const std::string& neighbor =
+          is_a ? s.neighbor_ip_of_a : s.neighbor_ip_of_b;
+      const TimeMs down_at = t0 + 2000 + Jitter(10000);
+      const TimeMs up_at = down_at + rng_.UniformInt(15, 45) * kMsPerSecond;
+      if (V1()) {
+        if (s.vrf.empty()) {
+          Emit(down_at, router,
+               V1BgpAdj(neighbor, false, BgpDownReason::kPeerClosed), ev);
+          Emit(up_at, router,
+               V1BgpAdj(neighbor, true, BgpDownReason::kPeerClosed), ev);
+        } else {
+          Emit(down_at, router,
+               V1BgpVpnAdj(neighbor, s.vrf, false,
+                           BgpDownReason::kPeerClosed), ev);
+          Emit(up_at, router,
+               V1BgpVpnAdj(neighbor, s.vrf, true,
+                           BgpDownReason::kPeerClosed), ev);
+        }
+      } else {
+        Emit(down_at, router, V2BgpSessionState(neighbor, false), ev);
+        Emit(up_at, router, V2BgpSessionState(neighbor, true), ev);
+      }
+    }
+    // ...and the CPU spikes while routes reconverge.
+    if (rng_.Bernoulli(0.8)) {
+      const TimeMs spike_at = t0 + 5000 + Jitter(10000);
+      if (V1()) {
+        Emit(spike_at, router,
+             V1CpuRising(static_cast<int>(rng_.UniformInt(85, 99)), 2, 7,
+                         70, 12, 9, 3, 4), ev);
+        Emit(spike_at + rng_.UniformInt(20, 50) * kMsPerSecond, router,
+             V1CpuFalling(static_cast<int>(rng_.UniformInt(15, 40)), 1),
+             ev);
+      } else {
+        Emit(spike_at, router,
+             V2CpuUsage(true, static_cast<int>(rng_.UniformInt(85, 99))),
+             ev);
+        Emit(spike_at + rng_.UniformInt(20, 50) * kMsPerSecond, router,
+             V2CpuUsage(false, static_cast<int>(rng_.UniformInt(15, 40))),
+             ev);
+      }
+    }
+  }
+
+  // CDP re-announces a duplex mismatch on a timer for hours.
+  void DuplexTrain(TimeMs t0) {
+    const RouterId router = PickRouter();
+    const net::Router& r = topo_.routers[router];
+    if (r.phys_ifs.empty()) return;
+    const net::PhysIf& phys = topo_.phys_ifs[rng_.Pick(r.phys_ifs)];
+    const int ev = NewEvent("duplex-mismatch", router);
+    const TimeMs duration = static_cast<TimeMs>(
+        rng_.UniformInt(1, 8) * kMsPerHour * (1.0 + 3.0 * WeightOf(router)));
+    const TimeMs period = 5 * kMsPerMinute;
+    for (TimeMs t = t0; t < t0 + duration;) {
+      Emit(t, router, V1DuplexMismatch(phys.name), ev);
+      t += static_cast<TimeMs>(period * (0.95 + 0.1 * rng_.UniformReal()));
+    }
+  }
+
+  // Hourly housekeeping on every router (NTP / time sync) — pure timer
+  // messages with no service meaning.
+  void TimerNoise(TimeMs day_start) {
+    const double per_day = spec_.rates.timer_noise_per_router_day;
+    if (per_day <= 0) return;
+    for (const net::Router& r : topo_.routers) {
+      const double rate = per_day * (0.5 + 1.5 * WeightOf(r.id));
+      const TimeMs period = static_cast<TimeMs>(kMsPerDay / rate);
+      TimeMs t = day_start + Jitter(period);
+      while (t < day_start + kMsPerDay) {
+        if (V1()) {
+          Emit(t, r.id, V1NtpSync("172.30.255.1"), -1);
+        } else {
+          Emit(t, r.id, V2TimeSync("172.30.255.1"), -1);
+        }
+        t += static_cast<TimeMs>(period * (0.97 + 0.06 * rng_.UniformReal()));
+      }
+    }
+  }
+
+  void RandomNoise(TimeMs day_start) {
+    const std::int64_t n = rng_.Poisson(spec_.rates.random_noise_per_day);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const TimeMs t = day_start + rng_.UniformInt(0, kMsPerDay - 1);
+      const RouterId router = PickRouter();
+      if (rng_.Bernoulli(0.4)) {
+        const std::string src = ExternalIp(rng_);
+        if (V1()) {
+          Emit(t, router, V1SnmpAuthFail(src), -1);
+        } else {
+          Emit(t, router, V2SnmpAuthFail(src), -1);
+        }
+      } else {
+        // Long-tail message types.
+        const int variant =
+            static_cast<int>(rng_.UniformInt(0, kRareNoiseVariants - 1));
+        Emit(t, router,
+             RareNoise(V1(), variant, rng_.UniformInt(1, 500000)), -1);
+      }
+    }
+  }
+
+  // ---- finalization -----------------------------------------------------
+
+  Dataset Finalize(TimeMs window_start) {
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const Pending& a, const Pending& b) {
+                       return a.t < b.t;
+                     });
+    Dataset ds;
+    ds.name = spec_.name;
+    ds.topo = std::move(topo_);
+    ds.configs = net::WriteAllConfigs(ds.topo);
+    ds.epoch = window_start;
+    ds.num_days = days_;
+    ds.ground_truth = std::move(events_);
+    ds.messages.reserve(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      Pending& p = pending_[i];
+      syslog::SyslogRecord rec;
+      rec.time = p.t;
+      rec.router = ds.topo.routers[p.router].name;
+      rec.code = std::move(p.msg.code);
+      rec.detail = std::move(p.msg.detail);
+      ++ds.gt_templates[p.msg.gt_template];
+      ds.messages.push_back(std::move(rec));
+      if (p.event_id >= 0) {
+        GtEvent& ev = ds.ground_truth[static_cast<std::size_t>(p.event_id)];
+        ev.message_indices.push_back(i);
+        if (std::find(ev.routers.begin(), ev.routers.end(), p.router) ==
+            ev.routers.end()) {
+          ev.routers.push_back(p.router);
+        }
+      }
+    }
+    // Event time ranges; drop events that emitted nothing.
+    std::vector<GtEvent> kept;
+    for (GtEvent& ev : ds.ground_truth) {
+      if (ev.message_indices.empty()) continue;
+      ev.start = ds.messages[ev.message_indices.front()].time;
+      ev.end = ds.messages[ev.message_indices.back()].time;
+      ev.id = static_cast<int>(kept.size());
+      kept.push_back(std::move(ev));
+    }
+    ds.ground_truth = std::move(kept);
+    MakeTickets(ds);
+    return ds;
+  }
+
+  // Synthesizes operations trouble tickets for impactful events (§5.3).
+  void MakeTickets(Dataset& ds) {
+    int case_id = 1;
+    for (const GtEvent& ev : ds.ground_truth) {
+      const bool impactful =
+          ev.kind == "pim-dual-failure" || ev.kind == "controller-flap" ||
+          ((ev.kind == "link-flap" || ev.kind == "bundle-flap" ||
+            ev.kind == "sap-churn" || ev.kind == "ibgp-flap") &&
+           ev.message_indices.size() >= 8);
+      if (!impactful) continue;
+      if (!rng_.Bernoulli(0.35)) continue;  // ops does not ticket everything
+      TroubleTicket ticket;
+      ticket.case_id = case_id++;
+      ticket.gt_event_id = ev.id;
+      ticket.created = ev.start + rng_.UniformInt(1, 10) * kMsPerMinute;
+      ticket.state = ev.state;
+      ticket.update_count =
+          1 + static_cast<int>(rng_.Poisson(
+                  std::min<double>(ev.message_indices.size() / 10.0, 12.0)));
+      ds.tickets.push_back(std::move(ticket));
+    }
+  }
+
+  DatasetSpec spec_;
+  int day0_;
+  int days_;
+  Rng rng_;
+  Topology topo_;
+  std::vector<double> router_weight_;
+  std::vector<Pending> pending_;
+  std::vector<GtEvent> events_;
+  std::vector<std::string_view> users_{kUsers.begin(), kUsers.end()};
+};
+
+}  // namespace
+
+Dataset GenerateDataset(const DatasetSpec& spec, int day0, int days,
+                        std::uint64_t seed) {
+  Generator gen(spec, day0, days, seed);
+  return gen.Run();
+}
+
+}  // namespace sld::sim

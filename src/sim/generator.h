@@ -1,0 +1,23 @@
+// Dataset generator: drives fault scenarios over a generated topology and
+// renders the resulting syslog stream with ground-truth labels.
+//
+// Determinism: the output is a pure function of (spec, day0, days, seed).
+// The same spec with different (day0, seed) yields the offline learning
+// period and the online evaluation period of the paper's methodology
+// (three months learning, two weeks online).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/dataset.h"
+#include "sim/workload.h"
+
+namespace sld::sim {
+
+// Generates `days` days of syslog starting at absolute day index `day0`
+// (day 0 is DatasetEpoch()).  Scenario kinds whose `from_day` lies beyond
+// the generated window simply never fire.
+Dataset GenerateDataset(const DatasetSpec& spec, int day0, int days,
+                        std::uint64_t seed);
+
+}  // namespace sld::sim

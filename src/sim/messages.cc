@@ -1,0 +1,427 @@
+#include "sim/messages.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace sld::sim {
+namespace {
+
+std::string Fmt(const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return buf;
+}
+
+Msg Make(std::string code, std::string detail, std::string masked) {
+  std::string tmpl = code;
+  tmpl += ' ';
+  tmpl += masked;
+  return {std::move(code), std::move(detail), std::move(tmpl)};
+}
+
+const char* UpDown(bool up) { return up ? "up" : "down"; }
+
+}  // namespace
+
+std::string_view BgpDownReasonText(BgpDownReason r) noexcept {
+  switch (r) {
+    case BgpDownReason::kInterfaceFlap:
+      return "Interface flap";
+    case BgpDownReason::kNotificationSent:
+      return "BGP Notification sent";
+    case BgpDownReason::kNotificationReceived:
+      return "BGP Notification received";
+    case BgpDownReason::kPeerClosed:
+      return "Peer closed the session";
+  }
+  return "";
+}
+
+// ---- V1 -----------------------------------------------------------------
+
+Msg V1LinkUpDown(std::string_view ifname, bool up) {
+  return Make("LINK-3-UPDOWN",
+              Fmt("Interface %.*s, changed state to %s",
+                  static_cast<int>(ifname.size()), ifname.data(), UpDown(up)),
+              Fmt("Interface * changed state to %s", UpDown(up)));
+}
+
+Msg V1LineProtoUpDown(std::string_view ifname, bool up) {
+  return Make(
+      "LINEPROTO-5-UPDOWN",
+      Fmt("Line protocol on Interface %.*s, changed state to %s",
+          static_cast<int>(ifname.size()), ifname.data(), UpDown(up)),
+      Fmt("Line protocol on Interface * changed state to %s", UpDown(up)));
+}
+
+Msg V1ControllerUpDown(std::string_view controller, bool up) {
+  // `controller` is e.g. "T1 0/3" — the position token is the variable.
+  return Make("CONTROLLER-5-UPDOWN",
+              Fmt("Controller %.*s, changed state to %s",
+                  static_cast<int>(controller.size()), controller.data(),
+                  UpDown(up)),
+              Fmt("Controller T1 * changed state to %s", UpDown(up)));
+}
+
+Msg V1BgpVpnAdj(std::string_view neighbor_ip, std::string_view vrf, bool up,
+                BgpDownReason reason) {
+  if (up) {
+    return Make("BGP-5-ADJCHANGE",
+                Fmt("neighbor %.*s vpn vrf %.*s Up",
+                    static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
+                    static_cast<int>(vrf.size()), vrf.data()),
+                "neighbor * vpn vrf * Up");
+  }
+  const std::string_view why = BgpDownReasonText(reason);
+  return Make("BGP-5-ADJCHANGE",
+              Fmt("neighbor %.*s vpn vrf %.*s Down %.*s",
+                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
+                  static_cast<int>(vrf.size()), vrf.data(),
+                  static_cast<int>(why.size()), why.data()),
+              Fmt("neighbor * vpn vrf * Down %.*s",
+                  static_cast<int>(why.size()), why.data()));
+}
+
+Msg V1BgpAdj(std::string_view neighbor_ip, bool up, BgpDownReason reason) {
+  if (up) {
+    return Make("BGP-5-ADJCHANGE",
+                Fmt("neighbor %.*s Up", static_cast<int>(neighbor_ip.size()),
+                    neighbor_ip.data()),
+                "neighbor * Up");
+  }
+  const std::string_view why = BgpDownReasonText(reason);
+  return Make("BGP-5-ADJCHANGE",
+              Fmt("neighbor %.*s Down %.*s",
+                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
+                  static_cast<int>(why.size()), why.data()),
+              Fmt("neighbor * Down %.*s", static_cast<int>(why.size()),
+                  why.data()));
+}
+
+Msg V1OspfAdj(std::string_view neighbor_ip, std::string_view ifname, bool up) {
+  if (up) {
+    return Make("OSPF-5-ADJCHG",
+                Fmt("Process 100, Nbr %.*s on %.*s from LOADING to FULL, "
+                    "Loading Done",
+                    static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
+                    static_cast<int>(ifname.size()), ifname.data()),
+                "Process 100, Nbr * on * from LOADING to FULL, Loading Done");
+  }
+  return Make("OSPF-5-ADJCHG",
+              Fmt("Process 100, Nbr %.*s on %.*s from FULL to DOWN, "
+                  "Neighbor Down: Interface down or detached",
+                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
+                  static_cast<int>(ifname.size()), ifname.data()),
+              "Process 100, Nbr * on * from FULL to DOWN, Neighbor Down: "
+              "Interface down or detached");
+}
+
+Msg V1PimNbrChange(std::string_view neighbor_ip, std::string_view ifname,
+                   bool up) {
+  return Make("PIM-5-NBRCHG",
+              Fmt("neighbor %.*s %s on interface %.*s",
+                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
+                  up ? "UP" : "DOWN", static_cast<int>(ifname.size()),
+                  ifname.data()),
+              Fmt("neighbor * %s on interface *", up ? "UP" : "DOWN"));
+}
+
+Msg V1CpuRising(int total_pct, int intr_pct, int pid1, int u1, int pid2,
+                int u2, int pid3, int u3) {
+  return Make(
+      "SYS-1-CPURISINGTHRESHOLD",
+      Fmt("Threshold: Total CPU Utilization(Total/Intr): %d%%/%d%%, Top 3 "
+          "processes (Pid/Util): %d/%d%%, %d/%d%%, %d/%d%%",
+          total_pct, intr_pct, pid1, u1, pid2, u2, pid3, u3),
+      "Threshold: Total CPU Utilization(Total/Intr): * Top 3 processes "
+      "(Pid/Util): * * *");
+}
+
+Msg V1CpuFalling(int total_pct, int intr_pct) {
+  return Make("SYS-1-CPUFALLINGTHRESHOLD",
+              Fmt("Threshold: Total CPU Utilization(Total/Intr) %d%%/%d%%.",
+                  total_pct, intr_pct),
+              "Threshold: Total CPU Utilization(Total/Intr) *");
+}
+
+Msg V1TcpBadAuth(std::string_view src_ip, int src_port,
+                 std::string_view dst_ip) {
+  return Make("TCP-6-BADAUTH",
+              Fmt("Invalid MD5 digest from %.*s(%d) to %.*s(179)",
+                  static_cast<int>(src_ip.size()), src_ip.data(), src_port,
+                  static_cast<int>(dst_ip.size()), dst_ip.data()),
+              "Invalid MD5 digest from * to *");
+}
+
+Msg V1LoginFailed(std::string_view user, std::string_view src_ip) {
+  return Make("SEC_LOGIN-4-LOGIN_FAILED",
+              Fmt("Login failed [user: %.*s] [Source: %.*s] [localport: 22]",
+                  static_cast<int>(user.size()), user.data(),
+                  static_cast<int>(src_ip.size()), src_ip.data()),
+              "Login failed [user: * [Source: * [localport: 22]");
+}
+
+Msg V1SnmpAuthFail(std::string_view src_ip) {
+  return Make("SNMP-3-AUTHFAIL",
+              Fmt("Authentication failure for SNMP req from host %.*s",
+                  static_cast<int>(src_ip.size()), src_ip.data()),
+              "Authentication failure for SNMP req from host *");
+}
+
+Msg V1ConfigI(std::string_view user, std::string_view src_ip) {
+  return Make("SYS-5-CONFIG_I",
+              Fmt("Configured from console by %.*s on vty0 (%.*s)",
+                  static_cast<int>(user.size()), user.data(),
+                  static_cast<int>(src_ip.size()), src_ip.data()),
+              "Configured from console by * on vty0 *");
+}
+
+Msg V1EnvTemp(int sensor, int celsius) {
+  return Make("ENVMON-2-TEMP",
+              Fmt("High temperature warning: sensor %d temperature %dC",
+                  sensor, celsius),
+              "High temperature warning: sensor * temperature *");
+}
+
+Msg V1MplsTeLsp(std::string_view path, bool up) {
+  return Make("MPLS_TE-5-LSP",
+              Fmt("LSP %.*s changed state to %s",
+                  static_cast<int>(path.size()), path.data(), UpDown(up)),
+              Fmt("LSP * changed state to %s", UpDown(up)));
+}
+
+Msg V1NtpSync(std::string_view server_ip) {
+  return Make("NTP-6-PEERSYNC",
+              Fmt("NTP sync to peer %.*s", static_cast<int>(server_ip.size()),
+                  server_ip.data()),
+              "NTP sync to peer *");
+}
+
+Msg V1DuplexMismatch(std::string_view ifname) {
+  return Make("CDP-4-DUPLEX_MISMATCH",
+              Fmt("duplex mismatch discovered on %.*s",
+                  static_cast<int>(ifname.size()), ifname.data()),
+              "duplex mismatch discovered on *");
+}
+
+// ---- V2 -----------------------------------------------------------------
+
+Msg V2LinkState(std::string_view ifname, bool up) {
+  if (up) {
+    return Make("SNMP-WARNING-linkup",
+                Fmt("Interface %.*s is operational",
+                    static_cast<int>(ifname.size()), ifname.data()),
+                "Interface * is operational");
+  }
+  return Make("SNMP-WARNING-linkDown",
+              Fmt("Interface %.*s is not operational",
+                  static_cast<int>(ifname.size()), ifname.data()),
+              "Interface * is not operational");
+}
+
+Msg V2PortState(std::string_view port, bool up) {
+  return Make("PORT-MINOR-portStateChange",
+              Fmt("Port %.*s state changed to %s",
+                  static_cast<int>(port.size()), port.data(), UpDown(up)),
+              Fmt("Port * state changed to %s", UpDown(up)));
+}
+
+Msg V2SapPortChange(std::string_view port) {
+  return Make("SVCMGR-MAJOR-sapPortStateChangeProcessed",
+              Fmt("The status of all affected SAPs on port %.*s has been "
+                  "updated.",
+                  static_cast<int>(port.size()), port.data()),
+              "The status of all affected SAPs on port * has been updated.");
+}
+
+Msg V2BgpSessionState(std::string_view neighbor_ip, bool up) {
+  return Make("BGP-MINOR-bgpSessionStateChange",
+              Fmt("BGP session to neighbor %.*s moved to %s state",
+                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
+                  up ? "established" : "idle"),
+              Fmt("BGP session to neighbor * moved to %s state",
+                  up ? "established" : "idle"));
+}
+
+Msg V2PimNeighborLoss(std::string_view neighbor_ip, std::string_view ifname) {
+  return Make("PIM-MAJOR-pimNeighborLoss",
+              Fmt("PIM neighbor %.*s on interface %.*s lost",
+                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
+                  static_cast<int>(ifname.size()), ifname.data()),
+              "PIM neighbor * on interface * lost");
+}
+
+Msg V2PimNeighborUp(std::string_view neighbor_ip, std::string_view ifname) {
+  return Make("PIM-MINOR-pimNeighborUp",
+              Fmt("PIM neighbor %.*s on interface %.*s established",
+                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
+                  static_cast<int>(ifname.size()), ifname.data()),
+              "PIM neighbor * on interface * established");
+}
+
+Msg V2LspState(std::string_view path, bool up) {
+  return Make(up ? "MPLS-MINOR-lspUp" : "MPLS-MAJOR-lspDown",
+              Fmt("LSP path %.*s is %s", static_cast<int>(path.size()),
+                  path.data(), UpDown(up)),
+              Fmt("LSP path * is %s", UpDown(up)));
+}
+
+Msg V2LspRetry(std::string_view path, int retry_seconds) {
+  return Make("MPLS-MAJOR-lspSetupRetry",
+              Fmt("LSP path %.*s setup failed, retry in %d seconds",
+                  static_cast<int>(path.size()), path.data(), retry_seconds),
+              "LSP path * setup failed, retry in * seconds");
+}
+
+Msg V2LagState(std::string_view lag, bool up) {
+  return Make("LAG-MINOR-lagStateChange",
+              Fmt("LAG %.*s state changed to %s",
+                  static_cast<int>(lag.size()), lag.data(), UpDown(up)),
+              Fmt("LAG * state changed to %s", UpDown(up)));
+}
+
+Msg V2CpuUsage(bool high, int pct) {
+  if (high) {
+    return Make("SYSTEM-MINOR-tmnxCpuUsageHigh",
+                Fmt("CPU usage is %d percent, above high watermark", pct),
+                "CPU usage is * percent, above high watermark");
+  }
+  return Make("SYSTEM-MINOR-tmnxCpuUsageNormal",
+              Fmt("CPU usage is %d percent, back to normal", pct),
+              "CPU usage is * percent, back to normal");
+}
+
+Msg V2SshLoginFailed(std::string_view user, std::string_view src_ip) {
+  return Make("SECURITY-WARNING-sshLoginFailed",
+              Fmt("SSH login attempt from %.*s failed for user %.*s",
+                  static_cast<int>(src_ip.size()), src_ip.data(),
+                  static_cast<int>(user.size()), user.data()),
+              "SSH login attempt from * failed for user *");
+}
+
+Msg V2FtpLoginFailed(std::string_view user, std::string_view src_ip) {
+  return Make("SECURITY-WARNING-ftpLoginFailed",
+              Fmt("FTP login attempt from %.*s failed for user %.*s",
+                  static_cast<int>(src_ip.size()), src_ip.data(),
+                  static_cast<int>(user.size()), user.data()),
+              "FTP login attempt from * failed for user *");
+}
+
+Msg V2ServiceState(int service_id, bool up) {
+  return Make("SVCMGR-MINOR-serviceStateChange",
+              Fmt("Service %d changed state to %s", service_id, UpDown(up)),
+              Fmt("Service * changed state to %s", UpDown(up)));
+}
+
+Msg V2TimeSync(std::string_view server_ip) {
+  return Make("SYSTEM-INFO-tmnxTimeSync",
+              Fmt("Time synchronized to server %.*s",
+                  static_cast<int>(server_ip.size()), server_ip.data()),
+              "Time synchronized to server *");
+}
+
+Msg V2ConfigChange(std::string_view user, std::string_view src_ip) {
+  return Make("CFGMGR-INFO-configurationSaved",
+              Fmt("Configuration saved by user %.*s from %.*s",
+                  static_cast<int>(user.size()), user.data(),
+                  static_cast<int>(src_ip.size()), src_ip.data()),
+              "Configuration saved by user * from *");
+}
+
+Msg V2SnmpAuthFail(std::string_view src_ip) {
+  return Make("SNMP-WARNING-authenticationFailure",
+              Fmt("SNMP authentication failure from host %.*s",
+                  static_cast<int>(src_ip.size()), src_ip.data()),
+              "SNMP authentication failure from host *");
+}
+
+Msg V1FanFail() {
+  return Make("ENVMON-2-FANFAIL", "Fan tray failure detected, status critical",
+              "Fan tray failure detected, status critical");
+}
+
+Msg V1Switchover() {
+  return Make("REDUNDANCY-3-SWITCHOVER",
+              "RP switchover: standby route processor becoming active",
+              "RP switchover: standby route processor becoming active");
+}
+
+Msg V1OirCard(std::string_view slot_pos, bool removed) {
+  if (removed) {
+    return Make("OIR-6-REMCARD",
+                Fmt("Card removed from slot %.*s, interfaces disabled",
+                    static_cast<int>(slot_pos.size()), slot_pos.data()),
+                "Card removed from slot * interfaces disabled");
+  }
+  return Make("OIR-6-INSCARD",
+              Fmt("Card inserted in slot %.*s, interfaces administratively "
+                  "shut down",
+                  static_cast<int>(slot_pos.size()), slot_pos.data()),
+              "Card inserted in slot * interfaces administratively shut "
+              "down");
+}
+
+Msg V2EnvTemp(int celsius) {
+  return Make("CHASSIS-MINOR-tmnxEnvTempTooHigh",
+              Fmt("Chassis temperature %d degrees exceeds threshold",
+                  celsius),
+              "Chassis temperature * degrees exceeds threshold");
+}
+
+Msg V2FanFail() {
+  return Make("CHASSIS-MAJOR-fanFailure",
+              "Fan tray failure detected, speed degraded",
+              "Fan tray failure detected, speed degraded");
+}
+
+Msg V2Switchover() {
+  return Make("CHASSIS-MAJOR-cpmSwitchover",
+              "Control processor switchover, standby now active",
+              "Control processor switchover, standby now active");
+}
+
+Msg V2OirCard(std::string_view slot_pos, bool removed) {
+  if (removed) {
+    return Make("CHASSIS-MAJOR-cardRemoved",
+                Fmt("Card in slot %.*s removed",
+                    static_cast<int>(slot_pos.size()), slot_pos.data()),
+                "Card in slot * removed");
+  }
+  return Make("CHASSIS-MINOR-cardInserted",
+              Fmt("Card in slot %.*s inserted",
+                  static_cast<int>(slot_pos.size()), slot_pos.data()),
+              "Card in slot * inserted");
+}
+
+Msg RareNoise(bool v1_style, int variant, long long value) {
+  static constexpr std::array<const char*, 10> kFacility = {
+      "SYS",  "HARDWARE", "PLATFORM", "MEMPOOL", "FIB",
+      "QOSM", "ACLMGR",   "VTYMGR",   "CLOCKSYNC", "LCDRV"};
+  static constexpr std::array<const char*, 5> kMnemonic = {
+      "NOTICE", "STATUS", "REPORT", "EVENT", "AUDIT"};
+  static constexpr std::array<const char*, 5> kWhat = {
+      "buffer pool usage is", "queue depth reached",
+      "table entry count is", "retry counter at", "watchdog interval"};
+  static constexpr std::array<const char*, 2> kUnit = {"units", "entries"};
+
+  variant = ((variant % kRareNoiseVariants) + kRareNoiseVariants) %
+            kRareNoiseVariants;
+  const char* facility = kFacility[static_cast<std::size_t>(variant % 10)];
+  const char* mnemonic = kMnemonic[static_cast<std::size_t>(variant / 10)];
+  const char* what = kWhat[static_cast<std::size_t>(variant % 5)];
+  const char* unit = kUnit[static_cast<std::size_t>(variant % 2)];
+
+  std::string code;
+  if (v1_style) {
+    code = Fmt("%s-6-%s%d", facility, mnemonic, variant);
+  } else {
+    std::string lower(mnemonic);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    code = Fmt("%s-INFO-%s%d", facility, lower.c_str(), variant);
+  }
+  return Make(code, Fmt("%s %lld %s", what, value, unit),
+              Fmt("%s * %s", what, unit));
+}
+
+}  // namespace sld::sim

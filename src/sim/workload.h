@@ -1,0 +1,65 @@
+// Workload description: which network conditions occur, how often, and
+// from which day onward.
+//
+// Rates are expressed per network per day and drawn from Poisson
+// distributions day by day.  `from_day` lets a condition first appear part
+// way through the observation period — modelling software upgrades and
+// feature rollouts that introduce new message (co-)occurrence patterns,
+// which is what makes the paper's weekly rule-base evolution (Figs. 8-9)
+// grow before it stabilizes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "net/topology.h"
+
+namespace sld::sim {
+
+struct Rate {
+  double per_day = 0.0;
+  int from_day = 0;  // first day (0-based, absolute) this condition exists
+};
+
+struct ScenarioRates {
+  Rate link_flap{20, 0};
+  Rate controller_flap{4, 0};       // V1 networks only
+  Rate bundle_flap{3, 0};
+  Rate bgp_vpn_flap{25, 0};         // V1 networks only
+  Rate ibgp_flap{4, 0};
+  Rate cpu_spike{8, 0};
+  Rate bad_auth_scan{3, 0};         // long periodic trains (Fig. 5)
+  Rate login_scan{6, 0};
+  Rate config_change{30, 0};
+  Rate env_alarm{1, 0};
+  Rate card_oir{5, 0};  // line-card insertion/removal maintenance
+  Rate maintenance_window{1.5, 0};  // planned work: config + OIR + links
+  Rate rp_switchover{0.5, 0};       // route-processor failover
+  Rate sap_churn{0, 0};             // V2 networks only
+  Rate service_churn{0, 0};         // V2 networks only
+  Rate pim_dual_failure{0, 0};      // V2 networks only (§6.1)
+  Rate duplex_mismatch{2, 0};       // V1 periodic nuisance
+  // Timer-driven housekeeping messages per router per day (NTP/time sync).
+  double timer_noise_per_router_day = 24;
+  // Uncorrelated one-off informational messages per network per day.
+  double random_noise_per_day = 150;
+};
+
+// A complete dataset recipe: the network plus its workload.
+struct DatasetSpec {
+  std::string name;
+  net::TopologyParams topo;
+  ScenarioRates rates;
+};
+
+// Presets mirroring the paper's two networks.
+// Dataset A: tier-1 ISP backbone, vendor V1 routers.
+DatasetSpec DatasetASpec();
+// Dataset B: nationwide IPTV backbone, vendor V2 routers.
+DatasetSpec DatasetBSpec();
+
+// The first midnight of the generated period for both presets
+// (2009-09-01, matching the paper's three-month learning window).
+TimeMs DatasetEpoch() noexcept;
+
+}  // namespace sld::sim

@@ -1,0 +1,55 @@
+#include "syslog/archive.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace sld::syslog {
+
+void WriteArchive(std::ostream& out,
+                  std::span<const SyslogRecord> records) {
+  for (const SyslogRecord& rec : records) {
+    out << FormatRecord(rec) << '\n';
+  }
+}
+
+bool WriteArchiveFile(const std::string& path,
+                      std::span<const SyslogRecord> records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteArchive(out, records);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::vector<SyslogRecord> ReadArchive(std::istream& in,
+                                      std::size_t* malformed) {
+  std::vector<SyslogRecord> records;
+  std::size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (auto rec = ParseRecordLine(line)) {
+      records.push_back(std::move(*rec));
+    } else {
+      ++bad;
+    }
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return records;
+}
+
+std::vector<SyslogRecord> ReadArchiveFile(const std::string& path,
+                                          std::size_t* malformed,
+                                          bool* ok) {
+  std::ifstream in(path);
+  if (!in) {
+    if (ok != nullptr) *ok = false;
+    if (malformed != nullptr) *malformed = 0;
+    return {};
+  }
+  if (ok != nullptr) *ok = true;
+  return ReadArchive(in, malformed);
+}
+
+}  // namespace sld::syslog

@@ -1,0 +1,34 @@
+// Syslog archive files: one canonical record line per row
+// ("YYYY-MM-DD HH:MM:SS <router> <code> <detail...>").
+//
+// This is the at-rest form collectors write and the offline learner reads
+// back — months of history live in such files in production.  Reading is
+// tolerant: malformed rows are counted, not fatal.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "syslog/record.h"
+
+namespace sld::syslog {
+
+// Writes records as archive lines.
+void WriteArchive(std::ostream& out, std::span<const SyslogRecord> records);
+// Convenience: writes to a file; returns false on I/O failure.
+bool WriteArchiveFile(const std::string& path,
+                      std::span<const SyslogRecord> records);
+
+// Reads an archive; malformed lines are skipped (and counted when
+// `malformed` is non-null).  Blank lines and '#' comments are ignored.
+std::vector<SyslogRecord> ReadArchive(std::istream& in,
+                                      std::size_t* malformed = nullptr);
+// Convenience: reads a file; returns empty on open failure (and sets
+// `*ok` to false when provided).
+std::vector<SyslogRecord> ReadArchiveFile(const std::string& path,
+                                          std::size_t* malformed = nullptr,
+                                          bool* ok = nullptr);
+
+}  // namespace sld::syslog

@@ -1,0 +1,83 @@
+#include "syslog/collector.h"
+
+#include <functional>
+
+namespace sld::syslog {
+
+std::size_t Collector::HashRecord(const SyslogRecord& rec) noexcept {
+  std::size_t h = std::hash<TimeMs>{}(rec.time);
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::string>{}(rec.router));
+  mix(std::hash<std::string>{}(rec.code));
+  mix(std::hash<std::string>{}(rec.detail));
+  return h;
+}
+
+bool Collector::IngestDatagram(std::string_view datagram) {
+  auto rec = DecodeRfc3164(datagram, year_);
+  if (!rec) {
+    ++malformed_;
+    return false;
+  }
+  return IngestRecord(std::move(*rec));
+}
+
+bool Collector::IngestRecord(SyslogRecord rec) {
+  if (rec.time <= released_through_ && released_through_ != INT64_MIN) {
+    ++late_;
+    return false;
+  }
+  if (suppress_duplicates_) {
+    const std::size_t hash = HashRecord(rec);
+    if (buffered_hashes_.count(hash) != 0) {
+      // Hash hit: confirm with an equality scan over same-time entries
+      // before dropping (hash collisions must not lose records).
+      const auto [begin, end] = buffer_.equal_range(rec.time);
+      for (auto it = begin; it != end; ++it) {
+        if (it->second == rec) {
+          ++duplicates_;
+          return false;
+        }
+      }
+    }
+    buffered_hashes_.insert(hash);
+  }
+  if (rec.time > watermark_) watermark_ = rec.time;
+  buffer_.emplace(rec.time, std::move(rec));
+  ++accepted_;
+  return true;
+}
+
+std::vector<SyslogRecord> Collector::Drain() {
+  std::vector<SyslogRecord> out;
+  if (watermark_ == INT64_MIN) return out;
+  const TimeMs release_up_to = watermark_ - hold_ms_;
+  auto it = buffer_.begin();
+  while (it != buffer_.end() && it->first <= release_up_to) {
+    released_through_ = it->first;
+    if (suppress_duplicates_) {
+      const auto hash_it = buffered_hashes_.find(HashRecord(it->second));
+      if (hash_it != buffered_hashes_.end()) {
+        buffered_hashes_.erase(hash_it);
+      }
+    }
+    out.push_back(std::move(it->second));
+    it = buffer_.erase(it);
+  }
+  return out;
+}
+
+std::vector<SyslogRecord> Collector::Flush() {
+  std::vector<SyslogRecord> out;
+  for (auto& [time, rec] : buffer_) {
+    released_through_ = time;
+    out.push_back(std::move(rec));
+  }
+  buffer_.clear();
+  buffered_hashes_.clear();
+  return out;
+}
+
+}  // namespace sld::syslog

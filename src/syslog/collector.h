@@ -1,0 +1,72 @@
+// Syslog collector: ingests wire datagrams, tolerates bounded reordering,
+// and releases records in timestamp order.
+//
+// In production, messages from thousands of routers interleave at the
+// collector and can arrive slightly out of order (network jitter, NTP
+// skew).  Every miner in this library assumes a time-sorted stream, so the
+// collector holds a sliding reorder buffer: a record is released once the
+// newest ingested timestamp is at least `hold_ms` ahead of it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "syslog/record.h"
+#include "syslog/wire.h"
+
+namespace sld::syslog {
+
+class Collector {
+ public:
+  // `hold_ms`: how long a record may linger waiting for stragglers.
+  // `year`: reference year for RFC 3164 timestamps.
+  // `suppress_duplicates`: drop a record identical (time, router, code,
+  // detail) to one still in the reorder buffer — UDP may duplicate
+  // datagrams in flight.
+  explicit Collector(TimeMs hold_ms = 5 * kMsPerSecond, int year = 2009,
+                     bool suppress_duplicates = false)
+      : hold_ms_(hold_ms),
+        year_(year),
+        suppress_duplicates_(suppress_duplicates) {}
+
+  // Ingests one wire datagram. Returns false (and counts the drop) when
+  // the datagram is malformed or older than the release watermark.
+  bool IngestDatagram(std::string_view datagram);
+
+  // Ingests an already-parsed record (e.g. from a file).
+  bool IngestRecord(SyslogRecord rec);
+
+  // Records whose release time has passed, in timestamp order.
+  // Ties are released in arrival order.
+  std::vector<SyslogRecord> Drain();
+
+  // Releases everything still buffered (end of stream).
+  std::vector<SyslogRecord> Flush();
+
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+  std::size_t malformed_count() const noexcept { return malformed_; }
+  std::size_t late_count() const noexcept { return late_; }
+  std::size_t accepted_count() const noexcept { return accepted_; }
+  std::size_t duplicate_count() const noexcept { return duplicates_; }
+
+ private:
+  static std::size_t HashRecord(const SyslogRecord& rec) noexcept;
+
+  TimeMs hold_ms_;
+  int year_;
+  bool suppress_duplicates_;
+  TimeMs watermark_ = INT64_MIN;  // newest timestamp seen
+  TimeMs released_through_ = INT64_MIN;
+  std::multimap<TimeMs, SyslogRecord> buffer_;
+  // Hashes of buffered records (duplicate suppression window).
+  std::multiset<std::size_t> buffered_hashes_;
+  std::size_t malformed_ = 0;
+  std::size_t late_ = 0;
+  std::size_t accepted_ = 0;
+  std::size_t duplicates_ = 0;
+};
+
+}  // namespace sld::syslog

@@ -1,0 +1,78 @@
+#include "syslog/record.h"
+
+#include <array>
+
+#include "common/strings.h"
+
+namespace sld::syslog {
+
+std::string FormatRecord(const SyslogRecord& rec) {
+  std::string out = FormatTimestamp(rec.time);
+  out += ' ';
+  out += rec.router;
+  out += ' ';
+  out += rec.code;
+  out += ' ';
+  out += rec.detail;
+  return out;
+}
+
+std::optional<SyslogRecord> ParseRecordLine(std::string_view line) {
+  line = Trim(line);
+  // Timestamp occupies the first 19 characters ("YYYY-MM-DD HH:MM:SS").
+  if (line.size() < 21) return std::nullopt;
+  const auto time = ParseTimestamp(line.substr(0, 19));
+  if (!time) return std::nullopt;
+  std::string_view rest = Trim(line.substr(19));
+  const std::size_t router_end = rest.find(' ');
+  if (router_end == std::string_view::npos) return std::nullopt;
+  SyslogRecord rec;
+  rec.time = *time;
+  rec.router = std::string(rest.substr(0, router_end));
+  rest = Trim(rest.substr(router_end));
+  const std::size_t code_end = rest.find(' ');
+  if (code_end == std::string_view::npos) {
+    rec.code = std::string(rest);
+  } else {
+    rec.code = std::string(rest.substr(0, code_end));
+    rec.detail = std::string(Trim(rest.substr(code_end)));
+  }
+  if (rec.code.empty()) return std::nullopt;
+  return rec;
+}
+
+int VendorSeverity(std::string_view code) noexcept {
+  const std::size_t first = code.find('-');
+  if (first == std::string_view::npos) return 6;
+  const std::size_t second = code.find('-', first + 1);
+  const std::string_view middle =
+      second == std::string_view::npos
+          ? code.substr(first + 1)
+          : code.substr(first + 1, second - first - 1);
+  if (middle.size() == 1 && middle[0] >= '0' && middle[0] <= '7') {
+    return middle[0] - '0';
+  }
+  struct NamedSeverity {
+    std::string_view name;
+    int level;
+  };
+  static constexpr std::array<NamedSeverity, 6> kNames = {{
+      {"EMERGENCY", 0},
+      {"CRITICAL", 2},
+      {"MAJOR", 3},
+      {"MINOR", 4},
+      {"WARNING", 4},
+      {"INFO", 6},
+  }};
+  for (const NamedSeverity& n : kNames) {
+    if (middle == n.name) return n.level;
+  }
+  return 6;
+}
+
+std::string_view CodeFacility(std::string_view code) noexcept {
+  const std::size_t dash = code.find('-');
+  return dash == std::string_view::npos ? code : code.substr(0, dash);
+}
+
+}  // namespace sld::syslog

@@ -1,0 +1,48 @@
+// The canonical in-memory syslog record and its textual form.
+//
+// A router syslog message has only minimal structure (§2 of the paper):
+//   (1) timestamp, (2) originating router, (3) message type / error code,
+//   (4) free-form detail text.
+// Everything downstream (template learning, grouping, presentation) works
+// on this four-field record.  The canonical line rendering is
+//   "YYYY-MM-DD HH:MM:SS <router> <error-code> <detail...>"
+// matching the layout of Table 1 in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/time.h"
+
+namespace sld::syslog {
+
+struct SyslogRecord {
+  TimeMs time = 0;
+  std::string router;
+  std::string code;    // e.g. "LINK-3-UPDOWN" or "SNMP-WARNING-linkDown"
+  std::string detail;  // free-form text
+
+  friend bool operator==(const SyslogRecord&, const SyslogRecord&) = default;
+};
+
+// Renders the canonical single-line form.
+std::string FormatRecord(const SyslogRecord& rec);
+
+// Parses the canonical single-line form; nullopt on malformed input.
+std::optional<SyslogRecord> ParseRecordLine(std::string_view line);
+
+// Vendor-assigned severity extracted from the error code.
+// V1 codes carry a digit between dashes ("LINK-3-UPDOWN" -> 3); V2 codes
+// carry a severity word ("SNMP-WARNING-linkDown" -> 4).  Returns 6
+// (informational) when no severity can be recognized.  Note the paper's
+// §2 caveat: this value must NOT be used for event ranking — we expose it
+// only so tests can demonstrate that ranking by it would be wrong.
+int VendorSeverity(std::string_view code) noexcept;
+
+// The facility/subsystem prefix of an error code ("LINK-3-UPDOWN" ->
+// "LINK"; "SNMP-WARNING-linkDown" -> "SNMP").
+std::string_view CodeFacility(std::string_view code) noexcept;
+
+}  // namespace sld::syslog

@@ -1,0 +1,70 @@
+// UDP transport for syslog datagrams (the syslog protocol's classic
+// carrier): a move-only RAII sender/receiver pair over IPv4.
+//
+// In deployment, routers fire RFC 3164 datagrams at the collector's UDP
+// port; the receiver hands each datagram to a Collector, which decodes,
+// reorders, and feeds the digest pipeline.  These wrappers are
+// deliberately minimal — blocking receive with a timeout, no threads —
+// so callers own their event loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sld::syslog {
+
+// Owns a connected UDP socket for sending datagrams.
+class UdpSender {
+ public:
+  // `host` is an IPv4 dotted quad ("127.0.0.1").  Returns nullopt when
+  // the socket cannot be created or the address is invalid.
+  static std::optional<UdpSender> Open(std::string_view host,
+                                       std::uint16_t port);
+
+  UdpSender(UdpSender&& other) noexcept;
+  UdpSender& operator=(UdpSender&& other) noexcept;
+  UdpSender(const UdpSender&) = delete;
+  UdpSender& operator=(const UdpSender&) = delete;
+  ~UdpSender();
+
+  // Sends one datagram; false on send failure.
+  bool Send(std::string_view datagram);
+
+  std::size_t sent_count() const noexcept { return sent_; }
+
+ private:
+  explicit UdpSender(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::size_t sent_ = 0;
+};
+
+// Owns a bound UDP socket for receiving datagrams.
+class UdpReceiver {
+ public:
+  // Binds 127.0.0.1:`port`; port 0 picks an ephemeral port (see port()).
+  static std::optional<UdpReceiver> Bind(std::uint16_t port);
+
+  UdpReceiver(UdpReceiver&& other) noexcept;
+  UdpReceiver& operator=(UdpReceiver&& other) noexcept;
+  UdpReceiver(const UdpReceiver&) = delete;
+  UdpReceiver& operator=(const UdpReceiver&) = delete;
+  ~UdpReceiver();
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  // Waits up to `timeout_ms` for one datagram; nullopt on timeout or
+  // error.  Datagrams longer than 64 KiB are truncated (UDP limit).
+  std::optional<std::string> Receive(int timeout_ms);
+
+  std::size_t received_count() const noexcept { return received_; }
+
+ private:
+  UdpReceiver(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::size_t received_ = 0;
+};
+
+}  // namespace sld::syslog

@@ -1,0 +1,109 @@
+#include "syslog/wire.h"
+
+#include <array>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace sld::syslog {
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+std::string_view MonthAbbrev(int month) noexcept {
+  if (month < 1 || month > 12) return "";
+  return kMonths[static_cast<std::size_t>(month - 1)];
+}
+
+int MonthFromAbbrev(std::string_view abbrev) noexcept {
+  for (std::size_t i = 0; i < kMonths.size(); ++i) {
+    if (kMonths[i] == abbrev) return static_cast<int>(i + 1);
+  }
+  return 0;
+}
+
+std::string EncodeRfc3164(const SyslogRecord& rec) {
+  int severity = VendorSeverity(rec.code);
+  if (severity < 0) severity = 0;
+  if (severity > 7) severity = 7;
+  const int pri = kRouterFacility * 8 + severity;
+  const CivilTime ct = ToCivil(rec.time);
+  char head[64];
+  // RFC 3164 pads single-digit days with a space, not a zero.
+  std::snprintf(head, sizeof(head), "<%d>%s %2d %02d:%02d:%02d ", pri,
+                std::string(MonthAbbrev(ct.month)).c_str(), ct.day, ct.hour,
+                ct.minute, ct.second);
+  std::string out = head;
+  out += rec.router;
+  out += " %";
+  out += rec.code;
+  out += ": ";
+  out += rec.detail;
+  return out;
+}
+
+std::optional<SyslogRecord> DecodeRfc3164(std::string_view datagram,
+                                          int year) {
+  if (datagram.size() < 5 || datagram[0] != '<') return std::nullopt;
+  const std::size_t close = datagram.find('>');
+  if (close == std::string_view::npos || close > 4) return std::nullopt;
+  const auto pri = ParseInt(datagram.substr(1, close - 1));
+  if (!pri || *pri > 191) return std::nullopt;
+
+  std::string_view rest = datagram.substr(close + 1);
+  // "Mmm dd HH:MM:SS " — day may be space-padded.
+  if (rest.size() < 16) return std::nullopt;
+  const int month = MonthFromAbbrev(rest.substr(0, 3));
+  if (month == 0 || rest[3] != ' ') return std::nullopt;
+  std::string_view day_str = Trim(rest.substr(4, 2));
+  const auto day = ParseInt(day_str);
+  if (!day || *day < 1 || *day > 31) return std::nullopt;
+  if (rest[6] != ' ') return std::nullopt;
+  const std::string_view clock = rest.substr(7, 8);
+  const auto hour = ParseInt(clock.substr(0, 2));
+  const auto minute = ParseInt(clock.substr(3, 2));
+  const auto second = ParseInt(clock.substr(6, 2));
+  if (!hour || !minute || !second || clock[2] != ':' || clock[5] != ':') {
+    return std::nullopt;
+  }
+  if (*hour > 23 || *minute > 59 || *second > 59) return std::nullopt;
+  if (*day > DaysInMonth(year, month)) return std::nullopt;
+
+  CivilTime ct;
+  ct.year = year;
+  ct.month = month;
+  ct.day = static_cast<int>(*day);
+  ct.hour = static_cast<int>(*hour);
+  ct.minute = static_cast<int>(*minute);
+  ct.second = static_cast<int>(*second);
+
+  rest = Trim(rest.substr(15));
+  const std::size_t host_end = rest.find(' ');
+  if (host_end == std::string_view::npos) return std::nullopt;
+  SyslogRecord rec;
+  rec.time = ToTimeMs(ct);
+  rec.router = std::string(rest.substr(0, host_end));
+  rest = Trim(rest.substr(host_end));
+  // "%CODE: detail"
+  if (rest.empty() || rest[0] != '%') return std::nullopt;
+  const std::size_t colon = rest.find(": ");
+  if (colon == std::string_view::npos) {
+    // A code with no detail text ("%CODE:").
+    if (rest.back() == ':') {
+      rec.code = std::string(rest.substr(1, rest.size() - 2));
+      return rec.code.empty() ? std::nullopt
+                              : std::optional<SyslogRecord>(rec);
+    }
+    return std::nullopt;
+  }
+  rec.code = std::string(rest.substr(1, colon - 1));
+  rec.detail = std::string(rest.substr(colon + 2));
+  if (rec.code.empty()) return std::nullopt;
+  return rec;
+}
+
+}  // namespace sld::syslog

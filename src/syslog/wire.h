@@ -1,0 +1,40 @@
+// RFC 3164 (BSD syslog) wire framing.
+//
+// Routers transmit syslog to collectors over the standardized syslog
+// protocol (§2 of the paper cites the syslog RFC); the *payload* is the
+// free-form part.  We implement the classic BSD framing:
+//
+//   <PRI>Mmm dd HH:MM:SS hostname %CODE: detail
+//
+// PRI = facility * 8 + severity.  The RFC 3164 timestamp has no year and
+// second granularity, so the decoder takes a reference year.  Round-
+// tripping through this codec is exactly the lossy ingestion path a real
+// collector deals with.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "syslog/record.h"
+
+namespace sld::syslog {
+
+// Facility used for router-originated messages (local7, the conventional
+// choice on routers).
+inline constexpr int kRouterFacility = 23;
+
+// Encodes a record into an RFC 3164 datagram payload.  The severity is
+// taken from the record's error code (vendor severity, clamped to [0,7]).
+std::string EncodeRfc3164(const SyslogRecord& rec);
+
+// Decodes an RFC 3164 datagram.  `year` supplies the missing year field.
+// Returns nullopt for malformed datagrams.
+std::optional<SyslogRecord> DecodeRfc3164(std::string_view datagram,
+                                          int year);
+
+// Month name <-> number helpers (exposed for tests).
+std::string_view MonthAbbrev(int month) noexcept;       // 1-based
+int MonthFromAbbrev(std::string_view abbrev) noexcept;  // 0 when unknown
+
+}  // namespace sld::syslog

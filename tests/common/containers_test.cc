@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/union_find.h"
+
+namespace sld {
+namespace {
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.SetCount(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesTransitively) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  EXPECT_FALSE(uf.Connected(0, 2));
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SetSize(3), 4u);
+  EXPECT_EQ(uf.SetCount(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFindTest, UnionIsIdempotent) {
+  UnionFind uf(3);
+  const std::size_t r1 = uf.Union(0, 1);
+  const std::size_t r2 = uf.Union(0, 1);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(uf.SetCount(), 2u);
+}
+
+TEST(UnionFindTest, OrderOfUnionsDoesNotChangePartition) {
+  // The property the digester relies on: any order of the same merge set
+  // yields the same partition.
+  const std::vector<std::pair<std::size_t, std::size_t>> merges = {
+      {0, 1}, {2, 3}, {4, 5}, {1, 2}, {6, 7}, {5, 6}};
+  UnionFind forward(9);
+  for (const auto& [a, b] : merges) forward.Union(a, b);
+  UnionFind backward(9);
+  for (auto it = merges.rbegin(); it != merges.rend(); ++it) {
+    backward.Union(it->first, it->second);
+  }
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_EQ(forward.Connected(i, j), backward.Connected(i, j));
+    }
+  }
+}
+
+TEST(InternerTest, SameStringSameId) {
+  StringInterner interner;
+  const auto a = interner.Intern("hello");
+  const auto b = interner.Intern("world");
+  const auto c = interner.Intern("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Get(a), "hello");
+  EXPECT_EQ(interner.Get(b), "world");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, LookupWithoutInsert) {
+  StringInterner interner;
+  EXPECT_FALSE(interner.Lookup("absent").has_value());
+  const auto id = interner.Intern("present");
+  EXPECT_EQ(interner.Lookup("present").value(), id);
+}
+
+TEST(InternerTest, ViewsStableAcrossGrowth) {
+  StringInterner interner;
+  const auto first = interner.Intern("stable");
+  const std::string_view view = interner.Get(first);
+  for (int i = 0; i < 10000; ++i) {
+    interner.Intern("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(view, "stable");  // deque storage never relocates
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, WeightedRespectsZeroWeight) {
+  Rng rng(7);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.Weighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  rng.Shuffle(v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 8u);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng a(42);
+  Rng fork = a.Fork();
+  // Draw from the fork; the parent's subsequent draws must equal a fresh
+  // parent that also forked once but never used the fork.
+  Rng b(42);
+  (void)b.Fork();
+  for (int i = 0; i < 10; ++i) (void)fork.UniformReal();
+  EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+}
+
+TEST(RngTest, PoissonMeanRoughlyCorrect) {
+  Rng rng(123);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.Poisson(4.0));
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace sld

@@ -1,0 +1,118 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sld {
+namespace {
+
+TEST(SplitWhitespaceTest, Basic) {
+  const auto parts = SplitWhitespace("a bb  ccc");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "bb");
+  EXPECT_EQ(parts[2], "ccc");
+}
+
+TEST(SplitWhitespaceTest, LeadingTrailingAndTabs) {
+  const auto parts = SplitWhitespace("\t x\t y  ");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "x");
+  EXPECT_EQ(parts[1], "y");
+}
+
+TEST(SplitWhitespaceTest, Empty) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(SplitCharTest, PreservesEmptyFields) {
+  const auto parts = SplitChar("a||b|", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitCharTest, NoDelimiter) {
+  const auto parts = SplitChar("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  const std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ", "), "");
+  EXPECT_EQ(Join(std::vector<std::string>{"x"}, ", "), "x");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  a b \r\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(ParseIntTest, Valid) {
+  EXPECT_EQ(ParseInt("0").value(), 0);
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("123456789012345").value(), 123456789012345LL);
+}
+
+TEST(ParseIntTest, Invalid) {
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("-1").has_value());
+  EXPECT_FALSE(ParseInt("1x").has_value());
+  EXPECT_FALSE(ParseInt("1234567890123456789").has_value());  // 19 digits
+}
+
+struct Ipv4Case {
+  const char* text;
+  bool valid;
+};
+
+class Ipv4Test : public ::testing::TestWithParam<Ipv4Case> {};
+
+TEST_P(Ipv4Test, Classifies) {
+  EXPECT_EQ(LooksLikeIpv4(GetParam().text), GetParam().valid)
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, Ipv4Test,
+    ::testing::Values(
+        Ipv4Case{"0.0.0.0", true}, Ipv4Case{"255.255.255.255", true},
+        Ipv4Case{"192.168.32.42", true}, Ipv4Case{"10.0.0.1", true},
+        Ipv4Case{"256.1.1.1", false}, Ipv4Case{"1.1.1", false},
+        Ipv4Case{"1.1.1.1.1", false}, Ipv4Case{"", false},
+        Ipv4Case{"a.b.c.d", false}, Ipv4Case{"1..1.1", false},
+        Ipv4Case{"1.1.1.1234", false}, Ipv4Case{"01.2.3.4", true},
+        Ipv4Case{"1.2.3.4x", false}));
+
+struct IfPosCase {
+  const char* text;
+  bool valid;
+};
+
+class IfPositionTest : public ::testing::TestWithParam<IfPosCase> {};
+
+TEST_P(IfPositionTest, Classifies) {
+  EXPECT_EQ(LooksLikeIfPosition(GetParam().text), GetParam().valid)
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, IfPositionTest,
+    ::testing::Values(IfPosCase{"1/0", true}, IfPosCase{"2/0/0", true},
+                      IfPosCase{"1/0/0:1", true},
+                      IfPosCase{"13/0.10/20:0", true},
+                      IfPosCase{"1", false},       // no slash
+                      IfPosCase{"1.2", false},     // no slash
+                      IfPosCase{"1/", false},      // ends on separator
+                      IfPosCase{"/1", false},      // starts with separator
+                      IfPosCase{"a/b", false}, IfPosCase{"", false},
+                      IfPosCase{"1//2", false}));
+
+}  // namespace
+}  // namespace sld

@@ -1,0 +1,110 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace sld {
+namespace {
+
+TEST(TimeTest, EpochIsZero) {
+  EXPECT_EQ(ToTimeMs(CivilTime{1970, 1, 1, 0, 0, 0, 0}), 0);
+}
+
+TEST(TimeTest, KnownTimestamp) {
+  // 2010-01-10 00:00:15 UTC = 1263081615 seconds since epoch.
+  const CivilTime ct{2010, 1, 10, 0, 0, 15, 0};
+  EXPECT_EQ(ToTimeMs(ct), 1263081615LL * 1000);
+}
+
+TEST(TimeTest, CivilRoundTripAroundEpoch) {
+  for (TimeMs t = -3 * kMsPerDay; t <= 3 * kMsPerDay; t += 7919 * 13) {
+    EXPECT_EQ(ToTimeMs(ToCivil(t)), t);
+  }
+}
+
+TEST(TimeTest, FormatMatchesSyslogStyle) {
+  const TimeMs t = ToTimeMs(CivilTime{2009, 9, 1, 7, 5, 3, 0});
+  EXPECT_EQ(FormatTimestamp(t), "2009-09-01 07:05:03");
+}
+
+TEST(TimeTest, FormatWithMilliseconds) {
+  const TimeMs t = ToTimeMs(CivilTime{2009, 12, 31, 23, 59, 59, 7});
+  EXPECT_EQ(FormatTimestampMs(t), "2009-12-31 23:59:59.007");
+}
+
+TEST(TimeTest, ParseValid) {
+  const auto t = ParseTimestamp("2010-01-10 00:00:15");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 1263081615LL * 1000);
+}
+
+TEST(TimeTest, ParseWithMilliseconds) {
+  const auto t = ParseTimestamp("2010-01-10 00:00:15.250");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 1263081615LL * 1000 + 250);
+}
+
+TEST(TimeTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseTimestamp("").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010-01-10").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010/01/10 00:00:15").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010-13-10 00:00:15").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010-00-10 00:00:15").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010-01-32 00:00:15").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010-01-10 24:00:15").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010-01-10 00:60:15").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010-01-10 00:00:61").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010-01-10 00:00:15.").has_value());
+  EXPECT_FALSE(ParseTimestamp("2010-01-10 00:00:15.2x0").has_value());
+  EXPECT_FALSE(ParseTimestamp("abcd-01-10 00:00:15").has_value());
+}
+
+TEST(TimeTest, ParseRejectsInvalidCalendarDays) {
+  EXPECT_FALSE(ParseTimestamp("2009-02-29 00:00:00").has_value());
+  EXPECT_TRUE(ParseTimestamp("2008-02-29 00:00:00").has_value());
+  EXPECT_FALSE(ParseTimestamp("2009-04-31 00:00:00").has_value());
+}
+
+TEST(TimeTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_TRUE(IsLeapYear(2008));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(2009));
+  EXPECT_TRUE(IsLeapYear(2400));
+}
+
+TEST(TimeTest, DaysInMonth) {
+  EXPECT_EQ(DaysInMonth(2009, 2), 28);
+  EXPECT_EQ(DaysInMonth(2008, 2), 29);
+  EXPECT_EQ(DaysInMonth(2009, 9), 30);
+  EXPECT_EQ(DaysInMonth(2009, 12), 31);
+  EXPECT_EQ(DaysInMonth(2009, 0), 0);
+  EXPECT_EQ(DaysInMonth(2009, 13), 0);
+}
+
+// Round-trip format->parse across a broad sweep of instants.
+class TimeRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TimeRoundTrip, FormatParseIdentity) {
+  const TimeMs t = GetParam() * kMsPerSecond;
+  const auto parsed = ParseTimestamp(FormatTimestamp(t));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepsThirtyYears, TimeRoundTrip,
+    ::testing::Range<std::int64_t>(0, 30LL * 365 * 86400,
+                                   37LL * 86400 + 12345));
+
+TEST(TimeTest, DaysFromCivilInverse) {
+  for (std::int64_t d = -100000; d <= 100000; d += 733) {
+    int y = 0;
+    int m = 0;
+    int day = 0;
+    CivilFromDays(d, y, m, day);
+    EXPECT_EQ(DaysFromCivil(y, m, day), d);
+  }
+}
+
+}  // namespace
+}  // namespace sld

@@ -1,0 +1,93 @@
+#include "core/eval.h"
+
+#include <gtest/gtest.h>
+
+namespace sld::core {
+namespace {
+
+// A hand-built dataset: 6 messages, two ground-truth events (0-2 and
+// 3-4), message 5 is background noise.
+sim::Dataset TinyDataset() {
+  sim::Dataset ds;
+  for (int i = 0; i < 6; ++i) {
+    syslog::SyslogRecord rec;
+    rec.time = i * 1000;
+    rec.router = "r1";
+    rec.code = "A-1-B";
+    rec.detail = "x";
+    ds.messages.push_back(std::move(rec));
+  }
+  sim::GtEvent a;
+  a.id = 0;
+  a.kind = "one";
+  a.message_indices = {0, 1, 2};
+  sim::GtEvent b;
+  b.id = 1;
+  b.kind = "two";
+  b.message_indices = {3, 4};
+  ds.ground_truth = {a, b};
+  return ds;
+}
+
+DigestResult WithEvents(std::vector<std::vector<std::size_t>> groups) {
+  DigestResult result;
+  result.message_count = 6;
+  for (auto& g : groups) {
+    DigestEvent ev;
+    ev.messages = std::move(g);
+    result.events.push_back(std::move(ev));
+  }
+  return result;
+}
+
+TEST(EvalTest, PerfectGrouping) {
+  const sim::Dataset ds = TinyDataset();
+  const GroupingQuality q =
+      EvaluateGrouping(ds, WithEvents({{0, 1, 2}, {3, 4}, {5}}));
+  EXPECT_EQ(q.gt_events, 2u);
+  EXPECT_DOUBLE_EQ(q.mean_fragmentation, 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_purity, 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(q.fully_assembled_fraction, 1.0);
+}
+
+TEST(EvalTest, FragmentationCounted) {
+  const sim::Dataset ds = TinyDataset();
+  // Event one split across three digest events.
+  const GroupingQuality q =
+      EvaluateGrouping(ds, WithEvents({{0}, {1}, {2}, {3, 4}, {5}}));
+  EXPECT_DOUBLE_EQ(q.mean_fragmentation, (3.0 + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(q.fully_assembled_fraction, 0.5);
+  // completeness@1 of the split event is 1/3.
+  EXPECT_DOUBLE_EQ(q.mean_completeness, (1.0 / 3.0 + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(q.mean_purity, 1.0);  // nothing foreign merged
+}
+
+TEST(EvalTest, PurityPenalizesForeignMerges) {
+  const sim::Dataset ds = TinyDataset();
+  // Both conditions merged into one digest event.
+  const GroupingQuality q =
+      EvaluateGrouping(ds, WithEvents({{0, 1, 2, 3, 4}, {5}}));
+  EXPECT_DOUBLE_EQ(q.mean_fragmentation, 1.0);
+  // For event one: 3 of 5 labeled messages are its own; for two: 2 of 5.
+  EXPECT_DOUBLE_EQ(q.mean_purity, (3.0 / 5.0 + 2.0 / 5.0) / 2.0);
+}
+
+TEST(EvalTest, NoiseDoesNotHurtPurity) {
+  const sim::Dataset ds = TinyDataset();
+  // The noise message rides along with event two: purity unaffected
+  // (noise carries no label), fragmentation unaffected.
+  const GroupingQuality q =
+      EvaluateGrouping(ds, WithEvents({{0, 1, 2}, {3, 4, 5}}));
+  EXPECT_DOUBLE_EQ(q.mean_purity, 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_fragmentation, 1.0);
+}
+
+TEST(EvalTest, EmptyGroundTruthIsSafe) {
+  sim::Dataset ds;
+  const GroupingQuality q = EvaluateGrouping(ds, DigestResult{});
+  EXPECT_EQ(q.gt_events, 0u);
+}
+
+}  // namespace
+}  // namespace sld::core

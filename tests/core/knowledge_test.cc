@@ -1,0 +1,101 @@
+#include "core/knowledge.h"
+
+#include <gtest/gtest.h>
+
+namespace sld::core {
+namespace {
+
+KnowledgeBase Sample() {
+  KnowledgeBase kb;
+  const auto a = kb.templates.Add(
+      "LINK-3-UPDOWN", {"Interface", "*", "changed", "state", "to", "down"});
+  const auto b = kb.templates.Add(
+      "LINEPROTO-5-UPDOWN",
+      {"Line", "protocol", "on", "Interface", "*", "changed", "state", "to",
+       "down"});
+  kb.temporal_priors[a] = 12345.5;
+  kb.temporal_priors[b] = 60000.0;
+  kb.temporal_params.alpha = 0.075;
+  kb.temporal_params.beta = 5;
+  kb.temporal_params.smin = 1000;
+  kb.temporal_params.smax = 3 * kMsPerHour;
+  kb.rule_params.window_ms = 120000;
+  kb.rule_params.min_support = 0.0005;
+  kb.rule_params.min_confidence = 0.8;
+  MiningStats stats;
+  stats.transaction_count = 1000;
+  stats.item_tx[a] = 100;
+  stats.item_tx[b] = 90;
+  stats.pair_tx[MiningStats::PairKey(a, b)] = 85;
+  kb.rules.Update(stats, kb.rule_params);
+  kb.label_rules.push_back({"LINK-3", "circuit", true});
+  kb.label_rules.push_back({"FANCY", "special widget", false});
+  kb.signature_freq[KnowledgeBase::FreqKey(a, 0)] = 42;
+  kb.signature_freq[KnowledgeBase::FreqKey(b, 3)] = 7;
+  kb.history_message_count = 123456;
+  return kb;
+}
+
+TEST(KnowledgeTest, SerializeRoundTrip) {
+  const KnowledgeBase kb = Sample();
+  const KnowledgeBase restored = KnowledgeBase::Deserialize(kb.Serialize());
+
+  EXPECT_EQ(restored.templates.size(), kb.templates.size());
+  for (const Template& tmpl : kb.templates.All()) {
+    EXPECT_EQ(restored.templates.Get(tmpl.id).Canonical(),
+              tmpl.Canonical());
+  }
+  EXPECT_DOUBLE_EQ(restored.temporal_params.alpha, 0.075);
+  EXPECT_DOUBLE_EQ(restored.temporal_params.beta, 5);
+  EXPECT_EQ(restored.temporal_params.smin, 1000);
+  EXPECT_EQ(restored.temporal_params.smax, 3 * kMsPerHour);
+  EXPECT_EQ(restored.rule_params.window_ms, 120000);
+  EXPECT_DOUBLE_EQ(restored.rule_params.min_support, 0.0005);
+  EXPECT_DOUBLE_EQ(restored.rule_params.min_confidence, 0.8);
+  EXPECT_EQ(restored.history_message_count, 123456u);
+
+  ASSERT_EQ(restored.temporal_priors.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored.temporal_priors.at(0), 12345.5);
+
+  EXPECT_EQ(restored.rules.size(), 1u);
+  EXPECT_TRUE(restored.rules.Has(0, 1));
+
+  ASSERT_EQ(restored.label_rules.size(), 2u);
+  EXPECT_EQ(restored.label_rules[0].code_marker, "LINK-3");
+  EXPECT_EQ(restored.label_rules[0].noun, "circuit");
+  EXPECT_TRUE(restored.label_rules[0].flappable);
+  EXPECT_FALSE(restored.label_rules[1].flappable);
+
+  EXPECT_EQ(restored.FrequencyOf(0, 0), 42u);
+  EXPECT_EQ(restored.FrequencyOf(1, 3), 7u);
+  EXPECT_EQ(restored.FrequencyOf(1, 9), 0u);
+}
+
+TEST(KnowledgeTest, SecondRoundTripIsIdentical) {
+  const KnowledgeBase kb = Sample();
+  const std::string once = kb.Serialize();
+  const std::string twice = KnowledgeBase::Deserialize(once).Serialize();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(KnowledgeTest, DeserializeEmptyIsEmpty) {
+  const KnowledgeBase kb = KnowledgeBase::Deserialize("");
+  EXPECT_EQ(kb.templates.size(), 0u);
+  EXPECT_EQ(kb.rules.size(), 0u);
+  EXPECT_TRUE(kb.signature_freq.empty());
+}
+
+TEST(KnowledgeTest, DeserializeIgnoresGarbageLines) {
+  const KnowledgeBase kb = KnowledgeBase::Deserialize(
+      "garbage\nP not enough\nI x y\nF 1\n\nT broken-no-tab\n");
+  EXPECT_EQ(kb.templates.size(), 0u);
+}
+
+TEST(KnowledgeTest, FreqKeyPacksBothHalves) {
+  EXPECT_NE(KnowledgeBase::FreqKey(1, 2), KnowledgeBase::FreqKey(2, 1));
+  EXPECT_EQ(KnowledgeBase::FreqKey(1, 2) >> 32, 1u);
+  EXPECT_EQ(KnowledgeBase::FreqKey(1, 2) & 0xffffffffu, 2u);
+}
+
+}  // namespace
+}  // namespace sld::core

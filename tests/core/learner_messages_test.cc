@@ -1,0 +1,201 @@
+// Cross-module property: for EVERY simulator message constructor, a
+// learner trained on enough randomized instances must recover exactly the
+// constructor's ground-truth template — the contract that makes §5.2.1's
+// accuracy measurement meaningful.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "common/rng.h"
+#include "core/templates/learner.h"
+#include "sim/messages.h"
+
+namespace sld::core {
+namespace {
+
+using sim::BgpDownReason;
+using sim::Msg;
+
+struct Case {
+  const char* name;
+  std::function<Msg(Rng&)> make;
+};
+
+std::string Ip(Rng& rng) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%d.%d.%d.%d",
+                static_cast<int>(rng.UniformInt(1, 223)),
+                static_cast<int>(rng.UniformInt(0, 255)),
+                static_cast<int>(rng.UniformInt(0, 255)),
+                static_cast<int>(rng.UniformInt(1, 254)));
+  return buf;
+}
+
+std::string IfName(Rng& rng) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Serial%d/%d.%d:0",
+                static_cast<int>(rng.UniformInt(0, 12)),
+                static_cast<int>(rng.UniformInt(0, 7)),
+                static_cast<int>(rng.UniformInt(1, 99)));
+  return buf;
+}
+
+std::string Port(Rng& rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d/1/%d",
+                static_cast<int>(rng.UniformInt(1, 9)),
+                static_cast<int>(rng.UniformInt(1, 48)));
+  return buf;
+}
+
+std::string Vrf(Rng& rng) {
+  return "1000:" + std::to_string(rng.UniformInt(1000, 1999));
+}
+
+std::string PathName(Rng& rng) {
+  return "mpls-path-" + std::to_string(rng.UniformInt(1, 500));
+}
+
+std::string User(Rng& rng) {
+  // Many distinct users so the user field masks.
+  return "user" + std::to_string(rng.UniformInt(1, 500));
+}
+
+BgpDownReason Reason(Rng& rng) {
+  return static_cast<BgpDownReason>(rng.UniformInt(0, 3));
+}
+
+const std::vector<Case>& Cases() {
+  static const std::vector<Case> kCases = {
+      {"V1LinkUpDown", [](Rng& r) {
+         return sim::V1LinkUpDown(IfName(r), r.Bernoulli(0.5)); }},
+      {"V1LineProtoUpDown", [](Rng& r) {
+         return sim::V1LineProtoUpDown(IfName(r), r.Bernoulli(0.5)); }},
+      {"V1ControllerUpDown", [](Rng& r) {
+         char buf[16];
+         std::snprintf(buf, sizeof(buf), "T1 %d/%d",
+                       static_cast<int>(r.UniformInt(0, 12)),
+                       static_cast<int>(r.UniformInt(0, 7)));
+         return sim::V1ControllerUpDown(buf, r.Bernoulli(0.5)); }},
+      {"V1BgpVpnAdj", [](Rng& r) {
+         return sim::V1BgpVpnAdj(Ip(r), Vrf(r), r.Bernoulli(0.5),
+                                 Reason(r)); }},
+      {"V1BgpAdj", [](Rng& r) {
+         return sim::V1BgpAdj(Ip(r), r.Bernoulli(0.5), Reason(r)); }},
+      {"V1OspfAdj", [](Rng& r) {
+         return sim::V1OspfAdj(Ip(r), IfName(r), r.Bernoulli(0.5)); }},
+      {"V1PimNbrChange", [](Rng& r) {
+         return sim::V1PimNbrChange(Ip(r), IfName(r), r.Bernoulli(0.5)); }},
+      {"V1CpuRising", [](Rng& r) {
+         return sim::V1CpuRising(
+             static_cast<int>(r.UniformInt(80, 99)),
+             static_cast<int>(r.UniformInt(0, 3)),
+             static_cast<int>(r.UniformInt(2, 400)),
+             static_cast<int>(r.UniformInt(40, 80)),
+             static_cast<int>(r.UniformInt(2, 400)),
+             static_cast<int>(r.UniformInt(3, 20)),
+             static_cast<int>(r.UniformInt(2, 400)),
+             static_cast<int>(r.UniformInt(1, 5))); }},
+      {"V1CpuFalling", [](Rng& r) {
+         return sim::V1CpuFalling(static_cast<int>(r.UniformInt(15, 40)),
+                                  static_cast<int>(r.UniformInt(0, 3))); }},
+      {"V1TcpBadAuth", [](Rng& r) {
+         return sim::V1TcpBadAuth(
+             Ip(r), static_cast<int>(r.UniformInt(1024, 65535)), Ip(r)); }},
+      {"V1LoginFailed", [](Rng& r) {
+         return sim::V1LoginFailed(User(r), Ip(r)); }},
+      {"V1SnmpAuthFail", [](Rng& r) {
+         return sim::V1SnmpAuthFail(Ip(r)); }},
+      {"V1ConfigI", [](Rng& r) {
+         return sim::V1ConfigI(User(r), Ip(r)); }},
+      {"V1MplsTeLsp", [](Rng& r) {
+         return sim::V1MplsTeLsp(PathName(r), r.Bernoulli(0.5)); }},
+      {"V1NtpSync", [](Rng& r) { return sim::V1NtpSync(Ip(r)); }},
+      {"V1DuplexMismatch", [](Rng& r) {
+         return sim::V1DuplexMismatch(IfName(r)); }},
+      {"V1FanFail", [](Rng&) { return sim::V1FanFail(); }},
+      {"V1OirCard", [](Rng& r) {
+         char buf[8];
+         std::snprintf(buf, sizeof(buf), "%d/0",
+                       static_cast<int>(r.UniformInt(0, 12)));
+         return sim::V1OirCard(buf, r.Bernoulli(0.5)); }},
+      {"V2LinkState", [](Rng& r) {
+         return sim::V2LinkState(Port(r), r.Bernoulli(0.5)); }},
+      {"V2PortState", [](Rng& r) {
+         return sim::V2PortState(Port(r), r.Bernoulli(0.5)); }},
+      {"V2SapPortChange", [](Rng& r) {
+         return sim::V2SapPortChange(Port(r)); }},
+      {"V2BgpSessionState", [](Rng& r) {
+         return sim::V2BgpSessionState(Ip(r), r.Bernoulli(0.5)); }},
+      {"V2PimNeighborLoss", [](Rng& r) {
+         return sim::V2PimNeighborLoss(Ip(r), Port(r)); }},
+      {"V2PimNeighborUp", [](Rng& r) {
+         return sim::V2PimNeighborUp(Ip(r), Port(r)); }},
+      {"V2LspState", [](Rng& r) {
+         return sim::V2LspState(PathName(r), r.Bernoulli(0.5)); }},
+      {"V2LagState", [](Rng& r) {
+         return sim::V2LagState("lag-" + std::to_string(r.UniformInt(1, 99)),
+                                r.Bernoulli(0.5)); }},
+      {"V2CpuUsage", [](Rng& r) {
+         return sim::V2CpuUsage(r.Bernoulli(0.5),
+                                static_cast<int>(r.UniformInt(10, 99))); }},
+      {"V2SshLoginFailed", [](Rng& r) {
+         return sim::V2SshLoginFailed(User(r), Ip(r)); }},
+      {"V2FtpLoginFailed", [](Rng& r) {
+         return sim::V2FtpLoginFailed(User(r), Ip(r)); }},
+      {"V2ServiceState", [](Rng& r) {
+         return sim::V2ServiceState(
+             static_cast<int>(r.UniformInt(1000, 1999)),
+             r.Bernoulli(0.5)); }},
+      {"V2TimeSync", [](Rng& r) { return sim::V2TimeSync(Ip(r)); }},
+      {"V2SnmpAuthFail", [](Rng& r) {
+         return sim::V2SnmpAuthFail(Ip(r)); }},
+      {"V2ConfigChange", [](Rng& r) {
+         return sim::V2ConfigChange(User(r), Ip(r)); }},
+      {"V2EnvTemp", [](Rng& r) {
+         return sim::V2EnvTemp(static_cast<int>(r.UniformInt(40, 99))); }},
+      {"V2FanFail", [](Rng&) { return sim::V2FanFail(); }},
+      {"V2OirCard", [](Rng& r) {
+         char buf[8];
+         std::snprintf(buf, sizeof(buf), "%d/0",
+                       static_cast<int>(r.UniformInt(0, 12)));
+         return sim::V2OirCard(buf, r.Bernoulli(0.5)); }},
+      // Fixed variant: spreading 400 samples over 100 rare codes would
+      // hit the (intended) scarce-data under-masking instead of the
+      // constructor contract being tested here.
+      {"RareNoiseV1", [](Rng& r) {
+         return sim::RareNoise(true, 7, r.UniformInt(1, 500000)); }},
+      {"RareNoiseV2", [](Rng& r) {
+         return sim::RareNoise(false, 23, r.UniformInt(1, 500000)); }},
+  };
+  return kCases;
+}
+
+class ConstructorRecovery : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConstructorRecovery, LearnerRecoversGroundTruthTemplate) {
+  const Case& c = Cases()[GetParam()];
+  Rng rng(GetParam() + 1);
+  TemplateLearner learner;
+  std::set<std::string> gt;
+  for (int i = 0; i < 400; ++i) {
+    const Msg msg = c.make(rng);
+    learner.Add(msg.code, msg.detail);
+    gt.insert(msg.gt_template);
+  }
+  const TemplateSet set = learner.Learn();
+  std::set<std::string> learned;
+  for (const Template& tmpl : set.All()) learned.insert(tmpl.Canonical());
+  EXPECT_EQ(learned, gt) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConstructors, ConstructorRecovery,
+    ::testing::Range<std::size_t>(0, Cases().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return Cases()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace sld::core

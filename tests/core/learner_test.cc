@@ -1,0 +1,188 @@
+#include "core/templates/learner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sld::core {
+namespace {
+
+std::set<std::string> Canonicals(const TemplateSet& set) {
+  std::set<std::string> out;
+  for (const Template& tmpl : set.All()) out.insert(tmpl.Canonical());
+  return out;
+}
+
+// The paper's Table 3 / Table 4 example: twenty BGP-5-ADJCHANGE messages
+// with five structural sub-types must yield exactly the five masked
+// templates of Table 4.
+TEST(LearnerTest, RecoversPaperTableFourSubTypes) {
+  TemplateLearner learner;
+  const char* kNeighbors[] = {
+      "192.168.32.42",  "192.168.100.194", "192.168.15.78",
+      "192.168.108.38", "192.168.0.26",    "192.168.7.6",
+      "192.168.0.238",  "192.168.2.114",   "192.168.183.250",
+      "192.168.114.178", "192.168.131.218", "192.168.55.138",
+      "192.168.1.13",   "192.168.12.241",  "192.168.155.66",
+      "192.168.254.29", "192.168.35.230",  "192.168.171.166",
+      "192.168.2.237",  "192.168.0.154"};
+  const char* kSuffixes[] = {
+      "Up", "Up", "Up", "Up",
+      "Down Interface flap", "Down Interface flap", "Down Interface flap",
+      "Down Interface flap",
+      "Down BGP Notification sent", "Down BGP Notification sent",
+      "Down BGP Notification sent", "Down BGP Notification sent",
+      "Down BGP Notification received", "Down BGP Notification received",
+      "Down BGP Notification received", "Down BGP Notification received",
+      "Down Peer closed the session", "Down Peer closed the session",
+      "Down Peer closed the session", "Down Peer closed the session"};
+  for (int i = 0; i < 20; ++i) {
+    std::string detail = "neighbor ";
+    detail += kNeighbors[i];
+    detail += " vpn vrf 1000:";
+    detail += std::to_string(1000 + i);  // many distinct VRFs
+    detail += ' ';
+    detail += kSuffixes[i];
+    learner.Add("BGP-5-ADJCHANGE", detail);
+  }
+  const TemplateSet set = learner.Learn();
+  const std::set<std::string> expected = {
+      "BGP-5-ADJCHANGE neighbor * vpn vrf * Up",
+      "BGP-5-ADJCHANGE neighbor * vpn vrf * Down Interface flap",
+      "BGP-5-ADJCHANGE neighbor * vpn vrf * Down BGP Notification sent",
+      "BGP-5-ADJCHANGE neighbor * vpn vrf * Down BGP Notification received",
+      "BGP-5-ADJCHANGE neighbor * vpn vrf * Down Peer closed the session"};
+  EXPECT_EQ(Canonicals(set), expected);
+}
+
+TEST(LearnerTest, MasksPositionsWithManyValues) {
+  TemplateLearner learner;
+  for (int i = 0; i < 50; ++i) {
+    learner.Add("C-1-X", "value is " + std::to_string(i) + " units");
+  }
+  const TemplateSet set = learner.Learn();
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.All()[0].Canonical(), "C-1-X value is * units");
+}
+
+TEST(LearnerTest, SplitsPositionsWithFewValues) {
+  // Two states with many messages each: two sub-type templates (this is
+  // also the mechanism behind the paper's "GigabitEthernet" caveat).
+  TemplateLearner learner;
+  for (int i = 0; i < 30; ++i) {
+    learner.Add("C-1-X", std::string("state changed to ") +
+                             (i % 2 == 0 ? "down" : "up"));
+  }
+  const TemplateSet set = learner.Learn();
+  const std::set<std::string> expected = {"C-1-X state changed to down",
+                                          "C-1-X state changed to up"};
+  EXPECT_EQ(Canonicals(set), expected);
+}
+
+TEST(LearnerTest, LocationWordsAlwaysMaskEvenWhenFewDistinct) {
+  // Only two interfaces ever appear, but interface names are location
+  // words and must not become sub-types (§3.1's exclusion).
+  TemplateLearner learner;
+  for (int i = 0; i < 20; ++i) {
+    learner.Add("LINK-3-UPDOWN",
+                std::string("Interface ") +
+                    (i % 2 == 0 ? "Serial1/0" : "Serial2/0") +
+                    ", changed state to down");
+  }
+  const TemplateSet set = learner.Learn();
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.All()[0].Canonical(),
+            "LINK-3-UPDOWN Interface * changed state to down");
+}
+
+TEST(LearnerTest, ConstantLocationStillMasks) {
+  // A single NTP server address is constant across all messages; as a
+  // location word it still masks.
+  TemplateLearner learner;
+  for (int i = 0; i < 10; ++i) {
+    learner.Add("NTP-6-PEERSYNC", "NTP sync to peer 172.30.255.1");
+  }
+  const TemplateSet set = learner.Learn();
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.All()[0].Canonical(), "NTP-6-PEERSYNC NTP sync to peer *");
+}
+
+TEST(LearnerTest, DifferentLengthsNeverShareTemplate) {
+  TemplateLearner learner;
+  learner.Add("C-1-X", "alpha beta");
+  learner.Add("C-1-X", "alpha beta gamma");
+  const TemplateSet set = learner.Learn();
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(LearnerTest, MaskedParentPositionRecoversInChild) {
+  // Regression for the tree construction: a position that is variable in
+  // the mixed parent (here: the 3rd word across both shapes) must still
+  // surface as a constant inside the sub-type where it IS constant.
+  TemplateLearner learner;
+  for (int i = 0; i < 25; ++i) {
+    learner.Add("BGP-5-ADJCHANGE",
+                "neighbor 10.0.0." + std::to_string(i) +
+                    " Down BGP Notification sent");
+    learner.Add("BGP-5-ADJCHANGE",
+                "neighbor 10.0.1." + std::to_string(i) +
+                    " Down BGP Notification received");
+  }
+  const TemplateSet set = learner.Learn();
+  const std::set<std::string> expected = {
+      "BGP-5-ADJCHANGE neighbor * Down BGP Notification sent",
+      "BGP-5-ADJCHANGE neighbor * Down BGP Notification received"};
+  EXPECT_EQ(Canonicals(set), expected);
+}
+
+TEST(LearnerTest, MaxBranchBoundsSubTypes) {
+  // 30 distinct values > k=10 at the only varying position: masked, one
+  // template; with k=40 the same data yields 30 sub-types.
+  for (const int k : {10, 40}) {
+    TemplateLearnerParams params;
+    params.max_branch = k;
+    TemplateLearner learner(params);
+    // Enough repetitions that the sample-size cap (sqrt of node size)
+    // does not bind and the k parameter alone decides.
+    for (int i = 0; i < 30; ++i) {
+      for (int rep = 0; rep < 40; ++rep) {
+        learner.Add("C-1-X", "state code" + std::to_string(i) + " seen");
+      }
+    }
+    const TemplateSet set = learner.Learn();
+    if (k == 10) {
+      EXPECT_EQ(set.size(), 1u);
+    } else {
+      EXPECT_EQ(set.size(), 30u);
+    }
+  }
+}
+
+TEST(LearnerTest, EmptyLearnerYieldsEmptySet) {
+  TemplateLearner learner;
+  EXPECT_EQ(learner.Learn().size(), 0u);
+  EXPECT_EQ(learner.message_count(), 0u);
+}
+
+TEST(LearnerTest, SingleMessageBecomesItsOwnTemplate) {
+  TemplateLearner learner;
+  learner.Add("C-1-X", "one of a kind");
+  const TemplateSet set = learner.Learn();
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.All()[0].Canonical(), "C-1-X one of a kind");
+}
+
+TEST(LearnerTest, MixedCodesLearnedIndependently) {
+  TemplateLearner learner;
+  for (int i = 0; i < 20; ++i) {
+    learner.Add("A-1-X", "alpha " + std::to_string(i));
+    learner.Add("B-1-Y", "beta " + std::to_string(i));
+  }
+  const TemplateSet set = learner.Learn();
+  const std::set<std::string> expected = {"A-1-X alpha *", "B-1-Y beta *"};
+  EXPECT_EQ(Canonicals(set), expected);
+  EXPECT_EQ(learner.message_count(), 40u);
+}
+
+}  // namespace
+}  // namespace sld::core

@@ -1,0 +1,315 @@
+#include "core/location/location.h"
+
+#include <gtest/gtest.h>
+
+#include "net/config_writer.h"
+#include "net/topology.h"
+
+namespace sld::core {
+namespace {
+
+net::Topology MakeTopo(net::Vendor vendor) {
+  net::TopologyParams p;
+  p.vendor = vendor;
+  p.num_routers = 6;
+  p.slots_per_router = 3;
+  p.ports_per_slot = 3;
+  p.subifs_per_phys = 2;
+  p.seed = 3;
+  return net::GenerateTopology(p);
+}
+
+LocationDict MakeDict(const net::Topology& topo) {
+  std::vector<net::ParsedConfig> parsed;
+  for (const std::string& cfg : net::WriteAllConfigs(topo)) {
+    parsed.push_back(net::ParseConfig(cfg));
+  }
+  return LocationDict::Build(parsed);
+}
+
+class LocationDictTest : public ::testing::TestWithParam<net::Vendor> {
+ protected:
+  LocationDictTest() : topo_(MakeTopo(GetParam())), dict_(MakeDict(topo_)) {}
+  net::Topology topo_;
+  LocationDict dict_;
+};
+
+TEST_P(LocationDictTest, AllRoutersRegistered) {
+  EXPECT_EQ(dict_.router_count(), topo_.routers.size());
+  for (const net::Router& r : topo_.routers) {
+    const auto rid = dict_.RouterByName(r.name);
+    ASSERT_TRUE(rid.has_value()) << r.name;
+    const Location& loc = dict_.Get(dict_.RouterLocation(*rid));
+    EXPECT_EQ(loc.level, LocLevel::kRouter);
+    EXPECT_EQ(loc.name, r.name);
+  }
+  EXPECT_FALSE(dict_.RouterByName("missing").has_value());
+}
+
+TEST_P(LocationDictTest, InterfaceNamesResolveWithSlotHierarchy) {
+  for (const net::Router& r : topo_.routers) {
+    const auto rid = dict_.RouterByName(r.name);
+    ASSERT_TRUE(rid.has_value());
+    for (const net::PhysIfId pid : r.phys_ifs) {
+      const net::PhysIf& phys = topo_.phys_ifs[pid];
+      for (const net::LogicalIfId lid : phys.logical_ifs) {
+        const net::LogicalIf& logical = topo_.logical_ifs[lid];
+        const auto loc = dict_.NameOnRouter(*rid, logical.name);
+        ASSERT_TRUE(loc.has_value()) << logical.name;
+        // The logical interface must land in the physical slot.
+        EXPECT_EQ(dict_.Get(*loc).slot, phys.slot + (GetParam() ==
+                                                     net::Vendor::kV2));
+      }
+    }
+  }
+}
+
+TEST_P(LocationDictTest, AddressesResolveToOwningInterface) {
+  for (const net::LogicalIf& logical : topo_.logical_ifs) {
+    const auto loc = dict_.ByIp(logical.ip);
+    ASSERT_TRUE(loc.has_value()) << logical.ip;
+    EXPECT_EQ(dict_.Get(*loc).name, logical.name);
+  }
+  EXPECT_FALSE(dict_.ByIp("203.0.113.7").has_value());  // scanner address
+}
+
+TEST_P(LocationDictTest, LoopbacksResolveToRouterLevel) {
+  for (const net::Router& r : topo_.routers) {
+    const auto loc = dict_.ByIp(r.loopback_ip);
+    ASSERT_TRUE(loc.has_value());
+    EXPECT_EQ(dict_.Get(*loc).level, LocLevel::kRouter);
+    EXPECT_EQ(dict_.Get(*loc).name, r.name);
+  }
+}
+
+TEST_P(LocationDictTest, LinksLearnedFromDescriptions) {
+  EXPECT_EQ(dict_.links().size(), topo_.links.size());
+  for (const net::Link& link : topo_.links) {
+    const auto rid = dict_.RouterByName(topo_.routers[link.router_a].name);
+    const auto loc =
+        dict_.NameOnRouter(*rid, topo_.phys_ifs[link.phys_a].name);
+    ASSERT_TRUE(loc.has_value());
+    std::uint32_t link_idx = dict_.Get(*loc).link;
+    if (GetParam() == net::Vendor::kV2) {
+      // V2 untagged interfaces share the port name; the logical entry wins
+      // the name map but inherits the port's link.
+      ASSERT_NE(link_idx, kNoId);
+    }
+    ASSERT_NE(link_idx, kNoId);
+    const DictLink& dl = dict_.links()[link_idx];
+    const std::set<std::string> got = {
+        dict_.RouterName(dl.router_a), dict_.RouterName(dl.router_b)};
+    const std::set<std::string> want = {topo_.routers[link.router_a].name,
+                                        topo_.routers[link.router_b].name};
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(LocationDictTest, SessionsLearnedFromNeighbors) {
+  for (const net::Router& r : topo_.routers) {
+    const auto rid = dict_.RouterByName(r.name);
+    for (const net::SessionId sid : r.sessions) {
+      const net::BgpSession& s = topo_.sessions[sid];
+      const std::string& neighbor =
+          s.router_a == r.id ? s.neighbor_ip_of_a : s.neighbor_ip_of_b;
+      const auto loc = dict_.SessionOnRouter(*rid, neighbor);
+      ASSERT_TRUE(loc.has_value()) << neighbor;
+      EXPECT_EQ(dict_.Get(*loc).level, LocLevel::kSession);
+    }
+  }
+}
+
+TEST_P(LocationDictTest, PathsResolveGlobally) {
+  EXPECT_EQ(dict_.paths().size(), topo_.paths.size());
+  for (const net::Path& path : topo_.paths) {
+    const auto loc = dict_.PathByName(path.name);
+    ASSERT_TRUE(loc.has_value()) << path.name;
+    EXPECT_EQ(dict_.Get(*loc).level, LocLevel::kPath);
+    const DictPath& dp = dict_.paths()[dict_.Get(*loc).path];
+    ASSERT_EQ(dp.hops.size(), path.hops.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVendors, LocationDictTest,
+                         ::testing::Values(net::Vendor::kV1,
+                                           net::Vendor::kV2));
+
+// ---- spatial relations on a hand-written pair of configs ---------------
+
+class SpatialTest : public ::testing::Test {
+ protected:
+  SpatialTest() {
+    const char* r1 =
+        "hostname r1\n"
+        "interface Loopback0\n"
+        " ip address 192.168.0.1 255.255.255.255\n"
+        "controller T1 2/0\n"
+        "interface Serial2/0\n"
+        " description to r2 Serial1/0\n"
+        " no ip address\n"
+        "interface Serial2/0.10:0\n"
+        " ip address 10.0.0.1 255.255.255.252\n"
+        "interface Serial2/1\n"
+        " ppp multilink group 1\n"
+        " no ip address\n"
+        "interface Serial2/2\n"
+        " ppp multilink group 1\n"
+        " no ip address\n"
+        "interface GigabitEthernet3/0/0\n"
+        " no ip address\n"
+        "interface GigabitEthernet3/0/0.10\n"
+        " ip address 10.0.1.1 255.255.255.252\n"
+        "interface Multilink1\n"
+        " ppp multilink group 1\n"
+        "router bgp 7018\n"
+        " neighbor 192.168.0.2 remote-as 7018\n"
+        "mpls traffic-eng tunnel path-a\n"
+        " hop r1\n"
+        " hop r2\n";
+    const char* r2 =
+        "hostname r2\n"
+        "interface Loopback0\n"
+        " ip address 192.168.0.2 255.255.255.255\n"
+        "interface Serial1/0\n"
+        " description to r1 Serial2/0\n"
+        " no ip address\n"
+        "interface Serial1/0.20:0\n"
+        " ip address 10.0.0.2 255.255.255.252\n"
+        "router bgp 7018\n"
+        " neighbor 192.168.0.1 remote-as 7018\n";
+    dict_ = LocationDict::Build(
+        {net::ParseConfig(r1), net::ParseConfig(r2)});
+    r1_ = *dict_.RouterByName("r1");
+    r2_ = *dict_.RouterByName("r2");
+  }
+
+  LocationId Loc(DictRouterId r, std::string_view name) {
+    const auto loc = dict_.NameOnRouter(r, name);
+    EXPECT_TRUE(loc.has_value()) << name;
+    return *loc;
+  }
+
+  LocationDict dict_{LocationDict::Build({})};
+  DictRouterId r1_ = 0;
+  DictRouterId r2_ = 0;
+};
+
+TEST_F(SpatialTest, RouterLevelMatchesEverythingOnRouter) {
+  const LocationId router = dict_.RouterLocation(r1_);
+  EXPECT_TRUE(dict_.SpatiallyMatched(router, Loc(r1_, "Serial2/0")));
+  EXPECT_TRUE(dict_.SpatiallyMatched(router, Loc(r1_, "Serial2/0.10:0")));
+  EXPECT_TRUE(
+      dict_.SpatiallyMatched(Loc(r1_, "Serial2/0"), router));
+}
+
+TEST_F(SpatialTest, SameSlotMatches) {
+  // The paper's example: a message on slot 2 and one on interface 2/0/...
+  // are spatially matched.
+  EXPECT_TRUE(dict_.SpatiallyMatched(Loc(r1_, "Serial2/0"),
+                                     Loc(r1_, "Serial2/0.10:0")));
+  EXPECT_TRUE(dict_.SpatiallyMatched(Loc(r1_, "Serial2/0"),
+                                     Loc(r1_, "Serial2/1")));
+  EXPECT_TRUE(dict_.SpatiallyMatched(Loc(r1_, "T1 2/0"),
+                                     Loc(r1_, "Serial2/0.10:0")));
+}
+
+TEST_F(SpatialTest, DifferentSlotDoesNotMatch) {
+  EXPECT_FALSE(dict_.SpatiallyMatched(Loc(r1_, "Serial2/0"),
+                                      Loc(r1_, "GigabitEthernet3/0/0")));
+  EXPECT_FALSE(dict_.SpatiallyMatched(Loc(r1_, "Serial2/0.10:0"),
+                                      Loc(r1_, "GigabitEthernet3/0/0.10")));
+}
+
+TEST_F(SpatialTest, DifferentRoutersNeverSpatiallyMatch) {
+  EXPECT_FALSE(dict_.SpatiallyMatched(Loc(r1_, "Serial2/0"),
+                                      Loc(r2_, "Serial1/0")));
+  EXPECT_FALSE(dict_.SpatiallyMatched(dict_.RouterLocation(r1_),
+                                      dict_.RouterLocation(r2_)));
+}
+
+TEST_F(SpatialTest, BundleMatchesItsMembersSlots) {
+  const LocationId bundle = Loc(r1_, "Multilink1");
+  EXPECT_EQ(dict_.Get(bundle).level, LocLevel::kBundle);
+  EXPECT_TRUE(dict_.SpatiallyMatched(bundle, Loc(r1_, "Serial2/1")));
+  EXPECT_TRUE(dict_.SpatiallyMatched(bundle, Loc(r1_, "Serial2/0")));
+  EXPECT_FALSE(
+      dict_.SpatiallyMatched(bundle, Loc(r1_, "GigabitEthernet3/0/0")));
+}
+
+TEST_F(SpatialTest, LinkEndsAreConnected) {
+  ASSERT_EQ(dict_.links().size(), 1u);
+  EXPECT_TRUE(
+      dict_.Connected(Loc(r1_, "Serial2/0"), Loc(r2_, "Serial1/0")));
+  // Logical interfaces inherit the port's link.
+  EXPECT_TRUE(dict_.Connected(Loc(r1_, "Serial2/0.10:0"),
+                              Loc(r2_, "Serial1/0.20:0")));
+  EXPECT_FALSE(dict_.Connected(Loc(r1_, "GigabitEthernet3/0/0"),
+                               Loc(r2_, "Serial1/0")));
+}
+
+TEST_F(SpatialTest, PathMatchesItsHopRouters) {
+  const auto path = dict_.PathByName("path-a");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(dict_.SpatiallyMatched(*path, dict_.RouterLocation(r2_)));
+  EXPECT_TRUE(dict_.Connected(*path, Loc(r2_, "Serial1/0")));
+  EXPECT_TRUE(dict_.SpatiallyMatched(*path, *path));
+}
+
+TEST_F(SpatialTest, PeerLoopbackReferenceConnects) {
+  // r1's BGP message names r2's loopback: the resolved location is on r2,
+  // so it connects with r2's own locations.
+  const auto peer_loc = dict_.ByIp("192.168.0.2");
+  ASSERT_TRUE(peer_loc.has_value());
+  EXPECT_TRUE(dict_.Connected(*peer_loc, dict_.RouterLocation(r2_)));
+  EXPECT_FALSE(dict_.Connected(*peer_loc, dict_.RouterLocation(r1_)));
+}
+
+// A dictionary built from configs of BOTH vendor dialects at once: the
+// paper's vendor-independence claim at the location layer.
+TEST(MixedVendorTest, BothDialectsCoexist) {
+  const char* v1 =
+      "hostname mixed-a\n"
+      "interface Loopback0\n"
+      " ip address 192.168.50.1 255.255.255.255\n"
+      "interface Serial1/0\n"
+      " description to mixed-b 1/1/1\n"
+      " no ip address\n"
+      "interface Serial1/0.10:0\n"
+      " ip address 10.50.0.1 255.255.255.252\n";
+  const char* v2 =
+      "configure\n"
+      "    system\n"
+      "        name \"mixed-b\"\n"
+      "    exit\n"
+      "    port 1/1/1\n"
+      "        description \"to mixed-a Serial1/0\"\n"
+      "    exit\n"
+      "    router\n"
+      "        interface \"system\"\n"
+      "            address 192.168.50.2/32\n"
+      "        exit\n"
+      "        interface \"1/1/1\"\n"
+      "            address 10.50.0.2/30\n"
+      "            port 1/1/1\n"
+      "        exit\n"
+      "    exit\n"
+      "exit\n";
+  const LocationDict dict =
+      LocationDict::Build({net::ParseConfig(v1), net::ParseConfig(v2)});
+  ASSERT_EQ(dict.router_count(), 2u);
+  // The cross-vendor link resolved from the two description lines.
+  ASSERT_EQ(dict.links().size(), 1u);
+  const auto a = dict.RouterByName("mixed-a");
+  const auto b = dict.RouterByName("mixed-b");
+  ASSERT_TRUE(a && b);
+  const auto ifa = dict.NameOnRouter(*a, "Serial1/0.10:0");
+  const auto ifb = dict.NameOnRouter(*b, "1/1/1");
+  ASSERT_TRUE(ifa && ifb);
+  EXPECT_TRUE(dict.Connected(*ifa, *ifb));
+  // Addresses from both dialects resolve.
+  EXPECT_TRUE(dict.ByIp("10.50.0.1").has_value());
+  EXPECT_TRUE(dict.ByIp("10.50.0.2").has_value());
+}
+
+}  // namespace
+}  // namespace sld::core

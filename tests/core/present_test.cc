@@ -1,0 +1,106 @@
+#include "core/priority/present.h"
+
+#include <gtest/gtest.h>
+
+namespace sld::core {
+namespace {
+
+TemplateId Add(TemplateSet& set, std::string code,
+               std::initializer_list<const char*> tokens) {
+  std::vector<std::string> toks;
+  for (const char* t : tokens) toks.emplace_back(t);
+  return set.Add(std::move(code), std::move(toks));
+}
+
+TEST(LabelTest, LinkFlapWhenBothDirections) {
+  TemplateSet set;
+  const auto down = Add(set, "LINK-3-UPDOWN",
+                        {"Interface", "*", "changed", "state", "to", "down"});
+  const auto up = Add(set, "LINK-3-UPDOWN",
+                      {"Interface", "*", "changed", "state", "to", "up"});
+  EXPECT_EQ(LabelFor({down, up}, set), "link flap");
+  EXPECT_EQ(LabelFor({down}, set), "link down");
+  EXPECT_EQ(LabelFor({up}, set), "link up");
+}
+
+TEST(LabelTest, V2LinkCodesRecognized) {
+  TemplateSet set;
+  const auto down = Add(set, "SNMP-WARNING-linkDown",
+                        {"Interface", "*", "is", "not", "operational"});
+  const auto up = Add(set, "SNMP-WARNING-linkup",
+                      {"Interface", "*", "is", "operational"});
+  EXPECT_EQ(LabelFor({down, up}, set), "link flap");
+}
+
+TEST(LabelTest, MultipleFamiliesJoined) {
+  TemplateSet set;
+  const auto link = Add(set, "LINK-3-UPDOWN",
+                        {"Interface", "*", "changed", "state", "to", "down"});
+  const auto proto =
+      Add(set, "LINEPROTO-5-UPDOWN",
+          {"Line", "protocol", "on", "Interface", "*", "changed", "state",
+           "to", "down"});
+  const std::string label = LabelFor({link, proto}, set);
+  EXPECT_NE(label.find("link down"), std::string::npos);
+  EXPECT_NE(label.find("line protocol down"), std::string::npos);
+}
+
+TEST(LabelTest, NonFlappableFamilies) {
+  TemplateSet set;
+  const auto cpu =
+      Add(set, "SYS-1-CPURISINGTHRESHOLD", {"Threshold:", "*"});
+  EXPECT_EQ(LabelFor({cpu}, set), "CPU threshold");
+  const auto auth = Add(set, "TCP-6-BADAUTH", {"Invalid", "MD5", "*"});
+  EXPECT_EQ(LabelFor({auth}, set), "TCP bad authentication");
+  const auto cfg = Add(set, "SYS-5-CONFIG_I", {"Configured", "*"});
+  EXPECT_EQ(LabelFor({cfg}, set), "configuration change");
+}
+
+TEST(LabelTest, PimNeighborLoss) {
+  TemplateSet set;
+  const auto loss = Add(set, "PIM-MAJOR-pimNeighborLoss",
+                        {"PIM", "neighbor", "*", "on", "interface", "*",
+                         "lost"});
+  EXPECT_EQ(LabelFor({loss}, set), "PIM neighbor down");
+}
+
+TEST(LabelTest, UnknownFamilyFallsBackToFacility) {
+  TemplateSet set;
+  const auto odd = Add(set, "FANCY-2-THING", {"something", "*"});
+  EXPECT_EQ(LabelFor({odd}, set), "fancy events");
+  EXPECT_EQ(LabelFor({}, set), "unclassified");
+}
+
+TEST(LabelTest, BgpAdjacencyChange) {
+  TemplateSet set;
+  const auto down = Add(set, "BGP-5-ADJCHANGE",
+                        {"neighbor", "*", "vpn", "vrf", "*", "Down",
+                         "Interface", "flap"});
+  const auto up = Add(set, "BGP-5-ADJCHANGE",
+                      {"neighbor", "*", "vpn", "vrf", "*", "Up"});
+  EXPECT_EQ(LabelFor({down, up}, set), "BGP adjacency flap");
+  EXPECT_EQ(LabelFor({down}, set), "BGP adjacency down");
+}
+
+TEST(LabelTest, CustomRulesTakePrecedence) {
+  TemplateSet set;
+  const auto down = Add(set, "LINK-3-UPDOWN",
+                        {"Interface", "*", "changed", "state", "to", "down"});
+  const std::vector<LabelRule> custom = {
+      {"LINK-3", "circuit", true},
+      {"FANCY", "special widget", false},
+  };
+  EXPECT_EQ(LabelFor({down}, set, &custom), "circuit down");
+  const auto odd = Add(set, "FANCY-2-THING", {"something", "*"});
+  EXPECT_EQ(LabelFor({odd}, set, &custom), "special widget");
+  // Without custom rules, the built-ins still apply.
+  EXPECT_EQ(LabelFor({down}, set), "link down");
+}
+
+TEST(LocationTextTest, UnknownRoutersPlaceholder) {
+  LocationDict dict;
+  EXPECT_EQ(LocationTextFor({}, dict), "(unknown routers)");
+}
+
+}  // namespace
+}  // namespace sld::core

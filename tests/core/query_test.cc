@@ -1,0 +1,121 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "net/config_parser.h"
+
+namespace sld::core {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() {
+    dict_ = LocationDict::Build({net::ParseConfig("hostname r1\n"),
+                                 net::ParseConfig("hostname r2\n")});
+    DigestEvent big;
+    big.messages = {2, 0, 1};  // deliberately unordered
+    big.start = 1000;
+    big.end = 5000;
+    big.score = 100;
+    big.label = "link flap";
+    big.router_keys = {0, 1};
+    DigestEvent small;
+    small.messages = {3};
+    small.start = 9000;
+    small.end = 9000;
+    small.score = 5;
+    small.label = "configuration change";
+    small.router_keys = {1};
+    result_.events = {big, small};
+    result_.message_count = 4;
+
+    for (int i = 0; i < 4; ++i) {
+      syslog::SyslogRecord rec;
+      rec.time = 1000 + 1000 * ((i * 2) % 5);  // distinct times
+      rec.router = i < 3 ? "r1" : "r2";
+      rec.code = "A-1-B";
+      rec.detail = "msg " + std::to_string(i);
+      stream_.push_back(std::move(rec));
+    }
+  }
+
+  LocationDict dict_;
+  DigestResult result_;
+  std::vector<syslog::SyslogRecord> stream_;
+};
+
+TEST_F(QueryTest, EmptyFilterMatchesAll) {
+  EXPECT_EQ(FilterEvents(result_, dict_, {}).size(), 2u);
+}
+
+TEST_F(QueryTest, TimeOverlap) {
+  EventFilter f;
+  f.from = 6000;
+  const auto late = FilterEvents(result_, dict_, f);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0]->label, "configuration change");
+  EventFilter g;
+  g.to = 4000;
+  const auto early = FilterEvents(result_, dict_, g);
+  ASSERT_EQ(early.size(), 1u);
+  EXPECT_EQ(early[0]->label, "link flap");
+  EventFilter h;
+  h.from = 2000;
+  h.to = 3000;  // inside the big event's span
+  EXPECT_EQ(FilterEvents(result_, dict_, h).size(), 1u);
+}
+
+TEST_F(QueryTest, LabelSubstring) {
+  EventFilter f;
+  f.label_contains = "flap";
+  ASSERT_EQ(FilterEvents(result_, dict_, f).size(), 1u);
+  f.label_contains = "nothing";
+  EXPECT_TRUE(FilterEvents(result_, dict_, f).empty());
+}
+
+TEST_F(QueryTest, RouterInvolvement) {
+  EventFilter f;
+  f.router = "r1";
+  EXPECT_EQ(FilterEvents(result_, dict_, f).size(), 1u);
+  f.router = "r2";
+  EXPECT_EQ(FilterEvents(result_, dict_, f).size(), 2u);
+  f.router = "ghost";
+  EXPECT_TRUE(FilterEvents(result_, dict_, f).empty());
+}
+
+TEST_F(QueryTest, ScoreAndSizeThresholds) {
+  EventFilter f;
+  f.min_score = 50;
+  EXPECT_EQ(FilterEvents(result_, dict_, f).size(), 1u);
+  EventFilter g;
+  g.min_messages = 2;
+  EXPECT_EQ(FilterEvents(result_, dict_, g).size(), 1u);
+}
+
+TEST_F(QueryTest, ConjunctionOfFilters) {
+  EventFilter f;
+  f.router = "r2";
+  f.label_contains = "link";
+  const auto got = FilterEvents(result_, dict_, f);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->label, "link flap");
+}
+
+TEST_F(QueryTest, EventRecordsSortedByTime) {
+  const auto records = EventRecords(result_.events[0], stream_);
+  ASSERT_EQ(records.size(), 3u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1]->time, records[i]->time);
+  }
+}
+
+TEST_F(QueryTest, EventRecordsIgnoreOutOfRangeIndices) {
+  DigestEvent ev;
+  ev.messages = {1, 99};
+  const auto records = EventRecords(ev, stream_);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0]->detail, "msg 1");
+}
+
+}  // namespace
+}  // namespace sld::core

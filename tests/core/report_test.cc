@@ -1,0 +1,132 @@
+#include "core/priority/report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "net/config_parser.h"
+
+namespace sld::core {
+namespace {
+
+DigestResult SampleResult() {
+  DigestResult result;
+  result.message_count = 100;
+  result.active_rule_count = 3;
+  DigestEvent a;
+  a.messages = {0, 1, 2};
+  a.start = ParseTimestamp("2009-09-01 10:00:00").value();
+  a.end = ParseTimestamp("2009-09-01 10:05:00").value();
+  a.score = 50.0;
+  a.label = "link flap";
+  a.location_text = "r1 Serial0/0";
+  a.router_keys = {0};
+  DigestEvent b;
+  b.messages = {3};
+  b.start = ParseTimestamp("2009-09-01 11:00:00").value();
+  b.end = b.start;
+  b.score = 10.0;
+  b.label = "configuration change, with \"quotes\"";
+  b.location_text = "r2";
+  b.router_keys = {1};
+  result.events = {a, b};
+  return result;
+}
+
+LocationDict TwoRouterDict() {
+  return LocationDict::Build(
+      {net::ParseConfig("hostname r1\n"),
+       net::ParseConfig("hostname r2\n")});
+}
+
+TEST(ReportTest, ContainsHeadlineAndSections) {
+  const LocationDict dict = TwoRouterDict();
+  const std::string report = RenderReport(SampleResult(), dict);
+  EXPECT_NE(report.find("2 events from 100 messages"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("events by type:"), std::string::npos);
+  EXPECT_NE(report.find("link flap"), std::string::npos);
+  EXPECT_NE(report.find("top 2 events by priority:"), std::string::npos);
+  EXPECT_NE(report.find("routers with most events:"), std::string::npos);
+  EXPECT_NE(report.find("r1"), std::string::npos);
+}
+
+TEST(ReportTest, TopEventsLimit) {
+  const LocationDict dict = TwoRouterDict();
+  ReportOptions options;
+  options.top_events = 1;
+  const std::string report = RenderReport(SampleResult(), dict, options);
+  EXPECT_NE(report.find("top 1 events"), std::string::npos);
+  // Only one ranked digest line (score bracket marker) is listed.
+  std::size_t markers = 0;
+  for (std::size_t at = report.find(". ["); at != std::string::npos;
+       at = report.find(". [", at + 1)) {
+    ++markers;
+  }
+  EXPECT_EQ(markers, 1u);
+}
+
+TEST(CsvTest, HeaderAndRows) {
+  const std::string csv = ToCsv(SampleResult());
+  const auto lines = SplitChar(csv, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "start,end,score,messages,routers,label,locations");
+  EXPECT_TRUE(lines[1].starts_with("2009-09-01 10:00:00,"));
+  EXPECT_NE(lines[1].find(",3,1,link flap,"), std::string_view::npos);
+}
+
+TEST(CsvTest, QuotesFieldsWithCommasAndQuotes) {
+  const std::string csv = ToCsv(SampleResult());
+  // RFC 4180: embedded quotes doubled, field wrapped in quotes.
+  EXPECT_NE(csv.find("\"configuration change, with \"\"quotes\"\"\""),
+            std::string::npos)
+      << csv;
+}
+
+TEST(TimelineTest, FirstOccurrencePerCodeInTimeOrder) {
+  std::vector<syslog::SyslogRecord> stream;
+  const char* codes[] = {"B-1-X", "A-1-X", "B-1-X", "C-1-X"};
+  for (int i = 0; i < 4; ++i) {
+    syslog::SyslogRecord rec;
+    rec.time = ParseTimestamp("2009-09-01 10:00:00").value() + i * 60000;
+    rec.router = "r1";
+    rec.code = codes[i];
+    rec.detail = "detail " + std::to_string(i);
+    stream.push_back(std::move(rec));
+  }
+  DigestEvent ev;
+  ev.messages = {3, 2, 1, 0};  // unordered index field
+  const std::string timeline = RenderTimeline(ev, stream);
+  // Three distinct codes, in time order; the repeat of B-1-X is skipped.
+  const auto lines = SplitChar(timeline, '\n');
+  ASSERT_EQ(lines.size(), 4u);  // 3 rows + trailing empty
+  EXPECT_NE(lines[0].find("B-1-X"), std::string_view::npos);
+  EXPECT_NE(lines[0].find("detail 0"), std::string_view::npos);
+  EXPECT_NE(lines[1].find("A-1-X"), std::string_view::npos);
+  EXPECT_NE(lines[2].find("C-1-X"), std::string_view::npos);
+}
+
+TEST(TimelineTest, TruncatesAtMaxLines) {
+  std::vector<syslog::SyslogRecord> stream;
+  DigestEvent ev;
+  for (int i = 0; i < 10; ++i) {
+    syslog::SyslogRecord rec;
+    rec.time = i * 1000;
+    rec.router = "r1";
+    rec.code = "C-" + std::to_string(i) + "-X";
+    rec.detail = "d";
+    stream.push_back(std::move(rec));
+    ev.messages.push_back(static_cast<std::size_t>(i));
+  }
+  const std::string timeline = RenderTimeline(ev, stream, 3);
+  EXPECT_NE(timeline.find("..."), std::string::npos);
+  EXPECT_EQ(SplitChar(timeline, '\n').size(), 5u);  // 3 rows + "..." + ""
+}
+
+TEST(CsvTest, EmptyResult) {
+  DigestResult result;
+  const std::string csv = ToCsv(result);
+  EXPECT_EQ(SplitChar(csv, '\n').size(), 2u);  // header + trailing empty
+}
+
+}  // namespace
+}  // namespace sld::core

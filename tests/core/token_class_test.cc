@@ -1,0 +1,67 @@
+#include "core/templates/token_class.h"
+
+#include <gtest/gtest.h>
+
+namespace sld::core {
+namespace {
+
+struct StripCase {
+  const char* in;
+  const char* out;
+};
+
+class StripPunctTest : public ::testing::TestWithParam<StripCase> {};
+
+TEST_P(StripPunctTest, Strips) {
+  EXPECT_EQ(StripPunct(GetParam().in), GetParam().out) << GetParam().in;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, StripPunctTest,
+    ::testing::Values(
+        StripCase{"Serial1/0.10:0,", "Serial1/0.10:0"},
+        StripCase{"10.1.2.3(179)", "10.1.2.3"},
+        StripCase{"(Pid/Util):", "Pid/Util"},
+        StripCase{"[Source:", "Source"},
+        StripCase{"updated.", "updated"},
+        StripCase{"flap.", "flap"},
+        StripCase{"word", "word"},
+        StripCase{"\"quoted\"", "quoted"},
+        StripCase{"0/0:1", "0/0:1"},       // channel suffix retained
+        StripCase{"1000:1001", "1000:1001"},
+        StripCase{"].", ""},
+        StripCase{"", ""}));
+
+struct LocCase {
+  const char* token;
+  bool location;
+};
+
+class LocationTokenTest : public ::testing::TestWithParam<LocCase> {};
+
+TEST_P(LocationTokenTest, Classifies) {
+  EXPECT_EQ(LooksLikeLocationToken(GetParam().token), GetParam().location)
+      << GetParam().token;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, LocationTokenTest,
+    ::testing::Values(
+        LocCase{"10.1.2.3", true},           // address
+        LocCase{"1/1/1", true},              // bare position
+        LocCase{"2/0.10:0", true},           // channelized position
+        LocCase{"Serial1/0.10:0", true},     // interface name
+        LocCase{"GigabitEthernet0/1/0", true},
+        LocCase{"Multilink3", false},        // no separator after digits
+        LocCase{"lag-1", true},              // '-' separator
+        LocCase{"MD5", false},               // ordinary word with digit
+        LocCase{"vty0", false},
+        LocCase{"T1", false},                // single-letter prefix
+        LocCase{"down", false},
+        LocCase{"Interface", false},
+        LocCase{"95%/1%", false},            // '%' is not a position char
+        LocCase{"1000:1001", true},          // VRF / RD id
+        LocCase{"", false}));
+
+}  // namespace
+}  // namespace sld::core

@@ -1,0 +1,112 @@
+#include "core/trend.h"
+
+#include <gtest/gtest.h>
+
+namespace sld::core {
+namespace {
+
+Augmented At(int day, TemplateId tmpl) {
+  Augmented a;
+  a.time = static_cast<TimeMs>(day) * kMsPerDay + kMsPerHour;
+  a.tmpl = tmpl;
+  a.router_key = 0;
+  return a;
+}
+
+TEST(TrendTest, TemplateDailyCountsBucketsByDay) {
+  TemplateSet templates;
+  const auto t = templates.Add("A-1-B", {"x", "*"});
+  std::vector<Augmented> stream;
+  for (int day = 0; day < 5; ++day) {
+    for (int n = 0; n <= day; ++n) stream.push_back(At(day, t));
+  }
+  const auto series = TemplateDailyCounts(stream, templates, 0, 5);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].name, "A-1-B x *");
+  ASSERT_EQ(series[0].counts.size(), 5u);
+  for (int day = 0; day < 5; ++day) {
+    EXPECT_DOUBLE_EQ(series[0].counts[day], day + 1.0);
+  }
+}
+
+TEST(TrendTest, MessagesOutsideRangeIgnored) {
+  TemplateSet templates;
+  const auto t = templates.Add("A-1-B", {"x"});
+  std::vector<Augmented> stream = {At(-1, t), At(0, t), At(7, t)};
+  stream[0].time = -kMsPerHour;
+  const auto series = TemplateDailyCounts(stream, templates, 0, 5);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].counts[0], 1.0);
+}
+
+DailySeries Steps(std::vector<double> counts) {
+  DailySeries s;
+  s.name = "test";
+  s.counts = std::move(counts);
+  return s;
+}
+
+TEST(LevelShiftTest, DetectsActivation) {
+  // Quiet for 14 days, then ~10/day: a clear upward shift at day 14.
+  std::vector<double> counts(28, 0.0);
+  for (int day = 14; day < 28; ++day) counts[day] = 10;
+  LevelShiftParams params;
+  params.window_days = 7;
+  const auto shifts = DetectLevelShifts(
+      std::vector<DailySeries>{Steps(counts)}, params);
+  ASSERT_EQ(shifts.size(), 1u);
+  EXPECT_EQ(shifts[0].day, 14);
+  EXPECT_DOUBLE_EQ(shifts[0].before, 0.0);
+  EXPECT_DOUBLE_EQ(shifts[0].after, 10.0);
+}
+
+TEST(LevelShiftTest, DetectsDrop) {
+  std::vector<double> counts(28, 20.0);
+  for (int day = 21; day < 28; ++day) counts[day] = 2;
+  const auto shifts =
+      DetectLevelShifts(std::vector<DailySeries>{Steps(counts)});
+  ASSERT_EQ(shifts.size(), 1u);
+  EXPECT_EQ(shifts[0].day, 21);
+  EXPECT_GT(shifts[0].before, shifts[0].after);
+}
+
+TEST(LevelShiftTest, StableSeriesReportNothing) {
+  std::vector<double> counts(28, 15.0);
+  counts[10] = 18;  // one noisy day is not a level shift
+  EXPECT_TRUE(
+      DetectLevelShifts(std::vector<DailySeries>{Steps(counts)}).empty());
+}
+
+TEST(LevelShiftTest, QuietSeriesIgnored) {
+  // Means below min_mean never fire (0 vs 0.3/day noise).
+  std::vector<double> counts(28, 0.0);
+  counts[20] = 1;
+  counts[24] = 1;
+  EXPECT_TRUE(
+      DetectLevelShifts(std::vector<DailySeries>{Steps(counts)}).empty());
+}
+
+TEST(LevelShiftTest, StrongestShiftFirst) {
+  std::vector<double> weak(28, 10.0);
+  for (int day = 14; day < 28; ++day) weak[day] = 25;
+  std::vector<double> strong(28, 1.0);
+  for (int day = 14; day < 28; ++day) strong[day] = 50;
+  DailySeries a = Steps(weak);
+  a.name = "weak";
+  DailySeries b = Steps(strong);
+  b.name = "strong";
+  const auto shifts =
+      DetectLevelShifts(std::vector<DailySeries>{a, b});
+  ASSERT_EQ(shifts.size(), 2u);
+  EXPECT_EQ(shifts[0].series, "strong");
+  EXPECT_EQ(shifts[1].series, "weak");
+}
+
+TEST(LevelShiftTest, ShortSeriesAreSafe) {
+  std::vector<double> counts(5, 100.0);  // shorter than 2 windows
+  EXPECT_TRUE(
+      DetectLevelShifts(std::vector<DailySeries>{Steps(counts)}).empty());
+}
+
+}  // namespace
+}  // namespace sld::core

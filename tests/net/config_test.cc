@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/config_parser.h"
+#include "net/config_writer.h"
+
+namespace sld::net {
+namespace {
+
+TopologyParams Params(Vendor vendor) {
+  TopologyParams p;
+  p.vendor = vendor;
+  p.num_routers = 8;
+  p.slots_per_router = 2;
+  p.ports_per_slot = 3;
+  p.subifs_per_phys = 2;
+  p.seed = 5;
+  return p;
+}
+
+class ConfigRoundTrip : public ::testing::TestWithParam<Vendor> {};
+
+TEST_P(ConfigRoundTrip, HostnameAndLoopbackSurvive) {
+  const Topology topo = GenerateTopology(Params(GetParam()));
+  for (const Router& r : topo.routers) {
+    const ParsedConfig cfg = ParseConfig(WriteConfig(topo, r.id));
+    EXPECT_EQ(cfg.hostname, r.name);
+    EXPECT_EQ(cfg.vendor, GetParam());
+    EXPECT_EQ(cfg.loopback_ip, r.loopback_ip);
+  }
+}
+
+TEST_P(ConfigRoundTrip, AllPortsSurvive) {
+  const Topology topo = GenerateTopology(Params(GetParam()));
+  const Router& r = topo.routers[0];
+  const ParsedConfig cfg = ParseConfig(WriteConfig(topo, r.id));
+  EXPECT_EQ(cfg.ports.size(), r.phys_ifs.size());
+  for (const PhysIfId pid : r.phys_ifs) {
+    const std::string& name = topo.phys_ifs[pid].name;
+    EXPECT_TRUE(std::any_of(cfg.ports.begin(), cfg.ports.end(),
+                            [&](const ParsedPort& p) {
+                              return p.name == name;
+                            }))
+        << name;
+  }
+}
+
+TEST_P(ConfigRoundTrip, InterfaceAddressesSurvive) {
+  const Topology topo = GenerateTopology(Params(GetParam()));
+  const Router& r = topo.routers[1];
+  const ParsedConfig cfg = ParseConfig(WriteConfig(topo, r.id));
+  std::size_t expected = 0;
+  for (const PhysIfId pid : r.phys_ifs) {
+    expected += topo.phys_ifs[pid].logical_ifs.size();
+  }
+  EXPECT_EQ(cfg.interfaces.size(), expected);
+  for (const PhysIfId pid : r.phys_ifs) {
+    for (const LogicalIfId lid : topo.phys_ifs[pid].logical_ifs) {
+      const LogicalIf& logical = topo.logical_ifs[lid];
+      const auto it = std::find_if(
+          cfg.interfaces.begin(), cfg.interfaces.end(),
+          [&](const ParsedInterface& i) { return i.name == logical.name; });
+      ASSERT_NE(it, cfg.interfaces.end()) << logical.name;
+      EXPECT_EQ(it->ip, logical.ip);
+    }
+  }
+}
+
+TEST_P(ConfigRoundTrip, LinkDescriptionsSurvive) {
+  const Topology topo = GenerateTopology(Params(GetParam()));
+  for (const Link& link : topo.links) {
+    const ParsedConfig cfg =
+        ParseConfig(WriteConfig(topo, link.router_a));
+    const std::string& local = topo.phys_ifs[link.phys_a].name;
+    const auto it = std::find_if(
+        cfg.ports.begin(), cfg.ports.end(),
+        [&](const ParsedPort& p) { return p.name == local; });
+    ASSERT_NE(it, cfg.ports.end());
+    EXPECT_EQ(it->peer_router, topo.routers[link.router_b].name);
+    EXPECT_EQ(it->peer_if, topo.phys_ifs[link.phys_b].name);
+  }
+}
+
+TEST_P(ConfigRoundTrip, BundlesSurviveWithMembers) {
+  const Topology topo = GenerateTopology(Params(GetParam()));
+  for (const Bundle& bundle : topo.bundles) {
+    const ParsedConfig cfg = ParseConfig(WriteConfig(topo, bundle.router));
+    const auto it = std::find_if(
+        cfg.bundles.begin(), cfg.bundles.end(),
+        [&](const ParsedBundle& b) { return b.name == bundle.name; });
+    ASSERT_NE(it, cfg.bundles.end()) << bundle.name;
+    ASSERT_EQ(it->members.size(), bundle.members.size());
+    for (const PhysIfId m : bundle.members) {
+      EXPECT_TRUE(std::find(it->members.begin(), it->members.end(),
+                            topo.phys_ifs[m].name) != it->members.end());
+    }
+  }
+}
+
+TEST_P(ConfigRoundTrip, BgpNeighborsSurvive) {
+  const Topology topo = GenerateTopology(Params(GetParam()));
+  const Router& r = topo.routers[2];
+  const ParsedConfig cfg = ParseConfig(WriteConfig(topo, r.id));
+  EXPECT_EQ(cfg.bgp_neighbors.size(), r.sessions.size());
+  for (const SessionId sid : r.sessions) {
+    const BgpSession& s = topo.sessions[sid];
+    const std::string& ip = s.router_a == r.id || s.router_b == kInvalidId
+                                ? s.neighbor_ip_of_a
+                                : s.neighbor_ip_of_b;
+    const std::string& expected_ip =
+        s.router_a == r.id ? s.neighbor_ip_of_a : s.neighbor_ip_of_b;
+    (void)ip;
+    const auto it = std::find_if(cfg.bgp_neighbors.begin(),
+                                 cfg.bgp_neighbors.end(),
+                                 [&](const ParsedBgpNeighbor& n) {
+                                   return n.ip == expected_ip;
+                                 });
+    ASSERT_NE(it, cfg.bgp_neighbors.end()) << expected_ip;
+    EXPECT_EQ(it->vrf, s.vrf);
+  }
+}
+
+TEST_P(ConfigRoundTrip, PathsSurviveOnHeadRouter) {
+  const Topology topo = GenerateTopology(Params(GetParam()));
+  for (const Path& path : topo.paths) {
+    const ParsedConfig cfg =
+        ParseConfig(WriteConfig(topo, path.hops.front()));
+    const auto it = std::find_if(
+        cfg.paths.begin(), cfg.paths.end(),
+        [&](const ParsedPath& p) { return p.name == path.name; });
+    ASSERT_NE(it, cfg.paths.end()) << path.name;
+    ASSERT_EQ(it->hops.size(), path.hops.size());
+    for (std::size_t i = 0; i < path.hops.size(); ++i) {
+      EXPECT_EQ(it->hops[i], topo.routers[path.hops[i]].name);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVendors, ConfigRoundTrip,
+                         ::testing::Values(Vendor::kV1, Vendor::kV2));
+
+TEST(ConfigParserTest, V1ControllersParsed) {
+  const Topology topo = GenerateTopology(Params(Vendor::kV1));
+  const Router& r = topo.routers[0];
+  const ParsedConfig cfg = ParseConfig(WriteConfig(topo, r.id));
+  std::size_t expected = 0;
+  for (const PhysIfId pid : r.phys_ifs) {
+    if (topo.phys_ifs[pid].has_controller) ++expected;
+  }
+  EXPECT_EQ(cfg.controllers.size(), expected);
+  for (const std::string& c : cfg.controllers) {
+    EXPECT_TRUE(c.starts_with("T1 "));
+  }
+}
+
+TEST(ConfigParserTest, RejectsUnknownDialect) {
+  EXPECT_THROW(ParseConfig("just some text\nwith lines\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseConfig(""), std::runtime_error);
+}
+
+TEST(ConfigParserTest, V1HandWrittenMinimal) {
+  const ParsedConfig cfg = ParseConfig(
+      "hostname lab1\n"
+      "!\n"
+      "interface Loopback0\n"
+      " ip address 192.168.9.9 255.255.255.255\n"
+      "!\n"
+      "interface Serial0/1\n"
+      " description to lab2 Serial1/0\n"
+      " no ip address\n"
+      "!\n"
+      "interface Serial0/1.10:0\n"
+      " ip address 10.9.9.1 255.255.255.252\n"
+      "!\n");
+  EXPECT_EQ(cfg.hostname, "lab1");
+  EXPECT_EQ(cfg.loopback_ip, "192.168.9.9");
+  ASSERT_EQ(cfg.ports.size(), 1u);
+  EXPECT_EQ(cfg.ports[0].name, "Serial0/1");
+  EXPECT_EQ(cfg.ports[0].peer_router, "lab2");
+  ASSERT_EQ(cfg.interfaces.size(), 1u);
+  EXPECT_EQ(cfg.interfaces[0].name, "Serial0/1.10:0");
+  EXPECT_EQ(cfg.interfaces[0].ip, "10.9.9.1");
+}
+
+TEST(ConfigParserTest, V2HandWrittenMinimal) {
+  const ParsedConfig cfg = ParseConfig(
+      "configure\n"
+      "    system\n"
+      "        name \"labv2\"\n"
+      "    exit\n"
+      "    port 1/1/1\n"
+      "        description \"to peer1 2/1/1\"\n"
+      "    exit\n"
+      "    router\n"
+      "        interface \"system\"\n"
+      "            address 192.168.7.7/32\n"
+      "        exit\n"
+      "        interface \"1/1/1\"\n"
+      "            address 10.7.7.1/30\n"
+      "            port 1/1/1\n"
+      "        exit\n"
+      "        bgp\n"
+      "            group \"vpn-1000:1002\"\n"
+      "                neighbor 192.168.100.9\n"
+      "            exit\n"
+      "        exit\n"
+      "    exit\n"
+      "exit\n");
+  EXPECT_EQ(cfg.hostname, "labv2");
+  EXPECT_EQ(cfg.loopback_ip, "192.168.7.7");
+  ASSERT_EQ(cfg.ports.size(), 1u);
+  EXPECT_EQ(cfg.ports[0].peer_router, "peer1");
+  ASSERT_EQ(cfg.interfaces.size(), 1u);
+  EXPECT_EQ(cfg.interfaces[0].ip, "10.7.7.1");
+  ASSERT_EQ(cfg.bgp_neighbors.size(), 1u);
+  EXPECT_EQ(cfg.bgp_neighbors[0].vrf, "1000:1002");
+}
+
+}  // namespace
+}  // namespace sld::net

@@ -1,0 +1,203 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+namespace sld::net {
+namespace {
+
+TopologyParams SmallParams(Vendor vendor) {
+  TopologyParams p;
+  p.vendor = vendor;
+  p.num_routers = 12;
+  p.slots_per_router = 3;
+  p.ports_per_slot = 4;
+  p.subifs_per_phys = 2;
+  p.seed = 99;
+  return p;
+}
+
+TEST(TopologyTest, GeneratesRequestedRouterCount) {
+  const Topology topo = GenerateTopology(SmallParams(Vendor::kV1));
+  EXPECT_EQ(topo.routers.size(), 12u);
+  for (const Router& r : topo.routers) {
+    EXPECT_EQ(r.phys_ifs.size(), 3u * 4u);
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.loopback_ip.empty());
+    EXPECT_FALSE(r.state.empty());
+  }
+}
+
+TEST(TopologyTest, DeterministicForSameSeed) {
+  const Topology a = GenerateTopology(SmallParams(Vendor::kV1));
+  const Topology b = GenerateTopology(SmallParams(Vendor::kV1));
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].router_a, b.links[i].router_a);
+    EXPECT_EQ(a.links[i].router_b, b.links[i].router_b);
+  }
+  ASSERT_EQ(a.logical_ifs.size(), b.logical_ifs.size());
+  for (std::size_t i = 0; i < a.logical_ifs.size(); ++i) {
+    EXPECT_EQ(a.logical_ifs[i].ip, b.logical_ifs[i].ip);
+  }
+}
+
+TEST(TopologyTest, LinkGraphIsConnected) {
+  const Topology topo = GenerateTopology(SmallParams(Vendor::kV1));
+  std::vector<std::vector<RouterId>> adj(topo.routers.size());
+  for (const Link& l : topo.links) {
+    adj[l.router_a].push_back(l.router_b);
+    adj[l.router_b].push_back(l.router_a);
+  }
+  std::vector<bool> seen(topo.routers.size(), false);
+  std::queue<RouterId> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t count = 0;
+  while (!q.empty()) {
+    const RouterId at = q.front();
+    q.pop();
+    ++count;
+    for (const RouterId next : adj[at]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        q.push(next);
+      }
+    }
+  }
+  EXPECT_EQ(count, topo.routers.size());
+}
+
+TEST(TopologyTest, LinkEndpointsAreConsistent) {
+  const Topology topo = GenerateTopology(SmallParams(Vendor::kV2));
+  for (const Link& l : topo.links) {
+    EXPECT_NE(l.router_a, l.router_b);
+    EXPECT_EQ(topo.phys_ifs[l.phys_a].router, l.router_a);
+    EXPECT_EQ(topo.phys_ifs[l.phys_b].router, l.router_b);
+    EXPECT_EQ(topo.phys_ifs[l.phys_a].link, l.id);
+    EXPECT_EQ(topo.phys_ifs[l.phys_b].link, l.id);
+    EXPECT_EQ(topo.LinkPeer(l.id, l.router_a), l.router_b);
+    EXPECT_EQ(topo.LinkEnd(l.id, l.router_b), l.phys_b);
+  }
+}
+
+TEST(TopologyTest, EveryLogicalInterfaceHasUniqueAddress) {
+  const Topology topo = GenerateTopology(SmallParams(Vendor::kV1));
+  std::set<std::string> ips;
+  for (const LogicalIf& l : topo.logical_ifs) {
+    EXPECT_FALSE(l.ip.empty());
+    EXPECT_TRUE(ips.insert(l.ip).second) << "duplicate " << l.ip;
+  }
+}
+
+TEST(TopologyTest, BundleMembersBelongToBundleRouter) {
+  const Topology topo = GenerateTopology(SmallParams(Vendor::kV1));
+  EXPECT_FALSE(topo.bundles.empty());
+  for (const Bundle& b : topo.bundles) {
+    for (const PhysIfId m : b.members) {
+      EXPECT_EQ(topo.phys_ifs[m].router, b.router);
+      EXPECT_EQ(topo.phys_ifs[m].bundle, b.id);
+      EXPECT_FALSE(topo.phys_ifs[m].link.has_value());
+    }
+  }
+}
+
+TEST(TopologyTest, EbgpSessionsCarryVrf) {
+  const Topology topo = GenerateTopology(SmallParams(Vendor::kV1));
+  std::size_t ebgp = 0;
+  std::size_t ibgp = 0;
+  for (const BgpSession& s : topo.sessions) {
+    if (s.vrf.empty()) {
+      ++ibgp;
+      ASSERT_NE(s.router_b, kInvalidId);
+      EXPECT_EQ(s.neighbor_ip_of_a, topo.routers[s.router_b].loopback_ip);
+      EXPECT_EQ(s.neighbor_ip_of_b, topo.routers[s.router_a].loopback_ip);
+    } else {
+      ++ebgp;
+      EXPECT_EQ(s.router_b, kInvalidId);
+      EXPECT_TRUE(s.vrf.starts_with("1000:"));
+    }
+  }
+  EXPECT_EQ(ebgp, topo.routers.size() * 3);  // default 3 per router
+  EXPECT_GT(ibgp, 0u);
+}
+
+TEST(TopologyTest, PathsFollowLinks) {
+  const Topology topo = GenerateTopology(SmallParams(Vendor::kV2));
+  EXPECT_FALSE(topo.paths.empty());
+  for (const Path& p : topo.paths) {
+    ASSERT_GE(p.hops.size(), 2u);
+    ASSERT_EQ(p.links.size(), p.hops.size() - 1);
+    for (std::size_t i = 0; i < p.links.size(); ++i) {
+      EXPECT_EQ(topo.LinkPeer(p.links[i], p.hops[i]), p.hops[i + 1]);
+    }
+  }
+}
+
+TEST(TopologyTest, VendorNamingConventions) {
+  const Topology v1 = GenerateTopology(SmallParams(Vendor::kV1));
+  EXPECT_TRUE(v1.routers[0].name.starts_with("cr"));
+  bool any_serial = false;
+  for (const PhysIf& p : v1.phys_ifs) {
+    if (p.name.starts_with("Serial")) any_serial = true;
+  }
+  EXPECT_TRUE(any_serial);
+
+  const Topology v2 = GenerateTopology(SmallParams(Vendor::kV2));
+  EXPECT_TRUE(v2.routers[0].name.starts_with("vho"));
+  EXPECT_EQ(v2.phys_ifs[0].name, "1/1/1");
+}
+
+TEST(TopologyTest, ControllerOnlyOnEvenV1Slots) {
+  const Topology topo = GenerateTopology(SmallParams(Vendor::kV1));
+  for (const PhysIf& p : topo.phys_ifs) {
+    EXPECT_EQ(p.has_controller, p.slot % 2 == 0);
+  }
+  const Topology v2 = GenerateTopology(SmallParams(Vendor::kV2));
+  for (const PhysIf& p : v2.phys_ifs) {
+    EXPECT_FALSE(p.has_controller);
+  }
+}
+
+TEST(TopologyTest, RejectsInfeasibleParams) {
+  TopologyParams p = SmallParams(Vendor::kV1);
+  p.num_routers = 1;
+  EXPECT_THROW(GenerateTopology(p), std::invalid_argument);
+  p = SmallParams(Vendor::kV1);
+  p.slots_per_router = 0;
+  EXPECT_THROW(GenerateTopology(p), std::invalid_argument);
+  p = SmallParams(Vendor::kV1);
+  p.num_routers = 40;
+  p.slots_per_router = 1;
+  p.ports_per_slot = 1;  // one port per router cannot form a tree
+  EXPECT_THROW(GenerateTopology(p), std::invalid_argument);
+}
+
+TEST(TopologyTest, FindRouterByName) {
+  const Topology topo = GenerateTopology(SmallParams(Vendor::kV1));
+  const Router* r = topo.FindRouter(topo.routers[3].name);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, 3u);
+  EXPECT_EQ(topo.FindRouter("nonexistent"), nullptr);
+}
+
+// Different seeds produce different graphs (sanity against frozen RNG).
+class TopologySeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologySeedTest, ValidAcrossSeeds) {
+  TopologyParams p = SmallParams(Vendor::kV1);
+  p.seed = GetParam();
+  const Topology topo = GenerateTopology(p);
+  EXPECT_GE(topo.links.size(), topo.routers.size() - 1);
+  for (const Link& l : topo.links) {
+    EXPECT_NE(l.router_a, l.router_b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologySeedTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace sld::net

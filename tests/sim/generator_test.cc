@@ -1,0 +1,192 @@
+#include "sim/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/messages.h"
+
+namespace sld::sim {
+namespace {
+
+DatasetSpec TinySpec(net::Vendor vendor) {
+  DatasetSpec spec = vendor == net::Vendor::kV1 ? DatasetASpec()
+                                                : DatasetBSpec();
+  spec.topo.num_routers = 10;
+  return spec;
+}
+
+TEST(GeneratorTest, DeterministicForSameInputs) {
+  const Dataset a = GenerateDataset(TinySpec(net::Vendor::kV1), 0, 2, 7);
+  const Dataset b = GenerateDataset(TinySpec(net::Vendor::kV1), 0, 2, 7);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i], b.messages[i]);
+  }
+  ASSERT_EQ(a.ground_truth.size(), b.ground_truth.size());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const Dataset a = GenerateDataset(TinySpec(net::Vendor::kV1), 0, 2, 7);
+  const Dataset b = GenerateDataset(TinySpec(net::Vendor::kV1), 0, 2, 8);
+  EXPECT_NE(a.messages.size(), b.messages.size());
+}
+
+TEST(GeneratorTest, MessagesAreTimeSortedWithinWindow) {
+  const Dataset ds = GenerateDataset(TinySpec(net::Vendor::kV1), 3, 2, 7);
+  ASSERT_FALSE(ds.messages.empty());
+  for (std::size_t i = 1; i < ds.messages.size(); ++i) {
+    EXPECT_LE(ds.messages[i - 1].time, ds.messages[i].time);
+  }
+  EXPECT_GE(ds.messages.front().time, ds.epoch);
+  EXPECT_EQ(ds.epoch, DatasetEpoch() + 3 * kMsPerDay);
+  EXPECT_EQ(ds.num_days, 2);
+}
+
+TEST(GeneratorTest, GroundTruthIndicesValidAndOwned) {
+  const Dataset ds = GenerateDataset(TinySpec(net::Vendor::kV1), 0, 2, 7);
+  std::set<std::size_t> owned;
+  for (const GtEvent& ev : ds.ground_truth) {
+    EXPECT_FALSE(ev.message_indices.empty());
+    EXPECT_LE(ev.start, ev.end);
+    EXPECT_FALSE(ev.routers.empty());
+    EXPECT_FALSE(ev.state.empty());
+    for (const std::size_t idx : ev.message_indices) {
+      ASSERT_LT(idx, ds.messages.size());
+      EXPECT_TRUE(owned.insert(idx).second)
+          << "message in two ground-truth events";
+    }
+    EXPECT_EQ(ds.messages[ev.message_indices.front()].time, ev.start);
+    EXPECT_EQ(ds.messages[ev.message_indices.back()].time, ev.end);
+  }
+  // Background noise exists (some messages belong to no event).
+  EXPECT_LT(owned.size(), ds.messages.size());
+}
+
+TEST(GeneratorTest, RoutersInMessagesExistInTopology) {
+  const Dataset ds = GenerateDataset(TinySpec(net::Vendor::kV2), 0, 1, 7);
+  for (const auto& msg : ds.messages) {
+    EXPECT_NE(ds.topo.FindRouter(msg.router), nullptr) << msg.router;
+  }
+}
+
+TEST(GeneratorTest, VendorCodesMatchDataset) {
+  const Dataset a = GenerateDataset(TinySpec(net::Vendor::kV1), 0, 1, 7);
+  for (const auto& msg : a.messages) {
+    EXPECT_EQ(msg.code.find("tmnx"), std::string::npos) << msg.code;
+    EXPECT_EQ(msg.code.find("SVCMGR"), std::string::npos) << msg.code;
+  }
+  const Dataset b = GenerateDataset(TinySpec(net::Vendor::kV2), 0, 1, 7);
+  for (const auto& msg : b.messages) {
+    EXPECT_EQ(msg.code.find("LINEPROTO"), std::string::npos) << msg.code;
+    EXPECT_EQ(msg.code.find("SYS-1-"), std::string::npos) << msg.code;
+  }
+}
+
+TEST(GeneratorTest, FromDayGatesScenarios) {
+  DatasetSpec spec = TinySpec(net::Vendor::kV1);
+  spec.rates = ScenarioRates{};
+  spec.rates.link_flap = {0, 0};
+  spec.rates.controller_flap = {0, 0};
+  spec.rates.bundle_flap = {0, 0};
+  spec.rates.bgp_vpn_flap = {0, 0};
+  spec.rates.ibgp_flap = {0, 0};
+  spec.rates.cpu_spike = {0, 0};
+  spec.rates.bad_auth_scan = {0, 0};
+  spec.rates.login_scan = {0, 0};
+  spec.rates.config_change = {50, 5};  // only from day 5
+  spec.rates.env_alarm = {0, 0};
+  spec.rates.card_oir = {0, 0};
+  spec.rates.maintenance_window = {0, 0};
+  spec.rates.rp_switchover = {0, 0};
+  spec.rates.duplex_mismatch = {0, 0};
+  spec.rates.timer_noise_per_router_day = 0;
+  spec.rates.random_noise_per_day = 0;
+  const Dataset before = GenerateDataset(spec, 0, 2, 7);
+  EXPECT_TRUE(before.messages.empty());
+  const Dataset after = GenerateDataset(spec, 5, 2, 7);
+  EXPECT_FALSE(after.messages.empty());
+}
+
+TEST(GeneratorTest, TicketsReferenceRealEventsAndTheirState) {
+  const Dataset ds = GenerateDataset(TinySpec(net::Vendor::kV2), 0, 7, 7);
+  EXPECT_FALSE(ds.tickets.empty());
+  for (const TroubleTicket& ticket : ds.tickets) {
+    ASSERT_GE(ticket.gt_event_id, 0);
+    ASSERT_LT(static_cast<std::size_t>(ticket.gt_event_id),
+              ds.ground_truth.size());
+    const GtEvent& ev = ds.ground_truth[ticket.gt_event_id];
+    EXPECT_EQ(ticket.state, ev.state);
+    EXPECT_GE(ticket.created, ev.start);
+    EXPECT_GE(ticket.update_count, 1);
+  }
+}
+
+TEST(GeneratorTest, GtTemplatesCoverBothDirections) {
+  const Dataset ds = GenerateDataset(TinySpec(net::Vendor::kV1), 0, 3, 7);
+  auto has = [&](std::string_view needle) {
+    for (const auto& [t, count] : ds.gt_templates) {
+      (void)count;
+      if (t.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("changed state to down"));
+  EXPECT_TRUE(has("changed state to up"));
+  EXPECT_TRUE(has("LINEPROTO-5-UPDOWN"));
+}
+
+TEST(GeneratorTest, ConfigsMatchRouters) {
+  const Dataset ds = GenerateDataset(TinySpec(net::Vendor::kV1), 0, 1, 7);
+  ASSERT_EQ(ds.configs.size(), ds.topo.routers.size());
+  for (std::size_t i = 0; i < ds.configs.size(); ++i) {
+    EXPECT_NE(ds.configs[i].find(ds.topo.routers[i].name),
+              std::string::npos);
+  }
+}
+
+TEST(GeneratorTest, DayOfComputesRelativeDay) {
+  const Dataset ds = GenerateDataset(TinySpec(net::Vendor::kV1), 2, 3, 7);
+  EXPECT_EQ(ds.DayOf(ds.epoch), 0);
+  EXPECT_EQ(ds.DayOf(ds.epoch + kMsPerDay + 5), 1);
+  // Long-running scenarios (multi-hour scans on busy routers) may spill
+  // past the generation window, but only by a bounded amount.
+  EXPECT_LE(ds.DayOf(ds.messages.back().time), 6);
+}
+
+TEST(MessagesTest, GroundTruthTemplateMatchesRendering) {
+  // The masked template must equal the detail with variable tokens
+  // replaced by "*": verify a couple of representative constructors.
+  const Msg link = V1LinkUpDown("Serial1/0.10:0", false);
+  EXPECT_EQ(link.gt_template,
+            "LINK-3-UPDOWN Interface * changed state to down");
+  EXPECT_EQ(link.detail, "Interface Serial1/0.10:0, changed state to down");
+
+  const Msg bgp = V1BgpVpnAdj("192.168.32.42", "1000:1001", false,
+                              BgpDownReason::kPeerClosed);
+  EXPECT_EQ(bgp.detail,
+            "neighbor 192.168.32.42 vpn vrf 1000:1001 Down Peer closed "
+            "the session");
+  EXPECT_EQ(bgp.gt_template,
+            "BGP-5-ADJCHANGE neighbor * vpn vrf * Down Peer closed the "
+            "session");
+
+  const Msg sap = V2SapPortChange("1/1/1");
+  EXPECT_EQ(sap.detail,
+            "The status of all affected SAPs on port 1/1/1 has been "
+            "updated.");
+}
+
+TEST(MessagesTest, BgpReasonsMatchPaperTableFour) {
+  EXPECT_EQ(BgpDownReasonText(BgpDownReason::kInterfaceFlap),
+            "Interface flap");
+  EXPECT_EQ(BgpDownReasonText(BgpDownReason::kNotificationSent),
+            "BGP Notification sent");
+  EXPECT_EQ(BgpDownReasonText(BgpDownReason::kNotificationReceived),
+            "BGP Notification received");
+  EXPECT_EQ(BgpDownReasonText(BgpDownReason::kPeerClosed),
+            "Peer closed the session");
+}
+
+}  // namespace
+}  // namespace sld::sim

@@ -1,0 +1,257 @@
+// Behavioural checks of the fault scenarios: the shapes the miners rely
+// on (cascade ordering, timer periodicity, cross-router symmetry) must
+// actually appear in the generated streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/generator.h"
+
+namespace sld::sim {
+namespace {
+
+DatasetSpec OnlyScenario(net::Vendor vendor,
+                         const char* which, double rate) {
+  DatasetSpec spec = vendor == net::Vendor::kV1 ? DatasetASpec()
+                                                : DatasetBSpec();
+  spec.topo.num_routers = 10;
+  ScenarioRates r;  // all defaults...
+  r.link_flap = {0, 0};
+  r.controller_flap = {0, 0};
+  r.bundle_flap = {0, 0};
+  r.bgp_vpn_flap = {0, 0};
+  r.ibgp_flap = {0, 0};
+  r.cpu_spike = {0, 0};
+  r.bad_auth_scan = {0, 0};
+  r.login_scan = {0, 0};
+  r.config_change = {0, 0};
+  r.env_alarm = {0, 0};
+  r.card_oir = {0, 0};
+  r.maintenance_window = {0, 0};
+  r.rp_switchover = {0, 0};
+  r.sap_churn = {0, 0};
+  r.service_churn = {0, 0};
+  r.pim_dual_failure = {0, 0};
+  r.duplex_mismatch = {0, 0};
+  r.timer_noise_per_router_day = 0;
+  r.random_noise_per_day = 0;
+  const std::string name = which;
+  if (name == "link_flap") r.link_flap = {rate, 0};
+  if (name == "controller_flap") r.controller_flap = {rate, 0};
+  if (name == "bgp_vpn_flap") r.bgp_vpn_flap = {rate, 0};
+  if (name == "cpu_spike") r.cpu_spike = {rate, 0};
+  if (name == "bad_auth_scan") r.bad_auth_scan = {rate, 0};
+  if (name == "login_scan") r.login_scan = {rate, 0};
+  if (name == "card_oir") r.card_oir = {rate, 0};
+  if (name == "maintenance_window") r.maintenance_window = {rate, 0};
+  if (name == "rp_switchover") r.rp_switchover = {rate, 0};
+  if (name == "env_alarm") r.env_alarm = {rate, 0};
+  if (name == "pim_dual_failure") r.pim_dual_failure = {rate, 0};
+  spec.rates = r;
+  return spec;
+}
+
+TEST(ScenarioTest, LinkFlapEmitsSymmetricCascade) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV1, "link_flap", 5), 0, 2, 91);
+  ASSERT_FALSE(ds.ground_truth.empty());
+  for (const GtEvent& ev : ds.ground_truth) {
+    ASSERT_EQ(ev.kind, "link-flap");
+    // Both ends of the link log, and the physical layer leads.
+    std::set<std::string> routers;
+    bool link_before_proto = false;
+    TimeMs first_link = INT64_MAX;
+    TimeMs first_proto = INT64_MAX;
+    for (const std::size_t m : ev.message_indices) {
+      routers.insert(ds.messages[m].router);
+      if (ds.messages[m].code == "LINK-3-UPDOWN") {
+        first_link = std::min(first_link, ds.messages[m].time);
+      }
+      if (ds.messages[m].code == "LINEPROTO-5-UPDOWN") {
+        first_proto = std::min(first_proto, ds.messages[m].time);
+      }
+    }
+    link_before_proto = first_link <= first_proto;
+    EXPECT_GE(routers.size(), 2u);
+    EXPECT_TRUE(link_before_proto);
+  }
+}
+
+TEST(ScenarioTest, ControllerFlapIsDenseBurst) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV1, "controller_flap", 3), 0, 2, 92);
+  ASSERT_FALSE(ds.ground_truth.empty());
+  for (const GtEvent& ev : ds.ground_truth) {
+    std::size_t controller_msgs = 0;
+    for (const std::size_t m : ev.message_indices) {
+      controller_msgs += ds.messages[m].code == "CONTROLLER-5-UPDOWN";
+    }
+    // 20-150 flaps, two messages each.
+    EXPECT_GE(controller_msgs, 40u);
+    // The whole event is compact relative to its message count (Fig. 4:
+    // many occurrences within a short interval).
+    const double span_hours =
+        static_cast<double>(ev.end - ev.start) / kMsPerHour;
+    EXPECT_LT(span_hours, 4.0);
+  }
+}
+
+TEST(ScenarioTest, BadAuthScanIsPeriodic) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV1, "bad_auth_scan", 2), 0, 1, 93);
+  ASSERT_FALSE(ds.ground_truth.empty());
+  const GtEvent& ev = ds.ground_truth.front();
+  ASSERT_GE(ev.message_indices.size(), 20u);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < ev.message_indices.size(); ++i) {
+    gaps.push_back(static_cast<double>(
+        ds.messages[ev.message_indices[i]].time -
+        ds.messages[ev.message_indices[i - 1]].time));
+  }
+  // Periodic: the max/min gap ratio is tightly bounded (10% jitter).
+  const auto [lo, hi] = std::minmax_element(gaps.begin(), gaps.end());
+  EXPECT_LT(*hi / *lo, 1.5);
+}
+
+TEST(ScenarioTest, CpuSpikeAlternatesRisingFalling) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV1, "cpu_spike", 5), 0, 2, 94);
+  ASSERT_FALSE(ds.ground_truth.empty());
+  for (const GtEvent& ev : ds.ground_truth) {
+    int balance = 0;
+    for (const std::size_t m : ev.message_indices) {
+      if (ds.messages[m].code == "SYS-1-CPURISINGTHRESHOLD") ++balance;
+      if (ds.messages[m].code == "SYS-1-CPUFALLINGTHRESHOLD") --balance;
+      EXPECT_GE(balance, 0);  // never falls before rising
+    }
+    EXPECT_EQ(balance, 0);  // every spike recovers
+  }
+}
+
+TEST(ScenarioTest, LoginScanPairsSshWithSecondProbe) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV2, "login_scan", 5), 0, 2, 95);
+  ASSERT_FALSE(ds.ground_truth.empty());
+  std::size_t ssh = 0;
+  std::size_t ftp = 0;
+  for (const auto& msg : ds.messages) {
+    ssh += msg.code == "SECURITY-WARNING-sshLoginFailed";
+    ftp += msg.code == "SECURITY-WARNING-ftpLoginFailed";
+  }
+  EXPECT_GT(ssh, 0u);
+  EXPECT_GT(ftp, ssh / 2);  // ftp follows ssh ~85% of the time
+  EXPECT_LE(ftp, ssh);
+}
+
+TEST(ScenarioTest, CardOirPairsRemovedWithInserted) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV1, "card_oir", 6), 0, 2, 96);
+  ASSERT_FALSE(ds.ground_truth.empty());
+  for (const GtEvent& ev : ds.ground_truth) {
+    ASSERT_EQ(ev.message_indices.size(), 2u);
+    EXPECT_EQ(ds.messages[ev.message_indices[0]].code, "OIR-6-REMCARD");
+    EXPECT_EQ(ds.messages[ev.message_indices[1]].code, "OIR-6-INSCARD");
+    const TimeMs gap = ds.messages[ev.message_indices[1]].time -
+                       ds.messages[ev.message_indices[0]].time;
+    EXPECT_GE(gap, 5 * kMsPerSecond);
+    EXPECT_LE(gap, 30 * kMsPerSecond);
+  }
+}
+
+TEST(ScenarioTest, PimDualFailureSpansLayersAndRouters) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV2, "pim_dual_failure", 2), 0, 2, 97);
+  ASSERT_FALSE(ds.ground_truth.empty());
+  const GtEvent& ev = ds.ground_truth.front();
+  std::set<std::string> codes;
+  std::set<std::string> routers;
+  for (const std::size_t m : ev.message_indices) {
+    codes.insert(ds.messages[m].code);
+    routers.insert(ds.messages[m].router);
+  }
+  EXPECT_GE(codes.size(), 6u);    // many distinct error codes (§6.1)
+  EXPECT_GE(routers.size(), 3u);  // several routers involved
+  EXPECT_TRUE(codes.count("PIM-MAJOR-pimNeighborLoss"));
+  EXPECT_TRUE(codes.count("MPLS-MAJOR-lspSetupRetry"));
+  // Retries start long before the PIM loss.
+  TimeMs first_retry = INT64_MAX;
+  TimeMs pim_loss = INT64_MAX;
+  for (const std::size_t m : ev.message_indices) {
+    if (ds.messages[m].code == "MPLS-MAJOR-lspSetupRetry") {
+      first_retry = std::min(first_retry, ds.messages[m].time);
+    }
+    if (ds.messages[m].code == "PIM-MAJOR-pimNeighborLoss") {
+      pim_loss = std::min(pim_loss, ds.messages[m].time);
+    }
+  }
+  EXPECT_LT(first_retry + 30 * kMsPerMinute, pim_loss);
+}
+
+TEST(ScenarioTest, EnvAlarmRaisesFanAlarmNearby) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV1, "env_alarm", 6), 0, 3, 98);
+  std::size_t temp = 0;
+  std::size_t fan = 0;
+  for (const auto& msg : ds.messages) {
+    temp += msg.code == "ENVMON-2-TEMP";
+    fan += msg.code == "ENVMON-2-FANFAIL";
+  }
+  EXPECT_GT(temp, 0u);
+  EXPECT_GT(fan, temp / 2);  // ~90% accompaniment
+}
+
+TEST(ScenarioTest, MaintenanceWindowBracketsHardwareWork) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV1, "maintenance_window", 4), 0, 3, 99);
+  ASSERT_FALSE(ds.ground_truth.empty());
+  for (const GtEvent& ev : ds.ground_truth) {
+    TimeMs cfg_first = INT64_MAX;
+    TimeMs cfg_last = INT64_MIN;
+    TimeMs rem = 0;
+    TimeMs ins = 0;
+    for (const std::size_t m : ev.message_indices) {
+      const auto& msg = ds.messages[m];
+      if (msg.code == "SYS-5-CONFIG_I") {
+        cfg_first = std::min(cfg_first, msg.time);
+        cfg_last = std::max(cfg_last, msg.time);
+      }
+      if (msg.code == "OIR-6-REMCARD") rem = msg.time;
+      if (msg.code == "OIR-6-INSCARD") ins = msg.time;
+    }
+    // Config saves bracket the card pull/reseat.
+    ASSERT_NE(rem, 0);
+    ASSERT_NE(ins, 0);
+    EXPECT_LT(cfg_first, rem);
+    EXPECT_LT(rem, ins);
+    EXPECT_GT(cfg_last, ins);
+    // Happens in business hours.
+    const int hour = ToCivil(ev.start).hour;
+    EXPECT_GE(hour, 7);
+    EXPECT_LE(hour, 21);
+  }
+}
+
+TEST(ScenarioTest, RpSwitchoverIsRouterScoped) {
+  const Dataset ds = GenerateDataset(
+      OnlyScenario(net::Vendor::kV1, "rp_switchover", 4), 0, 3, 100);
+  ASSERT_FALSE(ds.ground_truth.empty());
+  for (const GtEvent& ev : ds.ground_truth) {
+    // One router only, and it leads with the switchover message.
+    EXPECT_EQ(ev.routers.size(), 1u);
+    EXPECT_EQ(ds.messages[ev.message_indices.front()].code,
+              "REDUNDANCY-3-SWITCHOVER");
+    // Sessions that dropped came back.
+    int balance = 0;
+    for (const std::size_t m : ev.message_indices) {
+      const auto& detail = ds.messages[m].detail;
+      if (ds.messages[m].code != "BGP-5-ADJCHANGE") continue;
+      balance += detail.find(" Down ") != std::string::npos ? 1 : -1;
+    }
+    EXPECT_EQ(balance, 0);
+  }
+}
+
+}  // namespace
+}  // namespace sld::sim

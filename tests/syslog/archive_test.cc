@@ -1,0 +1,75 @@
+#include "syslog/archive.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace sld::syslog {
+namespace {
+
+std::vector<SyslogRecord> Sample() {
+  std::vector<SyslogRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    SyslogRecord rec;
+    rec.time = ToTimeMs(CivilTime{2009, 9, 1, 0, 0, i, 0});
+    rec.router = "r" + std::to_string(i);
+    rec.code = "LINK-3-UPDOWN";
+    rec.detail = "Interface Serial" + std::to_string(i) +
+                 "/0, changed state to down";
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+TEST(ArchiveTest, StreamRoundTrip) {
+  const auto records = Sample();
+  std::stringstream buffer;
+  WriteArchive(buffer, records);
+  std::size_t malformed = 99;
+  const auto restored = ReadArchive(buffer, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_EQ(restored.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(restored[i], records[i]);
+  }
+}
+
+TEST(ArchiveTest, SkipsCommentsBlanksAndGarbage) {
+  std::stringstream buffer;
+  buffer << "# a comment\n"
+         << "\n"
+         << "garbage line\n"
+         << "2009-09-01 00:00:01 r1 A-1-B some detail\n"
+         << "2009-13-01 00:00:01 r1 A-1-B bad month\n";
+  std::size_t malformed = 0;
+  const auto records = ReadArchive(buffer, &malformed);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].router, "r1");
+  EXPECT_EQ(malformed, 2u);
+}
+
+TEST(ArchiveTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sld_archive_test.log")
+          .string();
+  const auto records = Sample();
+  ASSERT_TRUE(WriteArchiveFile(path, records));
+  bool ok = false;
+  const auto restored = ReadArchiveFile(path, nullptr, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(restored.size(), records.size());
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveTest, MissingFileReportsFailure) {
+  bool ok = true;
+  const auto records =
+      ReadArchiveFile("/nonexistent/path/file.log", nullptr, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(records.empty());
+}
+
+}  // namespace
+}  // namespace sld::syslog

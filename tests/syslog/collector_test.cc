@@ -1,0 +1,139 @@
+#include "syslog/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace sld::syslog {
+namespace {
+
+SyslogRecord At(TimeMs t, const char* router = "r1") {
+  SyslogRecord rec;
+  rec.time = t;
+  rec.router = router;
+  rec.code = "LINK-3-UPDOWN";
+  rec.detail = "Interface Serial0/0, changed state to down";
+  return rec;
+}
+
+TEST(CollectorTest, HoldsRecordsUntilWatermarkPasses) {
+  Collector c(/*hold_ms=*/5000);
+  c.IngestRecord(At(1000));
+  EXPECT_TRUE(c.Drain().empty());  // watermark 1000, release up to -4000
+  c.IngestRecord(At(7000));
+  const auto out = c.Drain();  // release up to 2000
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 1000);
+  EXPECT_EQ(c.buffered(), 1u);
+}
+
+TEST(CollectorTest, ReordersWithinHoldWindow) {
+  Collector c(5000);
+  c.IngestRecord(At(3000));
+  c.IngestRecord(At(1000));  // out of order but within hold
+  c.IngestRecord(At(2000));
+  c.IngestRecord(At(20000));
+  const auto out = c.Drain();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].time, 1000);
+  EXPECT_EQ(out[1].time, 2000);
+  EXPECT_EQ(out[2].time, 3000);
+}
+
+TEST(CollectorTest, DropsRecordsOlderThanReleasedWatermark) {
+  Collector c(1000);
+  c.IngestRecord(At(1000));
+  c.IngestRecord(At(10000));
+  (void)c.Drain();  // 1000 released
+  EXPECT_FALSE(c.IngestRecord(At(500)));  // too late
+  EXPECT_EQ(c.late_count(), 1u);
+  EXPECT_TRUE(c.IngestRecord(At(9500)));  // not yet released
+}
+
+TEST(CollectorTest, FlushReleasesEverything) {
+  Collector c(60000);
+  for (TimeMs t = 0; t < 10; ++t) c.IngestRecord(At(9 - t));
+  const auto out = c.Flush();
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].time, out[i].time);
+  }
+  EXPECT_EQ(c.buffered(), 0u);
+}
+
+TEST(CollectorTest, IngestsWireDatagrams) {
+  Collector c(1000, 2009);
+  const SyslogRecord rec = At(ToTimeMs(CivilTime{2009, 3, 4, 5, 6, 7, 0}));
+  EXPECT_TRUE(c.IngestDatagram(EncodeRfc3164(rec)));
+  const auto out = c.Flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], rec);
+}
+
+TEST(CollectorTest, CountsMalformedDatagrams) {
+  Collector c;
+  EXPECT_FALSE(c.IngestDatagram("not a syslog frame"));
+  EXPECT_FALSE(c.IngestDatagram("<9999>junk"));
+  EXPECT_EQ(c.malformed_count(), 2u);
+  EXPECT_EQ(c.accepted_count(), 0u);
+}
+
+TEST(CollectorTest, TiesReleasedInArrivalOrder) {
+  Collector c(1000);
+  SyslogRecord first = At(5000, "alpha");
+  SyslogRecord second = At(5000, "beta");
+  c.IngestRecord(first);
+  c.IngestRecord(second);
+  const auto out = c.Flush();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].router, "alpha");
+  EXPECT_EQ(out[1].router, "beta");
+}
+
+TEST(CollectorTest, StreamingSortedStreamPassesThrough) {
+  Collector c(2000);
+  std::vector<TimeMs> released;
+  for (TimeMs t = 0; t < 100; ++t) {
+    c.IngestRecord(At(t * 1000));
+    for (const auto& rec : c.Drain()) released.push_back(rec.time);
+  }
+  for (const auto& rec : c.Flush()) released.push_back(rec.time);
+  ASSERT_EQ(released.size(), 100u);
+  for (std::size_t i = 0; i < released.size(); ++i) {
+    EXPECT_EQ(released[i], static_cast<TimeMs>(i) * 1000);
+  }
+}
+
+TEST(CollectorTest, DuplicateSuppressionDropsIdenticalBufferedRecords) {
+  Collector c(/*hold_ms=*/5000, /*year=*/2009,
+              /*suppress_duplicates=*/true);
+  EXPECT_TRUE(c.IngestRecord(At(1000)));
+  EXPECT_FALSE(c.IngestRecord(At(1000)));  // exact duplicate
+  EXPECT_EQ(c.duplicate_count(), 1u);
+  // Same time, different payload: not a duplicate.
+  SyslogRecord other = At(1000);
+  other.detail = "different detail";
+  EXPECT_TRUE(c.IngestRecord(other));
+  EXPECT_EQ(c.Flush().size(), 2u);
+}
+
+TEST(CollectorTest, DuplicateWindowExpiresWithRelease) {
+  Collector c(/*hold_ms=*/1000, /*year=*/2009,
+              /*suppress_duplicates=*/true);
+  c.IngestRecord(At(1000));
+  c.IngestRecord(At(10000));
+  (void)c.Drain();  // the t=1000 record has been released
+  // A replay of the released record is no longer in the duplicate window;
+  // it is rejected as LATE, not as duplicate.
+  EXPECT_FALSE(c.IngestRecord(At(1000)));
+  EXPECT_EQ(c.duplicate_count(), 0u);
+  EXPECT_EQ(c.late_count(), 1u);
+}
+
+TEST(CollectorTest, DuplicatesAllowedWhenSuppressionOff) {
+  Collector c;  // default: no suppression
+  EXPECT_TRUE(c.IngestRecord(At(1000)));
+  EXPECT_TRUE(c.IngestRecord(At(1000)));
+  EXPECT_EQ(c.Flush().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sld::syslog

@@ -1,0 +1,95 @@
+#include "syslog/record.h"
+
+#include <gtest/gtest.h>
+
+namespace sld::syslog {
+namespace {
+
+SyslogRecord Sample() {
+  SyslogRecord rec;
+  rec.time = ToTimeMs(CivilTime{2010, 1, 10, 0, 0, 15, 0});
+  rec.router = "cr01.dllstx";
+  rec.code = "LINK-3-UPDOWN";
+  rec.detail = "Interface Serial1/0.10:0, changed state to down";
+  return rec;
+}
+
+TEST(RecordTest, FormatMatchesTableOneLayout) {
+  EXPECT_EQ(FormatRecord(Sample()),
+            "2010-01-10 00:00:15 cr01.dllstx LINK-3-UPDOWN "
+            "Interface Serial1/0.10:0, changed state to down");
+}
+
+TEST(RecordTest, ParseRoundTrip) {
+  const auto parsed = ParseRecordLine(FormatRecord(Sample()));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, Sample());
+}
+
+TEST(RecordTest, ParseNoDetail) {
+  const auto parsed =
+      ParseRecordLine("2010-01-10 00:00:15 r1 SYS-5-RESTART");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->code, "SYS-5-RESTART");
+  EXPECT_TRUE(parsed->detail.empty());
+}
+
+TEST(RecordTest, ParseTrimsSurroundingWhitespace) {
+  const auto parsed =
+      ParseRecordLine("  2010-01-10 00:00:15 r1 A-1-B detail text \n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->router, "r1");
+  EXPECT_EQ(parsed->detail, "detail text");
+}
+
+TEST(RecordTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseRecordLine("").has_value());
+  EXPECT_FALSE(ParseRecordLine("garbage").has_value());
+  EXPECT_FALSE(ParseRecordLine("2010-01-10 00:00:15").has_value());
+  EXPECT_FALSE(ParseRecordLine("2010-13-99 00:00:15 r1 C msg").has_value());
+  EXPECT_FALSE(ParseRecordLine("2010-01-10 00:00:15 r1only").has_value());
+}
+
+struct SeverityCase {
+  const char* code;
+  int severity;
+};
+
+class SeverityTest : public ::testing::TestWithParam<SeverityCase> {};
+
+TEST_P(SeverityTest, ExtractsVendorSeverity) {
+  EXPECT_EQ(VendorSeverity(GetParam().code), GetParam().severity)
+      << GetParam().code;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, SeverityTest,
+    ::testing::Values(
+        SeverityCase{"LINK-3-UPDOWN", 3},
+        SeverityCase{"LINEPROTO-5-UPDOWN", 5},
+        SeverityCase{"SYS-1-CPURISINGTHRESHOLD", 1},
+        SeverityCase{"TCP-6-BADAUTH", 6},
+        SeverityCase{"SNMP-WARNING-linkDown", 4},
+        SeverityCase{"SVCMGR-MAJOR-sapPortStateChangeProcessed", 3},
+        SeverityCase{"PIM-MINOR-pimNeighborUp", 4},
+        SeverityCase{"SYSTEM-INFO-tmnxTimeSync", 6},
+        SeverityCase{"NOSEVERITY", 6},
+        SeverityCase{"WEIRD-99-THING", 6},  // 99 is not a single digit
+        SeverityCase{"A-0-B", 0}));
+
+TEST(RecordTest, CodeFacility) {
+  EXPECT_EQ(CodeFacility("LINK-3-UPDOWN"), "LINK");
+  EXPECT_EQ(CodeFacility("SNMP-WARNING-linkDown"), "SNMP");
+  EXPECT_EQ(CodeFacility("PLAIN"), "PLAIN");
+}
+
+// The paper's §2 point: vendor severity does NOT order operational
+// importance — a CPU message (severity 1) is "more severe" than a link
+// down (severity 3), which operators would dispute.
+TEST(RecordTest, VendorSeverityIsNotOperationalImportance) {
+  EXPECT_LT(VendorSeverity("SYS-1-CPURISINGTHRESHOLD"),
+            VendorSeverity("LINK-3-UPDOWN"));
+}
+
+}  // namespace
+}  // namespace sld::syslog

@@ -1,0 +1,88 @@
+#include "syslog/udp.h"
+
+#include <gtest/gtest.h>
+
+#include "syslog/collector.h"
+#include "syslog/wire.h"
+
+namespace sld::syslog {
+namespace {
+
+TEST(UdpTest, LoopbackRoundTrip) {
+  auto receiver = UdpReceiver::Bind(0);
+  ASSERT_TRUE(receiver.has_value());
+  ASSERT_NE(receiver->port(), 0);
+  auto sender = UdpSender::Open("127.0.0.1", receiver->port());
+  ASSERT_TRUE(sender.has_value());
+
+  ASSERT_TRUE(sender->Send("<187>Jan 10 00:00:15 r1 %LINK-3-UPDOWN: down"));
+  const auto got = receiver->Receive(2000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "<187>Jan 10 00:00:15 r1 %LINK-3-UPDOWN: down");
+  EXPECT_EQ(sender->sent_count(), 1u);
+  EXPECT_EQ(receiver->received_count(), 1u);
+}
+
+TEST(UdpTest, ReceiveTimesOutWhenQuiet) {
+  auto receiver = UdpReceiver::Bind(0);
+  ASSERT_TRUE(receiver.has_value());
+  EXPECT_FALSE(receiver->Receive(50).has_value());
+}
+
+TEST(UdpTest, OpenRejectsBadAddress) {
+  EXPECT_FALSE(UdpSender::Open("not-an-address", 9).has_value());
+  EXPECT_FALSE(UdpSender::Open("300.1.1.1", 9).has_value());
+}
+
+TEST(UdpTest, MoveTransfersOwnership) {
+  auto receiver = UdpReceiver::Bind(0);
+  ASSERT_TRUE(receiver.has_value());
+  const std::uint16_t port = receiver->port();
+  UdpReceiver moved = std::move(*receiver);
+  EXPECT_EQ(moved.port(), port);
+  auto sender = UdpSender::Open("127.0.0.1", port);
+  ASSERT_TRUE(sender.has_value());
+  UdpSender moved_sender = std::move(*sender);
+  EXPECT_TRUE(moved_sender.Send("x"));
+  EXPECT_TRUE(moved.Receive(2000).has_value());
+}
+
+TEST(UdpTest, EndToEndWireIntoCollector) {
+  // Router side: encode records and fire them over loopback UDP.
+  // Collector side: receive, decode, reorder, release in time order.
+  auto receiver = UdpReceiver::Bind(0);
+  ASSERT_TRUE(receiver.has_value());
+  auto sender = UdpSender::Open("127.0.0.1", receiver->port());
+  ASSERT_TRUE(sender.has_value());
+
+  std::vector<SyslogRecord> sent;
+  for (int i = 0; i < 20; ++i) {
+    SyslogRecord rec;
+    rec.time = ToTimeMs(CivilTime{2009, 9, 1, 12, 0, i, 0});
+    rec.router = "cr01.dllstx";
+    rec.code = "LINK-3-UPDOWN";
+    rec.detail = "Interface Serial1/0, changed state to down";
+    sent.push_back(rec);
+  }
+  // Ship slightly out of order.
+  std::swap(sent[3], sent[4]);
+  std::swap(sent[10], sent[12]);
+  for (const auto& rec : sent) {
+    ASSERT_TRUE(sender->Send(EncodeRfc3164(rec)));
+  }
+
+  Collector collector(/*hold_ms=*/5000, /*year=*/2009);
+  for (int i = 0; i < 20; ++i) {
+    const auto datagram = receiver->Receive(2000);
+    ASSERT_TRUE(datagram.has_value());
+    EXPECT_TRUE(collector.IngestDatagram(*datagram));
+  }
+  const auto records = collector.Flush();
+  ASSERT_EQ(records.size(), 20u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time, records[i].time);
+  }
+}
+
+}  // namespace
+}  // namespace sld::syslog

@@ -1,0 +1,117 @@
+#include "syslog/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace sld::syslog {
+namespace {
+
+SyslogRecord Sample(int day = 10, int hour = 0) {
+  SyslogRecord rec;
+  rec.time = ToTimeMs(CivilTime{2009, 1, day, hour, 0, 15, 0});
+  rec.router = "cr01.dllstx";
+  rec.code = "LINK-3-UPDOWN";
+  rec.detail = "Interface Serial1/0.10:0, changed state to down";
+  return rec;
+}
+
+TEST(WireTest, EncodeProducesPriAndCiscoTag) {
+  const std::string wire = EncodeRfc3164(Sample());
+  // local7 (23) * 8 + severity 3 = 187.
+  EXPECT_TRUE(wire.starts_with("<187>Jan 10 00:00:15 cr01.dllstx "
+                               "%LINK-3-UPDOWN: "))
+      << wire;
+}
+
+TEST(WireTest, RoundTrip) {
+  const SyslogRecord rec = Sample();
+  const auto decoded = DecodeRfc3164(EncodeRfc3164(rec), 2009);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, rec);
+}
+
+TEST(WireTest, SingleDigitDayIsSpacePadded) {
+  const std::string wire = EncodeRfc3164(Sample(3));
+  EXPECT_NE(wire.find("Jan  3 "), std::string::npos) << wire;
+  const auto decoded = DecodeRfc3164(wire, 2009);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(ToCivil(decoded->time).day, 3);
+}
+
+TEST(WireTest, RoundTripAllMonths) {
+  for (int month = 1; month <= 12; ++month) {
+    SyslogRecord rec = Sample();
+    rec.time = ToTimeMs(CivilTime{2009, month, 15, 12, 30, 45, 0});
+    const auto decoded = DecodeRfc3164(EncodeRfc3164(rec), 2009);
+    ASSERT_TRUE(decoded.has_value()) << month;
+    EXPECT_EQ(decoded->time, rec.time);
+  }
+}
+
+TEST(WireTest, SeverityClampedToSevenInPri) {
+  SyslogRecord rec = Sample();
+  rec.code = "X-6-Y";
+  EXPECT_TRUE(EncodeRfc3164(rec).starts_with("<190>"));
+}
+
+TEST(WireTest, DecodeRejectsMalformed) {
+  EXPECT_FALSE(DecodeRfc3164("", 2009).has_value());
+  EXPECT_FALSE(DecodeRfc3164("no pri here", 2009).has_value());
+  EXPECT_FALSE(DecodeRfc3164("<999>Jan 10 00:00:15 h %C: d", 2009)
+                   .has_value());
+  EXPECT_FALSE(DecodeRfc3164("<187>Foo 10 00:00:15 h %C: d", 2009)
+                   .has_value());
+  EXPECT_FALSE(DecodeRfc3164("<187>Jan 40 00:00:15 h %C: d", 2009)
+                   .has_value());
+  EXPECT_FALSE(DecodeRfc3164("<187>Jan 10 25:00:15 h %C: d", 2009)
+                   .has_value());
+  EXPECT_FALSE(
+      DecodeRfc3164("<187>Jan 10 00:00:15 hostonly", 2009).has_value());
+  // Missing '%' tag marker.
+  EXPECT_FALSE(
+      DecodeRfc3164("<187>Jan 10 00:00:15 h C: d", 2009).has_value());
+  // Feb 29 in a non-leap reference year.
+  EXPECT_FALSE(
+      DecodeRfc3164("<187>Feb 29 00:00:15 h %C: d", 2009).has_value());
+  EXPECT_TRUE(
+      DecodeRfc3164("<187>Feb 29 00:00:15 h %C: d", 2008).has_value());
+}
+
+TEST(WireTest, DecodeCodeWithoutDetail) {
+  const auto decoded =
+      DecodeRfc3164("<187>Jan 10 00:00:15 r1 %SYS-5-RESTART:", 2009);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->code, "SYS-5-RESTART");
+  EXPECT_TRUE(decoded->detail.empty());
+}
+
+TEST(WireTest, MonthHelpers) {
+  EXPECT_EQ(MonthAbbrev(1), "Jan");
+  EXPECT_EQ(MonthAbbrev(12), "Dec");
+  EXPECT_EQ(MonthAbbrev(0), "");
+  EXPECT_EQ(MonthAbbrev(13), "");
+  EXPECT_EQ(MonthFromAbbrev("Sep"), 9);
+  EXPECT_EQ(MonthFromAbbrev("xxx"), 0);
+}
+
+TEST(WireTest, YearlessTimestampUsesReferenceYear) {
+  const auto a = DecodeRfc3164("<187>Jun  1 01:02:03 h %C-1-D: m", 2009);
+  const auto b = DecodeRfc3164("<187>Jun  1 01:02:03 h %C-1-D: m", 2010);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(ToCivil(a->time).year, 2009);
+  EXPECT_EQ(ToCivil(b->time).year, 2010);
+}
+
+// Documented limitation of RFC 3164's yearless timestamps: a stream that
+// crosses New Year decodes into the same reference year, so December
+// sorts after January.  Deployments pass the current year per datagram
+// batch (sldigest serve's --year flag).
+TEST(WireTest, YearlessTimestampsDoNotCrossNewYear) {
+  const auto dec = DecodeRfc3164("<187>Dec 31 23:59:59 h %C-1-D: m", 2009);
+  const auto jan = DecodeRfc3164("<187>Jan  1 00:00:01 h %C-1-D: m", 2009);
+  ASSERT_TRUE(dec && jan);
+  EXPECT_GT(dec->time, jan->time);  // both land in 2009
+}
+
+}  // namespace
+}  // namespace sld::syslog

@@ -1,0 +1,419 @@
+// sldigest — command-line front end for the SyslogDigest library.
+//
+//   sldigest gen     --dataset A --days 14 [--day0 0] [--seed 1]
+//                    --out msgs.log --configs DIR
+//       Generates a synthetic dataset: a syslog archive plus one router
+//       config file per router under DIR.
+//
+//   sldigest learn   --configs DIR --history msgs.log --kb kb.txt
+//                    [--window-s 120] [--sweep]
+//       Offline learning: templates, temporal patterns, rules, and
+//       signature frequencies, written as a knowledge-base file.
+//
+//   sldigest digest  --configs DIR --kb kb.txt --in live.log
+//                    [--report] [--csv out.csv] [--top N]
+//       Online digesting: prints digest lines (or a full report) and can
+//       export CSV.
+//
+//   sldigest inspect --kb kb.txt [--configs DIR]
+//       Dumps the learned domain knowledge in human-readable form.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/learn.h"
+#include "core/priority/report.h"
+#include "core/stream.h"
+#include "net/config_parser.h"
+#include "sim/generator.h"
+#include "syslog/archive.h"
+#include "syslog/collector.h"
+#include "syslog/udp.h"
+
+namespace {
+
+using namespace sld;
+
+// Minimal flag parser: --name value and boolean --name.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+        continue;
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& name) const { return values_.count(name); }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& name, long fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  std::string Require(const std::string& name) {
+    if (!Has(name) || values_.at(name).empty()) {
+      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+      ok_ = false;
+      return "";
+    }
+    return values_.at(name);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+std::vector<net::ParsedConfig> LoadConfigs(const std::string& dir) {
+  std::vector<net::ParsedConfig> parsed;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cfg") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      parsed.push_back(net::ParseConfig(buffer.str()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "skipping %s: %s\n", path.c_str(), e.what());
+    }
+  }
+  return parsed;
+}
+
+int CmdGen(Flags& flags) {
+  const std::string dataset = flags.Get("dataset", "A");
+  const std::string out = flags.Require("out");
+  const std::string configs = flags.Require("configs");
+  if (!flags.ok()) return 2;
+  sim::DatasetSpec spec =
+      dataset == "B" ? sim::DatasetBSpec() : sim::DatasetASpec();
+  const sim::Dataset ds = sim::GenerateDataset(
+      spec, static_cast<int>(flags.GetInt("day0", 0)),
+      static_cast<int>(flags.GetInt("days", 14)),
+      static_cast<std::uint64_t>(flags.GetInt("seed", 1)));
+  if (!syslog::WriteArchiveFile(out, ds.messages)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::filesystem::create_directories(configs);
+  for (std::size_t i = 0; i < ds.configs.size(); ++i) {
+    const std::string path =
+        configs + "/" + ds.topo.routers[i].name + ".cfg";
+    std::ofstream cfg(path);
+    cfg << ds.configs[i];
+  }
+  std::printf("wrote %zu messages to %s and %zu configs to %s/\n",
+              ds.messages.size(), out.c_str(), ds.configs.size(),
+              configs.c_str());
+  return 0;
+}
+
+int CmdLearn(Flags& flags) {
+  const std::string configs = flags.Require("configs");
+  const std::string history = flags.Require("history");
+  const std::string kb_path = flags.Require("kb");
+  if (!flags.ok()) return 2;
+  const core::LocationDict dict = core::LocationDict::Build(
+      LoadConfigs(configs));
+  std::size_t malformed = 0;
+  bool ok = true;
+  const auto records =
+      syslog::ReadArchiveFile(history, &malformed, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", history.c_str());
+    return 1;
+  }
+  core::OfflineLearnerParams params;
+  params.rules.window_ms = flags.GetInt("window-s", 120) * kMsPerSecond;
+  params.sweep_temporal = flags.Has("sweep");
+  core::OfflineLearner learner(params);
+  const core::KnowledgeBase kb = learner.Learn(records, dict);
+  std::ofstream out(kb_path);
+  out << kb.Serialize();
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", kb_path.c_str());
+    return 1;
+  }
+  std::printf(
+      "learned from %zu messages (%zu malformed skipped): %zu templates, "
+      "%zu rules, alpha=%g beta=%g -> %s\n",
+      records.size(), malformed, kb.templates.size(), kb.rules.size(),
+      kb.temporal_params.alpha, kb.temporal_params.beta, kb_path.c_str());
+  return 0;
+}
+
+int CmdDigest(Flags& flags) {
+  const std::string configs = flags.Require("configs");
+  const std::string kb_path = flags.Require("kb");
+  const std::string in_path = flags.Require("in");
+  if (!flags.ok()) return 2;
+  const core::LocationDict dict = core::LocationDict::Build(
+      LoadConfigs(configs));
+  std::ifstream kb_in(kb_path);
+  std::stringstream kb_text;
+  kb_text << kb_in.rdbuf();
+  if (!kb_in && kb_text.str().empty()) {
+    std::fprintf(stderr, "cannot read %s\n", kb_path.c_str());
+    return 1;
+  }
+  core::KnowledgeBase kb = core::KnowledgeBase::Deserialize(kb_text.str());
+  bool ok = true;
+  const auto records = syslog::ReadArchiveFile(in_path, nullptr, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+  core::Digester digester(&kb, &dict);
+  const core::DigestResult result = digester.Digest(records);
+  if (flags.Has("report")) {
+    std::fputs(core::RenderReport(result, dict).c_str(), stdout);
+  } else {
+    const std::size_t top = static_cast<std::size_t>(
+        flags.GetInt("top", static_cast<long>(result.events.size())));
+    for (std::size_t i = 0; i < result.events.size() && i < top; ++i) {
+      std::printf("%s\n", result.events[i].Format().c_str());
+    }
+  }
+  if (flags.Has("csv")) {
+    std::ofstream csv(flags.Get("csv"));
+    csv << core::ToCsv(result);
+  }
+  return 0;
+}
+
+// Shared: load configs + knowledge base for the online modes.
+bool LoadOnlineState(Flags& flags, core::LocationDict& dict,
+                     core::KnowledgeBase& kb) {
+  const std::string configs = flags.Require("configs");
+  const std::string kb_path = flags.Require("kb");
+  if (!flags.ok()) return false;
+  dict = core::LocationDict::Build(LoadConfigs(configs));
+  std::ifstream kb_in(kb_path);
+  std::stringstream kb_text;
+  kb_text << kb_in.rdbuf();
+  if (kb_text.str().empty()) {
+    std::fprintf(stderr, "cannot read %s\n", kb_path.c_str());
+    return false;
+  }
+  kb = core::KnowledgeBase::Deserialize(kb_text.str());
+  return true;
+}
+
+// Streaming mode over an archive file: events print the moment they close.
+int CmdStream(Flags& flags) {
+  core::LocationDict dict;
+  core::KnowledgeBase kb;
+  if (!LoadOnlineState(flags, dict, kb)) return 2;
+  const std::string in_path = flags.Require("in");
+  if (!flags.ok()) return 2;
+  bool ok = true;
+  const auto records = syslog::ReadArchiveFile(in_path, nullptr, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+  core::StreamingDigester digester(
+      &kb, &dict, core::DigestOptions{},
+      flags.GetInt("idle-close-s", 1800) * kMsPerSecond);
+  std::size_t events = 0;
+  for (const auto& rec : records) {
+    for (const auto& ev : digester.Push(rec)) {
+      std::printf("%s\n", ev.Format().c_str());
+      ++events;
+    }
+  }
+  for (const auto& ev : digester.Flush()) {
+    std::printf("%s\n", ev.Format().c_str());
+    ++events;
+  }
+  std::fprintf(stderr, "%zu records -> %zu events\n", records.size(),
+               events);
+  return 0;
+}
+
+// Live collector mode: listen for RFC 3164 datagrams on UDP and print
+// events as they close.  Exits after --max-datagrams (for scripting) or
+// runs until killed.
+int CmdServe(Flags& flags) {
+  core::LocationDict dict;
+  core::KnowledgeBase kb;
+  if (!LoadOnlineState(flags, dict, kb)) return 2;
+  const auto port =
+      static_cast<std::uint16_t>(flags.GetInt("port", 5514));
+  auto receiver = syslog::UdpReceiver::Bind(port);
+  if (!receiver) {
+    std::fprintf(stderr, "cannot bind UDP port %u\n", port);
+    return 1;
+  }
+  std::fprintf(stderr, "listening on 127.0.0.1:%u\n", receiver->port());
+  syslog::Collector collector(
+      flags.GetInt("hold-ms", 5000),
+      static_cast<int>(flags.GetInt("year", 2009)));
+  core::StreamingDigester digester(
+      &kb, &dict, core::DigestOptions{},
+      flags.GetInt("idle-close-s", 1800) * kMsPerSecond);
+  const long max_datagrams = flags.GetInt("max-datagrams", 0);
+  // After traffic has been seen, an idle stretch of this many seconds
+  // ends the server (0 = run forever); makes scripted runs robust to UDP
+  // loss under bursts.
+  const long idle_exit_s = flags.GetInt("idle-exit-s", 0);
+  long seen = 0;
+  long quiet_polls = 0;
+  while (max_datagrams == 0 || seen < max_datagrams) {
+    const auto datagram = receiver->Receive(1000);
+    if (!datagram) {
+      ++quiet_polls;
+      if (idle_exit_s > 0 && seen > 0 && quiet_polls >= idle_exit_s) break;
+      continue;
+    }
+    quiet_polls = 0;
+    ++seen;
+    collector.IngestDatagram(*datagram);
+    for (auto& rec : collector.Drain()) {
+      for (const auto& ev : digester.Push(rec)) {
+        std::printf("%s\n", ev.Format().c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+  for (auto& rec : collector.Flush()) digester.Push(rec);
+  for (const auto& ev : digester.Flush()) {
+    std::printf("%s\n", ev.Format().c_str());
+  }
+  std::fprintf(stderr,
+               "done: %zu datagrams (%zu malformed)\n",
+               collector.accepted_count() + collector.malformed_count(),
+               collector.malformed_count());
+  return 0;
+}
+
+// Replays an archive as RFC 3164 datagrams to a UDP collector ("router
+// side" of the serve mode; real time is not simulated — datagrams are
+// sent back-to-back).
+int CmdReplay(Flags& flags) {
+  const std::string in_path = flags.Require("in");
+  if (!flags.ok()) return 2;
+  const auto port = static_cast<std::uint16_t>(flags.GetInt("port", 5514));
+  auto sender =
+      syslog::UdpSender::Open(flags.Get("host", "127.0.0.1"), port);
+  if (!sender) {
+    std::fprintf(stderr, "cannot open UDP sender\n");
+    return 1;
+  }
+  bool ok = true;
+  const auto records = syslog::ReadArchiveFile(in_path, nullptr, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+  // Pace the replay so the receiver's socket buffer keeps up (UDP has no
+  // flow control); default ~20k datagrams/s.
+  const long pace_us = flags.GetInt("pace-us", 50);
+  std::size_t sent = 0;
+  for (const auto& rec : records) {
+    sent += sender->Send(syslog::EncodeRfc3164(rec));
+    if (pace_us > 0) ::usleep(static_cast<useconds_t>(pace_us));
+  }
+  std::fprintf(stderr, "replayed %zu/%zu records to port %u\n", sent,
+               records.size(), port);
+  return sent == records.size() ? 0 : 1;
+}
+
+int CmdInspect(Flags& flags) {
+  const std::string kb_path = flags.Require("kb");
+  if (!flags.ok()) return 2;
+  std::ifstream kb_in(kb_path);
+  std::stringstream kb_text;
+  kb_text << kb_in.rdbuf();
+  core::KnowledgeBase kb = core::KnowledgeBase::Deserialize(kb_text.str());
+  std::printf("knowledge base: %zu templates, %zu rules, %llu historical "
+              "messages\n",
+              kb.templates.size(), kb.rules.size(),
+              static_cast<unsigned long long>(kb.history_message_count));
+  std::printf("temporal: alpha=%g beta=%g smin=%llds smax=%llds\n",
+              kb.temporal_params.alpha, kb.temporal_params.beta,
+              static_cast<long long>(kb.temporal_params.smin / 1000),
+              static_cast<long long>(kb.temporal_params.smax / 1000));
+  std::printf("rules: W=%llds SP_min=%g Conf_min=%g\n\n",
+              static_cast<long long>(kb.rule_params.window_ms / 1000),
+              kb.rule_params.min_support, kb.rule_params.min_confidence);
+  std::printf("templates:\n");
+  for (const core::Template& tmpl : kb.templates.All()) {
+    const auto prior = kb.temporal_priors.find(tmpl.id);
+    if (prior != kb.temporal_priors.end()) {
+      std::printf("  [%3u] %-90s ~%.0fs period\n", tmpl.id,
+                  tmpl.Canonical().c_str(), prior->second / 1000.0);
+    } else {
+      std::printf("  [%3u] %s\n", tmpl.id, tmpl.Canonical().c_str());
+    }
+  }
+  std::printf("\nassociation rules (conf, supp):\n");
+  for (const core::Rule& rule : kb.rules.All()) {
+    std::printf("  (%.2f, %.2e) %s  <->  %s\n", rule.confidence,
+                rule.support, kb.templates.Get(rule.a).Canonical().c_str(),
+                kb.templates.Get(rule.b).Canonical().c_str());
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fputs(
+      "usage: sldigest <gen|learn|digest|stream|serve|replay|inspect> [flags]\n"
+      "  gen     --dataset A|B --days N [--day0 N] [--seed S] --out FILE "
+      "--configs DIR\n"
+      "  learn   --configs DIR --history FILE --kb FILE [--window-s N] "
+      "[--sweep]\n"
+      "  digest  --configs DIR --kb FILE --in FILE [--report] [--csv FILE] "
+      "[--top N]\n"
+      "  stream  --configs DIR --kb FILE --in FILE [--idle-close-s N]\n"
+      "  serve   --configs DIR --kb FILE [--port N] [--max-datagrams N] [--idle-exit-s N]\n"
+      "  replay  --in FILE [--host IP] [--port N]\n"
+      "  inspect --kb FILE\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (cmd == "gen") return CmdGen(flags);
+  if (cmd == "learn") return CmdLearn(flags);
+  if (cmd == "digest") return CmdDigest(flags);
+  if (cmd == "stream") return CmdStream(flags);
+  if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "replay") return CmdReplay(flags);
+  if (cmd == "inspect") return CmdInspect(flags);
+  Usage();
+  return 2;
+}
