@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fixed_gap"
+  "../bench/bench_ablation_fixed_gap.pdb"
+  "CMakeFiles/bench_ablation_fixed_gap.dir/bench_ablation_fixed_gap.cc.o"
+  "CMakeFiles/bench_ablation_fixed_gap.dir/bench_ablation_fixed_gap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fixed_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_global_tx"
+  "../bench/bench_ablation_global_tx.pdb"
+  "CMakeFiles/bench_ablation_global_tx.dir/bench_ablation_global_tx.cc.o"
+  "CMakeFiles/bench_ablation_global_tx.dir/bench_ablation_global_tx.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_global_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

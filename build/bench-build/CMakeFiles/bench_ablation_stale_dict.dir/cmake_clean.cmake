@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_stale_dict"
+  "../bench/bench_ablation_stale_dict.pdb"
+  "CMakeFiles/bench_ablation_stale_dict.dir/bench_ablation_stale_dict.cc.o"
+  "CMakeFiles/bench_ablation_stale_dict.dir/bench_ablation_stale_dict.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stale_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_drain"
+  "../bench/bench_baseline_drain.pdb"
+  "CMakeFiles/bench_baseline_drain.dir/bench_baseline_drain.cc.o"
+  "CMakeFiles/bench_baseline_drain.dir/bench_baseline_drain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

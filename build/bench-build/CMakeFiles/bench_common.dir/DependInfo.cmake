@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cc" "bench-build/CMakeFiles/bench_common.dir/common.cc.o" "gcc" "bench-build/CMakeFiles/bench_common.dir/common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sld_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sld_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sld_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/sld_syslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sld_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

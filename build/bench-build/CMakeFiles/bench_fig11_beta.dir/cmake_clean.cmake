@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_beta"
+  "../bench/bench_fig11_beta.pdb"
+  "CMakeFiles/bench_fig11_beta.dir/bench_fig11_beta.cc.o"
+  "CMakeFiles/bench_fig11_beta.dir/bench_fig11_beta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

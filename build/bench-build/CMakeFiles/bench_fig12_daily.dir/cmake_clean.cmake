@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_daily"
+  "../bench/bench_fig12_daily.pdb"
+  "CMakeFiles/bench_fig12_daily.dir/bench_fig12_daily.cc.o"
+  "CMakeFiles/bench_fig12_daily.dir/bench_fig12_daily.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_daily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

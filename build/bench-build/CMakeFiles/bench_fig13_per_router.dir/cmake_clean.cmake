@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_per_router"
+  "../bench/bench_fig13_per_router.pdb"
+  "CMakeFiles/bench_fig13_per_router.dir/bench_fig13_per_router.cc.o"
+  "CMakeFiles/bench_fig13_per_router.dir/bench_fig13_per_router.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_per_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

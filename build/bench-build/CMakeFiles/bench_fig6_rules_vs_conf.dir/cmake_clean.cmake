@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_rules_vs_conf"
+  "../bench/bench_fig6_rules_vs_conf.pdb"
+  "CMakeFiles/bench_fig6_rules_vs_conf.dir/bench_fig6_rules_vs_conf.cc.o"
+  "CMakeFiles/bench_fig6_rules_vs_conf.dir/bench_fig6_rules_vs_conf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rules_vs_conf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

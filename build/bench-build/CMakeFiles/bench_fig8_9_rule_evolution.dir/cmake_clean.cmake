@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_9_rule_evolution"
+  "../bench/bench_fig8_9_rule_evolution.pdb"
+  "CMakeFiles/bench_fig8_9_rule_evolution.dir/bench_fig8_9_rule_evolution.cc.o"
+  "CMakeFiles/bench_fig8_9_rule_evolution.dir/bench_fig8_9_rule_evolution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_rule_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_grouping_quality"
+  "../bench/bench_grouping_quality.pdb"
+  "CMakeFiles/bench_grouping_quality.dir/bench_grouping_quality.cc.o"
+  "CMakeFiles/bench_grouping_quality.dir/bench_grouping_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grouping_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_support"
+  "../bench/bench_table5_support.pdb"
+  "CMakeFiles/bench_table5_support.dir/bench_table5_support.cc.o"
+  "CMakeFiles/bench_table5_support.dir/bench_table5_support.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tickets_match"
+  "../bench/bench_tickets_match.pdb"
+  "CMakeFiles/bench_tickets_match.dir/bench_tickets_match.cc.o"
+  "CMakeFiles/bench_tickets_match.dir/bench_tickets_match.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tickets_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

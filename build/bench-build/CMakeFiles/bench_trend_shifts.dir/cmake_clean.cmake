@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trend_shifts"
+  "../bench/bench_trend_shifts.pdb"
+  "CMakeFiles/bench_trend_shifts.dir/bench_trend_shifts.cc.o"
+  "CMakeFiles/bench_trend_shifts.dir/bench_trend_shifts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trend_shifts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

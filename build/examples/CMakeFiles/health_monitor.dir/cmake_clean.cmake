@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_monitor.dir/health_monitor.cpp.o"
+  "CMakeFiles/health_monitor.dir/health_monitor.cpp.o.d"
+  "health_monitor"
+  "health_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_collector.dir/live_collector.cpp.o"
+  "CMakeFiles/live_collector.dir/live_collector.cpp.o.d"
+  "live_collector"
+  "live_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_common.dir/strings.cc.o"
+  "CMakeFiles/sld_common.dir/strings.cc.o.d"
+  "CMakeFiles/sld_common.dir/time.cc.o"
+  "CMakeFiles/sld_common.dir/time.cc.o.d"
+  "libsld_common.a"
+  "libsld_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/augment.cc" "src/core/CMakeFiles/sld_core.dir/augment.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/augment.cc.o.d"
+  "/root/repo/src/core/digest.cc" "src/core/CMakeFiles/sld_core.dir/digest.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/digest.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/sld_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/eval.cc.o.d"
+  "/root/repo/src/core/knowledge.cc" "src/core/CMakeFiles/sld_core.dir/knowledge.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/knowledge.cc.o.d"
+  "/root/repo/src/core/learn.cc" "src/core/CMakeFiles/sld_core.dir/learn.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/learn.cc.o.d"
+  "/root/repo/src/core/location/extractor.cc" "src/core/CMakeFiles/sld_core.dir/location/extractor.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/location/extractor.cc.o.d"
+  "/root/repo/src/core/location/location.cc" "src/core/CMakeFiles/sld_core.dir/location/location.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/location/location.cc.o.d"
+  "/root/repo/src/core/priority/present.cc" "src/core/CMakeFiles/sld_core.dir/priority/present.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/priority/present.cc.o.d"
+  "/root/repo/src/core/priority/report.cc" "src/core/CMakeFiles/sld_core.dir/priority/report.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/priority/report.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/sld_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/query.cc.o.d"
+  "/root/repo/src/core/rules/rules.cc" "src/core/CMakeFiles/sld_core.dir/rules/rules.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/rules/rules.cc.o.d"
+  "/root/repo/src/core/stream.cc" "src/core/CMakeFiles/sld_core.dir/stream.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/stream.cc.o.d"
+  "/root/repo/src/core/templates/drain.cc" "src/core/CMakeFiles/sld_core.dir/templates/drain.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/templates/drain.cc.o.d"
+  "/root/repo/src/core/templates/learner.cc" "src/core/CMakeFiles/sld_core.dir/templates/learner.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/templates/learner.cc.o.d"
+  "/root/repo/src/core/templates/template.cc" "src/core/CMakeFiles/sld_core.dir/templates/template.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/templates/template.cc.o.d"
+  "/root/repo/src/core/templates/token_class.cc" "src/core/CMakeFiles/sld_core.dir/templates/token_class.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/templates/token_class.cc.o.d"
+  "/root/repo/src/core/temporal/temporal.cc" "src/core/CMakeFiles/sld_core.dir/temporal/temporal.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/temporal/temporal.cc.o.d"
+  "/root/repo/src/core/trend.cc" "src/core/CMakeFiles/sld_core.dir/trend.cc.o" "gcc" "src/core/CMakeFiles/sld_core.dir/trend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sld_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/sld_syslog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

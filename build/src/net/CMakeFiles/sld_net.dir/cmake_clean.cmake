@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_net.dir/addr.cc.o"
+  "CMakeFiles/sld_net.dir/addr.cc.o.d"
+  "CMakeFiles/sld_net.dir/config_parser.cc.o"
+  "CMakeFiles/sld_net.dir/config_parser.cc.o.d"
+  "CMakeFiles/sld_net.dir/config_writer.cc.o"
+  "CMakeFiles/sld_net.dir/config_writer.cc.o.d"
+  "CMakeFiles/sld_net.dir/topology.cc.o"
+  "CMakeFiles/sld_net.dir/topology.cc.o.d"
+  "libsld_net.a"
+  "libsld_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_sim.dir/generator.cc.o"
+  "CMakeFiles/sld_sim.dir/generator.cc.o.d"
+  "CMakeFiles/sld_sim.dir/messages.cc.o"
+  "CMakeFiles/sld_sim.dir/messages.cc.o.d"
+  "CMakeFiles/sld_sim.dir/workload.cc.o"
+  "CMakeFiles/sld_sim.dir/workload.cc.o.d"
+  "libsld_sim.a"
+  "libsld_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/syslog/archive.cc" "src/syslog/CMakeFiles/sld_syslog.dir/archive.cc.o" "gcc" "src/syslog/CMakeFiles/sld_syslog.dir/archive.cc.o.d"
+  "/root/repo/src/syslog/collector.cc" "src/syslog/CMakeFiles/sld_syslog.dir/collector.cc.o" "gcc" "src/syslog/CMakeFiles/sld_syslog.dir/collector.cc.o.d"
+  "/root/repo/src/syslog/record.cc" "src/syslog/CMakeFiles/sld_syslog.dir/record.cc.o" "gcc" "src/syslog/CMakeFiles/sld_syslog.dir/record.cc.o.d"
+  "/root/repo/src/syslog/udp.cc" "src/syslog/CMakeFiles/sld_syslog.dir/udp.cc.o" "gcc" "src/syslog/CMakeFiles/sld_syslog.dir/udp.cc.o.d"
+  "/root/repo/src/syslog/wire.cc" "src/syslog/CMakeFiles/sld_syslog.dir/wire.cc.o" "gcc" "src/syslog/CMakeFiles/sld_syslog.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sld_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_syslog.dir/archive.cc.o"
+  "CMakeFiles/sld_syslog.dir/archive.cc.o.d"
+  "CMakeFiles/sld_syslog.dir/collector.cc.o"
+  "CMakeFiles/sld_syslog.dir/collector.cc.o.d"
+  "CMakeFiles/sld_syslog.dir/record.cc.o"
+  "CMakeFiles/sld_syslog.dir/record.cc.o.d"
+  "CMakeFiles/sld_syslog.dir/udp.cc.o"
+  "CMakeFiles/sld_syslog.dir/udp.cc.o.d"
+  "CMakeFiles/sld_syslog.dir/wire.cc.o"
+  "CMakeFiles/sld_syslog.dir/wire.cc.o.d"
+  "libsld_syslog.a"
+  "libsld_syslog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_syslog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/addr_test.dir/net/addr_test.cc.o"
+  "CMakeFiles/addr_test.dir/net/addr_test.cc.o.d"
+  "addr_test"
+  "addr_test.pdb"
+  "addr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

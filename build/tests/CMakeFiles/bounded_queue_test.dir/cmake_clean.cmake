@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_queue_test.dir/common/bounded_queue_test.cc.o"
+  "CMakeFiles/bounded_queue_test.dir/common/bounded_queue_test.cc.o.d"
+  "bounded_queue_test"
+  "bounded_queue_test.pdb"
+  "bounded_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

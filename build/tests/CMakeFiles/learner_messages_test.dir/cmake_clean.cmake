@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learner_messages_test.dir/core/learner_messages_test.cc.o"
+  "CMakeFiles/learner_messages_test.dir/core/learner_messages_test.cc.o.d"
+  "learner_messages_test"
+  "learner_messages_test.pdb"
+  "learner_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learner_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

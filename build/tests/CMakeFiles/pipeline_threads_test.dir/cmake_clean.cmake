@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_threads_test.dir/core/pipeline_threads_test.cc.o"
+  "CMakeFiles/pipeline_threads_test.dir/core/pipeline_threads_test.cc.o.d"
+  "pipeline_threads_test"
+  "pipeline_threads_test.pdb"
+  "pipeline_threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

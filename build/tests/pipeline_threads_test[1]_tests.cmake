@@ -1,0 +1,3 @@
+add_test([=[ThreadedPipelineTest.UdpToQueueToStreamingDigester]=]  /root/repo/build/tests/pipeline_threads_test [==[--gtest_filter=ThreadedPipelineTest.UdpToQueueToStreamingDigester]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ThreadedPipelineTest.UdpToQueueToStreamingDigester]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  pipeline_threads_test_TESTS ThreadedPipelineTest.UdpToQueueToStreamingDigester)

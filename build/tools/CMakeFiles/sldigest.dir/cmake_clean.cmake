@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldigest.dir/sldigest.cc.o"
+  "CMakeFiles/sldigest.dir/sldigest.cc.o.d"
+  "sldigest"
+  "sldigest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldigest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
