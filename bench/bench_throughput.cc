@@ -1,10 +1,24 @@
 // §5.3 — "it generally takes less than one hour to digest one day's
 // syslog".  Google-benchmark timings for the online digest of one day and
-// for the offline learning pass, in messages/second.
+// for the offline learning pass, in messages/second, plus a sharded
+// pipeline thread sweep written to BENCH_throughput.json.
+//
+//   bench_throughput                 # full benchmark suite + sweep 1/2/4/8
+//   bench_throughput --threads 4     # one sharded measurement, no suite
+//   bench_throughput --json=FILE     # sweep output path (default
+//                                    # BENCH_throughput.json)
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common.h"
 #include "core/stream.h"
+#include "pipeline/pipeline.h"
 #include "syslog/wire.h"
 
 using namespace sld;
@@ -19,6 +33,28 @@ struct Fixture {
 Fixture& Shared() {
   static Fixture fixture;
   return fixture;
+}
+
+// One full live day through the sharded pipeline; returns seconds.
+double RunSharded(Fixture& f, std::size_t threads) {
+  pipeline::PipelineOptions opts;
+  opts.shards = threads;
+  pipeline::ShardedPipeline p(&f.p.kb, &f.p.dict, opts);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& rec : f.p.live.messages) p.Push(rec);
+  const core::DigestResult result = p.Finish();
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(result.events.size());
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+// Best-of-three wall-clock messages/second at a given shard count.
+double MeasureSharded(Fixture& f, std::size_t threads) {
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    best = std::min(best, RunSharded(f, threads));
+  }
+  return static_cast<double>(f.p.live.messages.size()) / best;
 }
 
 void BM_DigestOneDay(benchmark::State& state) {
@@ -77,6 +113,22 @@ void BM_StreamingDigest(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamingDigest)->Unit(benchmark::kMillisecond);
 
+void BM_ShardedPipeline(benchmark::State& state) {
+  Fixture& f = Shared();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSharded(f, threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.p.live.messages.size()));
+}
+BENCHMARK(BM_ShardedPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_WireRoundTrip(benchmark::State& state) {
   Fixture& f = Shared();
   std::size_t i = 0;
@@ -90,6 +142,67 @@ void BM_WireRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_WireRoundTrip);
 
+void WriteSweepJson(const std::string& path, std::size_t messages,
+                    const std::vector<std::pair<std::size_t, double>>& sweep) {
+  std::ofstream out(path);
+  // cpus matters for reading the sweep: speedup is bounded by the cores
+  // actually available, not the thread count requested.
+  out << "{\n  \"benchmark\": \"throughput\",\n  \"dataset\": \"A\",\n"
+      << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"messages\": " << messages << ",\n  \"sweep\": [\n";
+  const double base = sweep.front().second;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << "    {\"threads\": " << sweep[i].first
+        << ", \"msgs_per_sec\": " << sweep[i].second
+        << ", \"speedup\": " << sweep[i].second / base << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  long threads = 0;
+  std::string json = "BENCH_throughput.json";
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atol(argv[++i]);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = argv[i] + 7;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+
+  Fixture& f = Shared();
+  if (threads > 0) {
+    // Single measurement mode: no google-benchmark suite, just the
+    // sharded pipeline at the requested thread count.
+    const double rate = MeasureSharded(f, static_cast<std::size_t>(threads));
+    std::printf("sharded_pipeline threads=%ld msgs_per_sec=%.0f\n", threads,
+                rate);
+    WriteSweepJson(json, f.p.live.messages.size(),
+                   {{static_cast<std::size_t>(threads), rate}});
+    return 0;
+  }
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::vector<std::pair<std::size_t, double>> sweep;
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    sweep.emplace_back(n, MeasureSharded(f, n));
+    std::printf("sharded_pipeline threads=%zu msgs_per_sec=%.0f\n", n,
+                sweep.back().second);
+  }
+  WriteSweepJson(json, f.p.live.messages.size(), sweep);
+  std::printf("wrote %s\n", json.c_str());
+  return 0;
+}

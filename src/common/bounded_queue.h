@@ -57,6 +57,30 @@ class BoundedQueue {
     return item;
   }
 
+  // Non-blocking pop; nullopt when currently empty (closed or not).
+  std::optional<T> TryPop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Blocks until at least one item is available, then drains everything
+  // queued in one lock acquisition (amortizes contention for consumers
+  // that can work in batches).  Empty result once closed AND drained.
+  std::deque<T> PopAll() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    std::deque<T> out;
+    out.swap(items_);
+    lock.unlock();
+    not_full_.notify_all();
+    return out;
+  }
+
   // Marks the stream finished; wakes all waiters.
   void Close() {
     {
@@ -71,6 +95,8 @@ class BoundedQueue {
     std::lock_guard lock(mutex_);
     return items_.size();
   }
+
+  std::size_t capacity() const noexcept { return capacity_; }
 
   bool closed() const {
     std::lock_guard lock(mutex_);

@@ -2,28 +2,36 @@
 
 namespace sld::core {
 
-Augmented Augmenter::Augment(const syslog::SyslogRecord& rec,
-                             std::size_t raw_index) {
+Augmented AugmentWithRouting(const syslog::SyslogRecord& rec,
+                             std::size_t raw_index, std::uint32_t router_key,
+                             bool router_known,
+                             const LocationExtractor& extractor,
+                             const LocationDict& dict) {
   Augmented aug;
   aug.time = rec.time;
   aug.raw_index = raw_index;
-  aug.tmpl = templates_->MatchOrFallback(rec.code, rec.detail);
-  if (const auto rid = dict_->RouterByName(rec.router)) {
-    aug.router_known = true;
-    aug.router_key = *rid;
-    aug.locs = extractor_.Extract(rec.router, rec.detail);
+  aug.router_key = router_key;
+  aug.router_known = router_known;
+  if (router_known) {
+    aug.locs = extractor.Extract(rec.router, rec.detail);
     // Most specific (deepest-level) location named in the text.
     aug.primary = aug.locs.front();
     for (std::size_t i = 1; i < aug.locs.size(); ++i) {
-      if (static_cast<int>(dict_->Get(aug.locs[i]).level) >
-          static_cast<int>(dict_->Get(aug.primary).level)) {
+      if (static_cast<int>(dict.Get(aug.locs[i]).level) >
+          static_cast<int>(dict.Get(aug.primary).level)) {
         aug.primary = aug.locs[i];
       }
     }
-  } else {
-    aug.router_key = static_cast<std::uint32_t>(dict_->router_count()) +
-                     unknown_routers_.Intern(rec.router);
   }
+  return aug;
+}
+
+Augmented Augmenter::Augment(const syslog::SyslogRecord& rec,
+                             std::size_t raw_index) {
+  const auto [router_key, known] = resolver_.Resolve(rec.router);
+  Augmented aug = AugmentWithRouting(rec, raw_index, router_key, known,
+                                     extractor_, *dict_);
+  aug.tmpl = templates_->MatchOrFallback(rec.code, rec.detail);
   return aug;
 }
 

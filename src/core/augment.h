@@ -36,12 +36,46 @@ struct Augmented {
   bool HasDetailLocation() const noexcept { return locs.size() > 1; }
 };
 
+// Resolves a record's originating router to a grouping key.  Known routers
+// map to their dictionary id; routers absent from every config get an
+// interned id offset past the dictionary range (first-sight order), so
+// grouping keys stay well-defined for every message.  Stateful (the
+// interner) and deliberately cheap: the sharded pipeline runs it on the
+// sequential ingest thread to pick a shard before the expensive
+// augmentation work fans out.
+class RouterResolver {
+ public:
+  explicit RouterResolver(const LocationDict* dict) : dict_(dict) {}
+
+  // Returns (router_key, router_known).
+  std::pair<std::uint32_t, bool> Resolve(std::string_view router) {
+    if (const auto rid = dict_->RouterByName(router)) return {*rid, true};
+    return {static_cast<std::uint32_t>(dict_->router_count()) +
+                unknown_routers_.Intern(router),
+            false};
+  }
+
+ private:
+  const LocationDict* dict_;
+  StringInterner unknown_routers_;
+};
+
+// Fills every Augmented field except the template id, given an already
+// resolved router key.  Pure w.r.t. shared state (the extractor and dict
+// are read-only), so pipeline shards may call it concurrently.
+Augmented AugmentWithRouting(const syslog::SyslogRecord& rec,
+                             std::size_t raw_index, std::uint32_t router_key,
+                             bool router_known,
+                             const LocationExtractor& extractor,
+                             const LocationDict& dict);
+
 // Augments records with template ids (creating catch-all fallbacks for
 // unmatched messages) and locations.
 class Augmenter {
  public:
   Augmenter(TemplateSet* templates, const LocationDict* dict)
-      : templates_(templates), extractor_(dict), dict_(dict) {}
+      : templates_(templates), extractor_(dict), dict_(dict),
+        resolver_(dict) {}
 
   Augmented Augment(const syslog::SyslogRecord& rec, std::size_t raw_index);
   std::vector<Augmented> AugmentAll(
@@ -53,7 +87,7 @@ class Augmenter {
   TemplateSet* templates_;
   LocationExtractor extractor_;
   const LocationDict* dict_;
-  StringInterner unknown_routers_;
+  RouterResolver resolver_;
 };
 
 }  // namespace sld::core

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
-#include "common/union_find.h"
+#include "pipeline/stages.h"
+#include "pipeline/tracker.h"
 
 namespace sld::core {
 
@@ -71,111 +71,45 @@ DigestResult Digester::Digest(std::span<const syslog::SyslogRecord> stream,
   result.message_count = stream.size();
   if (stream.empty()) return result;
 
+  // Thin driver over the pipeline stage graph with an unbounded idle
+  // horizon: no group closes before the final flush, so the partition is
+  // the closed-stream partition.  The same stages power the incremental
+  // StreamingDigester and the multi-threaded pipeline::ShardedPipeline.
   Augmenter augmenter(&kb_->templates, dict_);
-  const std::vector<Augmented> msgs = augmenter.AugmentAll(stream);
+  pipeline::TemporalStage temporal(kb_->temporal_params,
+                                   &kb_->temporal_priors);
+  pipeline::RuleStage rules(&kb_->rules, kb_->rule_params.window_ms, dict_);
+  pipeline::CrossRouterStage cross(dict_, options.cross_router_window);
+  pipeline::GroupTracker tracker(kb_, dict_,
+                                 pipeline::GroupTracker::kUnboundedMs,
+                                 pipeline::GroupTracker::kUnboundedMs);
 
-  UnionFind groups(msgs.size());
-
-  // Pass 1: temporal grouping (same template, same location, periodic).
-  {
-    TemporalGrouper grouper(kb_->temporal_params, &kb_->temporal_priors);
-    std::unordered_map<std::size_t, std::size_t> last_of_group;
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
-      const std::size_t group = grouper.Feed(msgs[i]);
-      const auto [it, inserted] = last_of_group.emplace(group, i);
-      if (!inserted) {
-        groups.Union(it->second, i);
-        it->second = i;
-      }
+  std::vector<pipeline::MergeEdge> edges;
+  std::vector<std::uint64_t> fired_rules;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const Augmented msg = augmenter.Augment(stream[i], i);
+    tracker.Add(msg);
+    edges.clear();
+    fired_rules.clear();
+    temporal.Feed(msg, &edges);
+    if (options.use_rules) rules.Feed(msg, &edges, &fired_rules);
+    tracker.ApplyEdges(edges);
+    tracker.NoteRules(fired_rules);
+    if (options.use_cross_router) {
+      edges.clear();
+      cross.Feed(
+          msg,
+          [&tracker](std::size_t a, std::size_t b) {
+            return tracker.SameGroup(a, b);
+          },
+          &edges);
+      tracker.ApplyEdges(edges);
     }
+    tracker.Touch(msg.raw_index, msg.time);
   }
 
-  std::unordered_set<std::uint64_t> active_rules;
-
-  // Pass 2: rule-based grouping (different templates, same router,
-  // spatially matched, within the mining window W).
-  if (options.use_rules) {
-    std::unordered_map<std::uint32_t, std::vector<std::size_t>> per_router;
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
-      per_router[msgs[i].router_key].push_back(i);
-    }
-    for (const auto& [router, indices] : per_router) {
-      (void)router;
-      std::size_t tail = 0;
-      for (std::size_t head = 0; head < indices.size(); ++head) {
-        const Augmented& mi = msgs[indices[head]];
-        while (mi.time - msgs[indices[tail]].time >
-               kb_->rule_params.window_ms) {
-          ++tail;
-        }
-        for (std::size_t j = tail; j < head; ++j) {
-          const Augmented& mj = msgs[indices[j]];
-          if (mi.tmpl == mj.tmpl) continue;
-          if (!kb_->rules.Has(mi.tmpl, mj.tmpl)) continue;
-          // Spatial match between any location pair of the two messages.
-          bool matched = false;
-          for (const LocationId la : mi.locs) {
-            for (const LocationId lb : mj.locs) {
-              if (dict_->SpatiallyMatched(la, lb)) {
-                matched = true;
-                break;
-              }
-            }
-            if (matched) break;
-          }
-          // Messages whose router is absent from the configs have no
-          // locations; same router key is the best spatial evidence.
-          if (mi.locs.empty() && mj.locs.empty()) matched = true;
-          if (!matched) continue;
-          active_rules.insert(MiningStats::PairKey(mi.tmpl, mj.tmpl));
-          groups.Union(indices[head], indices[j]);
-        }
-      }
-    }
-  }
-
-  // Pass 3: cross-router grouping (same template, connected locations,
-  // almost simultaneous).
-  if (options.use_cross_router) {
-    std::size_t tail = 0;
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
-      while (msgs[i].time - msgs[tail].time > options.cross_router_window) {
-        ++tail;
-      }
-      for (std::size_t j = tail; j < i; ++j) {
-        if (msgs[i].tmpl != msgs[j].tmpl) continue;
-        if (msgs[i].router_key == msgs[j].router_key) continue;
-        if (groups.Connected(i, j)) continue;
-        bool connected = false;
-        for (const LocationId la : msgs[i].locs) {
-          for (const LocationId lb : msgs[j].locs) {
-            if (dict_->Connected(la, lb)) {
-              connected = true;
-              break;
-            }
-          }
-          if (connected) break;
-        }
-        if (connected) groups.Union(i, j);
-      }
-    }
-  }
-  result.active_rule_count = active_rules.size();
-
-  // Build events from the union-find partition.
-  std::unordered_map<std::size_t, std::vector<const Augmented*>> by_root;
-  std::vector<std::size_t> root_order;
-  for (std::size_t i = 0; i < msgs.size(); ++i) {
-    const std::size_t root = groups.Find(i);
-    auto [it, inserted] = by_root.try_emplace(root);
-    if (inserted) root_order.push_back(root);
-    it->second.push_back(&msgs[i]);
-  }
-  result.events.reserve(by_root.size());
-  for (const std::size_t root : root_order) {
-    result.events.push_back(BuildEvent(by_root[root], *kb_, *dict_));
-  }
-
+  result.events = tracker.Flush();
+  result.active_rule_count = tracker.active_rule_count();
   std::sort(result.events.begin(), result.events.end(),
             [](const DigestEvent& a, const DigestEvent& b) {
               if (a.score != b.score) return a.score > b.score;

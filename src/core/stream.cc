@@ -1,236 +1,55 @@
 #include "core/stream.h"
 
-#include <algorithm>
-
 namespace sld::core {
-namespace {
-
-// Sweep for idle groups at most this often (stream-clock time).
-constexpr TimeMs kSweepInterval = 30 * kMsPerSecond;
-
-}  // namespace
 
 StreamingDigester::StreamingDigester(KnowledgeBase* kb,
                                      const LocationDict* dict,
                                      DigestOptions options,
                                      TimeMs idle_close_ms,
                                      TimeMs max_group_age_ms)
-    : kb_(kb),
-      dict_(dict),
-      options_(options),
-      idle_close_ms_(idle_close_ms > 0
-                         ? idle_close_ms
-                         : kb->temporal_params.smax +
-                               kb->rule_params.window_ms),
-      max_group_age_ms_(max_group_age_ms),
+    : options_(options),
       augmenter_(&kb->templates, dict),
-      temporal_(kb->temporal_params, &kb->temporal_priors) {}
-
-void StreamingDigester::MergeRoots(std::size_t a, std::size_t b) {
-  const std::size_t ra = uf_.Find(a);
-  const std::size_t rb = uf_.Find(b);
-  if (ra == rb) return;
-  const GroupMeta ma = groups_[ra];
-  const GroupMeta mb = groups_[rb];
-  groups_.erase(ra);
-  groups_.erase(rb);
-  const std::size_t merged = uf_.Union(ra, rb);
-  groups_[merged] = {std::min(ma.first_time, mb.first_time),
-                     std::max(ma.last_time, mb.last_time)};
-}
+      temporal_(kb->temporal_params, &kb->temporal_priors),
+      rules_(&kb->rules, kb->rule_params.window_ms, dict),
+      cross_(dict, options.cross_router_window),
+      tracker_(kb, dict,
+               idle_close_ms > 0 ? idle_close_ms
+                                 : kb->temporal_params.smax +
+                                       kb->rule_params.window_ms,
+               max_group_age_ms) {}
 
 std::vector<DigestEvent> StreamingDigester::Push(
     const syslog::SyslogRecord& rec) {
-  std::vector<DigestEvent> closed_events;
-  if (rec.time >= clock_ + kSweepInterval) {
-    closed_events = CloseIdle(rec.time);
-  }
-  clock_ = std::max(clock_, rec.time);
+  std::vector<DigestEvent> closed_events = tracker_.Observe(rec.time);
 
-  const std::size_t index = arena_.size();
-  arena_.push_back(augmenter_.Augment(rec, processed_++));
-  closed_.push_back(false);
-  uf_.Add();
-  ++open_messages_;
-  const Augmented& msg = arena_.back();
-  groups_[uf_.Find(index)] = {msg.time, msg.time};
+  const Augmented msg =
+      augmenter_.Augment(rec, tracker_.processed_count());
+  tracker_.Add(msg);
 
-  // Pass 1 (incremental): same temporal chain -> same group.
-  const std::size_t temporal_group = temporal_.Feed(msg);
-  const auto [tail_it, fresh] = temporal_tail_.emplace(temporal_group, index);
-  if (!fresh) {
-    // Guard: with a short idle horizon the chain's tail may already have
-    // been closed and discarded; then this message simply starts anew.
-    if (tail_it->second < closed_.size() && !closed_[tail_it->second]) {
-      MergeRoots(tail_it->second, index);
-    }
-    tail_it->second = index;
-  }
-
-  // Pass 2 (incremental): rule-based within the same router's window.
-  if (options_.use_rules) {
-    std::deque<std::size_t>& window = router_window_[msg.router_key];
-    while (!window.empty() &&
-           msg.time - arena_[window.front()].time >
-               kb_->rule_params.window_ms) {
-      window.pop_front();
-    }
-    for (const std::size_t j : window) {
-      const Augmented& other = arena_[j];
-      if (other.tmpl == msg.tmpl) continue;
-      if (!kb_->rules.Has(msg.tmpl, other.tmpl)) continue;
-      bool matched = false;
-      for (const LocationId la : msg.locs) {
-        for (const LocationId lb : other.locs) {
-          if (dict_->SpatiallyMatched(la, lb)) {
-            matched = true;
-            break;
-          }
-        }
-        if (matched) break;
-      }
-      if (msg.locs.empty() && other.locs.empty()) matched = true;
-      if (!matched) continue;
-      active_rules_.insert(MiningStats::PairKey(msg.tmpl, other.tmpl));
-      MergeRoots(index, j);
-    }
-    window.push_back(index);
-  }
-
-  // Pass 3 (incremental): same template on connected locations across
-  // routers, almost simultaneously.
+  // Per-router stages (shardable in the pipeline deployment), then the
+  // sequenced cross-router stage, all merging through the one tracker.
+  edges_.clear();
+  fired_rules_.clear();
+  temporal_.Feed(msg, &edges_);
+  if (options_.use_rules) rules_.Feed(msg, &edges_, &fired_rules_);
+  tracker_.ApplyEdges(edges_);
+  tracker_.NoteRules(fired_rules_);
   if (options_.use_cross_router) {
-    while (!cross_window_.empty() &&
-           msg.time - arena_[cross_window_.front()].time >
-               options_.cross_router_window) {
-      cross_window_.pop_front();
-    }
-    for (const std::size_t j : cross_window_) {
-      const Augmented& other = arena_[j];
-      if (other.tmpl != msg.tmpl) continue;
-      if (other.router_key == msg.router_key) continue;
-      if (uf_.Connected(index, j)) continue;
-      bool connected = false;
-      for (const LocationId la : msg.locs) {
-        for (const LocationId lb : other.locs) {
-          if (dict_->Connected(la, lb)) {
-            connected = true;
-            break;
-          }
-        }
-        if (connected) break;
-      }
-      if (connected) MergeRoots(index, j);
-    }
-    cross_window_.push_back(index);
+    edges_.clear();
+    cross_.Feed(
+        msg,
+        [this](std::size_t a, std::size_t b) {
+          return tracker_.SameGroup(a, b);
+        },
+        &edges_);
+    tracker_.ApplyEdges(edges_);
   }
-
-  // Refresh the (possibly merged) group's activity clock.
-  groups_[uf_.Find(index)].last_time = msg.time;
-
-  if (arena_.size() > 4096 && arena_.size() > 4 * open_messages_) {
-    CompactArena();
-  }
+  tracker_.Touch(msg.raw_index, msg.time);
   return closed_events;
 }
 
-std::vector<DigestEvent> StreamingDigester::CloseIdle(TimeMs now) {
-  std::vector<std::size_t> closing;
-  for (const auto& [root, meta] : groups_) {
-    if (now - meta.last_time > idle_close_ms_ ||
-        now - meta.first_time > max_group_age_ms_) {
-      closing.push_back(root);
-    }
-  }
-  if (closing.empty()) return {};
-
-  // One arena scan collects the messages of every closing group.
-  std::unordered_map<std::size_t, std::vector<const Augmented*>> members;
-  for (const std::size_t root : closing) members[root];
-  for (std::size_t i = 0; i < arena_.size(); ++i) {
-    if (closed_[i]) continue;
-    const auto it = members.find(uf_.Find(i));
-    if (it == members.end()) continue;
-    it->second.push_back(&arena_[i]);
-    closed_[i] = true;
-    --open_messages_;
-  }
-  std::vector<DigestEvent> events;
-  events.reserve(closing.size());
-  for (const std::size_t root : closing) {
-    if (!members[root].empty()) {
-      events.push_back(BuildEvent(members[root], *kb_, *dict_));
-    }
-    groups_.erase(root);
-  }
-  std::sort(events.begin(), events.end(),
-            [](const DigestEvent& a, const DigestEvent& b) {
-              return a.start < b.start;
-            });
-  return events;
-}
-
 std::vector<DigestEvent> StreamingDigester::Flush() {
-  clock_ = INT64_MAX - idle_close_ms_ - 1;
-  std::vector<DigestEvent> events = CloseIdle(INT64_MAX - 1);
-  std::sort(events.begin(), events.end(),
-            [](const DigestEvent& a, const DigestEvent& b) {
-              return a.start < b.start;
-            });
-  CompactArena();
-  return events;
-}
-
-void StreamingDigester::CompactArena() {
-  // Remap open messages into a fresh arena, preserving group structure.
-  std::vector<Augmented> new_arena;
-  new_arena.reserve(open_messages_);
-  std::vector<std::size_t> remap(arena_.size(), SIZE_MAX);
-  for (std::size_t i = 0; i < arena_.size(); ++i) {
-    if (closed_[i]) continue;
-    remap[i] = new_arena.size();
-    new_arena.push_back(std::move(arena_[i]));
-  }
-  UnionFind new_uf(new_arena.size());
-  // Reconstruct unions: connect every open message to its root's first
-  // open representative.
-  std::unordered_map<std::size_t, std::size_t> first_of_root;
-  std::unordered_map<std::size_t, GroupMeta> new_groups;
-  for (std::size_t i = 0; i < arena_.size(); ++i) {
-    if (remap[i] == SIZE_MAX) continue;
-    const std::size_t root = uf_.Find(i);
-    const auto [it, inserted] = first_of_root.emplace(root, remap[i]);
-    if (!inserted) new_uf.Union(it->second, remap[i]);
-  }
-  for (const auto& [root, meta] : groups_) {
-    const auto it = first_of_root.find(root);
-    if (it != first_of_root.end()) {
-      new_groups[new_uf.Find(it->second)] = meta;
-    }
-  }
-  // Remap the window structures; entries for closed messages drop out.
-  const auto remap_deque = [&remap](std::deque<std::size_t>& dq) {
-    std::deque<std::size_t> out;
-    for (const std::size_t i : dq) {
-      if (remap[i] != SIZE_MAX) out.push_back(remap[i]);
-    }
-    dq = std::move(out);
-  };
-  for (auto& [router, window] : router_window_) {
-    (void)router;
-    remap_deque(window);
-  }
-  remap_deque(cross_window_);
-  std::unordered_map<std::size_t, std::size_t> new_tails;
-  for (const auto& [gid, tail] : temporal_tail_) {
-    if (remap[tail] != SIZE_MAX) new_tails.emplace(gid, remap[tail]);
-  }
-
-  arena_ = std::move(new_arena);
-  closed_.assign(arena_.size(), false);
-  uf_ = std::move(new_uf);
-  groups_ = std::move(new_groups);
-  temporal_tail_ = std::move(new_tails);
+  return tracker_.Flush();
 }
 
 }  // namespace sld::core

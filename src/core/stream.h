@@ -1,23 +1,24 @@
 // StreamingDigester: the truly online deployment form of the digester.
 //
 // The batch Digester (digest.h) processes a closed stream; this class
-// accepts one record at a time, runs the same three grouping passes
+// accepts one record at a time, runs the same grouping stages
 // incrementally, and emits an event as soon as its group has been idle
 // long enough that no further message could join it.  With an unbounded
 // idle horizon the stream partition is identical to the batch partition
 // (tests/core/stream_test.cc holds the two against each other).
 //
-// Memory is bounded: closed groups are dropped, and the message arena is
-// compacted when closed messages dominate it.
+// Built on the src/pipeline stage graph: TemporalStage + RuleStage +
+// CrossRouterStage produce merge edges, GroupTracker owns the union-find,
+// the idle/max-age lifecycle, and arena compaction.  The single-threaded
+// form here and the multi-threaded pipeline::ShardedPipeline are drivers
+// over the same stages, so their partitions coincide by construction.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "common/union_find.h"
 #include "core/digest.h"
+#include "pipeline/stages.h"
+#include "pipeline/tracker.h"
 
 namespace sld::core {
 
@@ -42,51 +43,31 @@ class StreamingDigester {
   // Closes and returns every open group (end of stream).
   std::vector<DigestEvent> Flush();
 
-  std::size_t open_group_count() const noexcept { return groups_.size(); }
-  std::size_t open_message_count() const noexcept { return open_messages_; }
-  std::size_t processed_count() const noexcept { return processed_; }
+  std::size_t open_group_count() const noexcept {
+    return tracker_.open_group_count();
+  }
+  std::size_t open_message_count() const noexcept {
+    return tracker_.open_message_count();
+  }
+  std::size_t processed_count() const noexcept {
+    return tracker_.processed_count();
+  }
   // Distinct rules that have fired so far.
   std::size_t active_rule_count() const noexcept {
-    return active_rules_.size();
+    return tracker_.active_rule_count();
   }
 
  private:
-  struct GroupMeta {
-    TimeMs first_time = 0;
-    TimeMs last_time = 0;
-  };
-
-  void MergeRoots(std::size_t a, std::size_t b);
-  std::vector<DigestEvent> CloseIdle(TimeMs now);
-  void CompactArena();
-
-  KnowledgeBase* kb_;
-  const LocationDict* dict_;
   DigestOptions options_;
-  TimeMs idle_close_ms_;
-  TimeMs max_group_age_ms_;
   Augmenter augmenter_;
-  TemporalGrouper temporal_;
+  pipeline::TemporalStage temporal_;
+  pipeline::RuleStage rules_;
+  pipeline::CrossRouterStage cross_;
+  pipeline::GroupTracker tracker_;
 
-  // Arena of messages still belonging to open groups (plus closed ones
-  // awaiting compaction); union-find indexes into it.
-  std::vector<Augmented> arena_;
-  std::vector<bool> closed_;
-  UnionFind uf_{0};
-  std::size_t open_messages_ = 0;
-
-  // root -> group bookkeeping (kept in sync across unions).
-  std::unordered_map<std::size_t, GroupMeta> groups_;
-  // temporal group id -> latest arena index of that temporal chain.
-  std::unordered_map<std::size_t, std::size_t> temporal_tail_;
-  // per-router sliding window (arena indices) for the rule pass.
-  std::unordered_map<std::uint32_t, std::deque<std::size_t>> router_window_;
-  // global sliding window for the cross-router pass.
-  std::deque<std::size_t> cross_window_;
-  std::unordered_set<std::uint64_t> active_rules_;
-
-  TimeMs clock_ = INT64_MIN;
-  std::size_t processed_ = 0;
+  // Scratch buffers reused across pushes.
+  std::vector<pipeline::MergeEdge> edges_;
+  std::vector<std::uint64_t> fired_rules_;
 };
 
 }  // namespace sld::core

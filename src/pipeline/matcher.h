@@ -1,0 +1,43 @@
+// Signature matching shared by pipeline shards.
+//
+// The template set is read-mostly: nearly every message matches a learned
+// template, but the online system must stay total, so unmatched messages
+// create a catch-all template on demand (TemplateSet::MatchOrFallback).
+// Shards therefore match under a reader lock and upgrade to a writer lock
+// only on the rare miss.  The same mutex is reader-locked by the merge
+// stage while it reads template text for event labels.
+#pragma once
+
+#include <shared_mutex>
+#include <string_view>
+
+#include "core/templates/template.h"
+
+namespace sld::pipeline {
+
+class ConcurrentTemplateMatcher {
+ public:
+  explicit ConcurrentTemplateMatcher(core::TemplateSet* set) : set_(set) {}
+
+  core::TemplateId MatchOrFallback(std::string_view code,
+                                   std::string_view detail) {
+    {
+      std::shared_lock lock(mutex_);
+      if (const auto id = set_->Match(code, detail)) return *id;
+    }
+    // Miss: take the writer lock and re-run the full fallback path (another
+    // shard may have created the catch-all in between; MatchOrFallback
+    // dedups on the canonical form).
+    std::unique_lock lock(mutex_);
+    return set_->MatchOrFallback(code, detail);
+  }
+
+  // Reader-lockable by stages that read template text (event labeling).
+  std::shared_mutex& mutex() noexcept { return mutex_; }
+
+ private:
+  core::TemplateSet* set_;
+  std::shared_mutex mutex_;
+};
+
+}  // namespace sld::pipeline

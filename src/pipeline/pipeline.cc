@@ -1,0 +1,169 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+
+#include "core/location/extractor.h"
+
+namespace sld::pipeline {
+
+ShardedPipeline::ShardedPipeline(core::KnowledgeBase* kb,
+                                 const core::LocationDict* dict,
+                                 PipelineOptions options)
+    : kb_(kb),
+      dict_(dict),
+      options_(options),
+      matcher_(&kb->templates),
+      resolver_(dict),
+      tracker_(kb, dict, options.idle_close_ms, options.max_group_age_ms,
+               &matcher_.mutex()),
+      // The order queue must never be the blocking edge: size it past the
+      // worst-case number of in-flight batches so back-pressure always
+      // comes from the shard queues.
+      order_(std::max<std::size_t>(1, options.shards) *
+                 options.queue_capacity * 2 +
+             16) {
+  const std::size_t n = std::max<std::size_t>(1, options_.shards);
+  options_.shards = n;
+  options_.batch_size = std::max<std::size_t>(1, options_.batch_size);
+  shards_.reserve(n);
+  pending_in_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    shards_[k]->worker = std::thread([this, k] { RunShard(*shards_[k]); });
+  }
+  merge_thread_ = std::thread([this] { RunMerge(); });
+}
+
+ShardedPipeline::~ShardedPipeline() {
+  if (!finished_) Finish();
+}
+
+void ShardedPipeline::SetEventSink(EventSink sink) {
+  // Synchronizes with the merge thread through the queue mutexes: the
+  // merge thread only reads the sink after popping work that was pushed
+  // after this assignment (callers install the sink before the first
+  // Push).
+  sink_ = std::move(sink);
+}
+
+void ShardedPipeline::Push(const syslog::SyslogRecord& rec) {
+  const auto [router_key, known] = resolver_.Resolve(rec.router);
+  const auto sid =
+      static_cast<std::uint32_t>(router_key % shards_.size());
+  pending_in_[sid].push_back({seq_, router_key, known, rec});
+  pending_order_.push_back(sid);
+  ++seq_;
+  if (pending_order_.size() >= options_.batch_size) FlushBatches();
+}
+
+void ShardedPipeline::FlushBatches() {
+  // Shard batches first, their order batch last: when the merge thread
+  // sees a sequence number in the schedule, its input is already queued.
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (pending_in_[k].empty()) continue;
+    std::vector<ShardInput> batch;
+    batch.swap(pending_in_[k]);
+    shards_[k]->in.Push(std::move(batch));
+  }
+  if (!pending_order_.empty()) {
+    std::vector<std::uint32_t> order;
+    order.swap(pending_order_);
+    order_.Push(std::move(order));
+  }
+}
+
+void ShardedPipeline::RunShard(Shard& shard) {
+  core::LocationExtractor extractor(dict_);
+  TemporalStage temporal(kb_->temporal_params, &kb_->temporal_priors);
+  RuleStage rules(&kb_->rules, kb_->rule_params.window_ms, dict_);
+  while (auto batch = shard.in.Pop()) {
+    std::vector<ShardOutput> out;
+    out.reserve(batch->size());
+    for (ShardInput& in : *batch) {
+      ShardOutput o;
+      o.msg = core::AugmentWithRouting(in.rec, in.seq, in.router_key,
+                                       in.router_known, extractor, *dict_);
+      o.msg.tmpl = matcher_.MatchOrFallback(in.rec.code, in.rec.detail);
+      temporal.Feed(o.msg, &o.edges);
+      if (options_.digest.use_rules) {
+        rules.Feed(o.msg, &o.edges, &o.fired_rules);
+      }
+      out.push_back(std::move(o));
+    }
+    if (!shard.out.Push(std::move(out))) break;  // merge side gone
+  }
+  shard.out.Close();
+}
+
+void ShardedPipeline::RunMerge() {
+  CrossRouterStage cross(dict_, options_.digest.cross_router_window);
+  std::vector<std::vector<ShardOutput>> current(shards_.size());
+  std::vector<std::size_t> cursor(shards_.size(), 0);
+  std::vector<MergeEdge> cross_edges;
+  const auto emit = [this](std::vector<core::DigestEvent> events) {
+    for (core::DigestEvent& ev : events) {
+      if (sink_) {
+        sink_(std::move(ev));
+      } else {
+        collected_.push_back(std::move(ev));
+      }
+    }
+  };
+
+  while (auto schedule = order_.Pop()) {
+    for (const std::uint32_t sid : *schedule) {
+      if (cursor[sid] >= current[sid].size()) {
+        auto next = shards_[sid]->out.Pop();
+        if (!next) return;  // shard aborted; drop the rest
+        current[sid] = std::move(*next);
+        cursor[sid] = 0;
+      }
+      ShardOutput& o = current[sid][cursor[sid]++];
+      const TimeMs t = o.msg.time;
+      const std::size_t seq = o.msg.raw_index;
+
+      emit(tracker_.Observe(t));
+      tracker_.Add(o.msg);
+      tracker_.ApplyEdges(o.edges);
+      tracker_.NoteRules(o.fired_rules);
+      if (options_.digest.use_cross_router) {
+        cross_edges.clear();
+        cross.Feed(
+            o.msg,
+            [this](std::size_t a, std::size_t b) {
+              return tracker_.SameGroup(a, b);
+            },
+            &cross_edges);
+        tracker_.ApplyEdges(cross_edges);
+      }
+      tracker_.Touch(seq, t);
+    }
+  }
+  emit(tracker_.Flush());
+}
+
+core::DigestResult ShardedPipeline::Finish() {
+  if (!finished_) {
+    finished_ = true;
+    FlushBatches();
+    for (auto& shard : shards_) shard->in.Close();
+    order_.Close();
+    for (auto& shard : shards_) shard->worker.join();
+    merge_thread_.join();
+  }
+  core::DigestResult result;
+  result.message_count = seq_;
+  result.active_rule_count = tracker_.active_rule_count();
+  result.events = std::move(collected_);
+  collected_.clear();
+  std::sort(result.events.begin(), result.events.end(),
+            [](const core::DigestEvent& a, const core::DigestEvent& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.start < b.start;
+            });
+  return result;
+}
+
+}  // namespace sld::pipeline

@@ -1,0 +1,127 @@
+// ShardedPipeline: the deployment form of the stage graph (§4.2 online
+// system at production scale).
+//
+// One ingest thread (the caller of Push) decodes/collects, resolves each
+// record's router key, and deals records to N shard workers connected by
+// BoundedQueues of record batches.  Each worker augments its records
+// (signature match through the shared ConcurrentTemplateMatcher, location
+// extraction) and runs the per-router stages (TemporalStage + RuleStage),
+// emitting merge edges.  A single sequenced merge thread replays the
+// shard outputs in global arrival order — an order queue carries the
+// shard id of every sequence number — applies the edges to the one
+// union-find (GroupTracker), runs the only globally-coupled pass
+// (CrossRouterStage), and closes idle groups into events.
+//
+// Because the merge thread consumes messages in exactly the ingest order
+// and every edge flows through one union-find, the event partition is
+// bit-identical to the single-threaded StreamingDigester / batch Digester
+// regardless of the shard count (tests/core/pipeline_threads_test.cc
+// holds all three against each other).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "core/digest.h"
+#include "pipeline/matcher.h"
+#include "pipeline/stages.h"
+#include "pipeline/tracker.h"
+#include "syslog/record.h"
+
+namespace sld::pipeline {
+
+struct PipelineOptions {
+  core::DigestOptions digest;
+  // Worker threads for the per-router stages (router_key % shards).
+  std::size_t shards = 1;
+  // Records per queue batch: one mutex round-trip per batch, not per
+  // message, keeps the queues off the hot path.
+  std::size_t batch_size = 256;
+  // Batches buffered per queue before back-pressure reaches the ingest.
+  std::size_t queue_capacity = 64;
+  // Group lifecycle (see StreamingDigester): the defaults make the
+  // pipeline a batch digester — nothing closes before Finish().
+  TimeMs idle_close_ms = GroupTracker::kUnboundedMs;
+  TimeMs max_group_age_ms = GroupTracker::kUnboundedMs;
+};
+
+class ShardedPipeline {
+ public:
+  // Called on the merge thread for every event that closes before
+  // Finish(); events closed by the final flush go through it too.
+  using EventSink = std::function<void(core::DigestEvent)>;
+
+  // `kb` must outlive the pipeline and may gain catch-all templates.
+  ShardedPipeline(core::KnowledgeBase* kb, const core::LocationDict* dict,
+                  PipelineOptions options = {});
+  ~ShardedPipeline();
+
+  ShardedPipeline(const ShardedPipeline&) = delete;
+  ShardedPipeline& operator=(const ShardedPipeline&) = delete;
+
+  // Install before the first Push.  With a sink, events are delivered as
+  // they close and Finish() returns only counters.
+  void SetEventSink(EventSink sink);
+
+  // Feeds one record (timestamps non-decreasing; single producer thread).
+  void Push(const syslog::SyslogRecord& rec);
+
+  // Closes the stream, drains every stage, joins the threads, and returns
+  // the digest (events sorted by score like the batch digester, unless a
+  // sink consumed them).  Idempotent.
+  core::DigestResult Finish();
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct ShardInput {
+    std::size_t seq;
+    std::uint32_t router_key;
+    bool router_known;
+    syslog::SyslogRecord rec;
+  };
+  struct ShardOutput {
+    core::Augmented msg;
+    std::vector<MergeEdge> edges;           // temporal + rule edges
+    std::vector<std::uint64_t> fired_rules;
+  };
+  struct Shard {
+    explicit Shard(std::size_t capacity) : in(capacity), out(capacity) {}
+    BoundedQueue<std::vector<ShardInput>> in;
+    BoundedQueue<std::vector<ShardOutput>> out;
+    std::thread worker;
+  };
+
+  void RunShard(Shard& shard);
+  void RunMerge();
+  void FlushBatches();
+
+  core::KnowledgeBase* kb_;
+  const core::LocationDict* dict_;
+  PipelineOptions options_;
+  ConcurrentTemplateMatcher matcher_;
+  core::RouterResolver resolver_;
+  GroupTracker tracker_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Shard id of every sequence number, in batches, in ingest order: the
+  // merge thread's replay schedule.
+  BoundedQueue<std::vector<std::uint32_t>> order_;
+  std::thread merge_thread_;
+
+  // Ingest-side pending batches (flushed every batch_size records).
+  std::vector<std::vector<ShardInput>> pending_in_;
+  std::vector<std::uint32_t> pending_order_;
+  std::size_t seq_ = 0;
+
+  // Merge-thread state, read by Finish() only after the join.
+  std::vector<core::DigestEvent> collected_;
+  EventSink sink_;
+  bool finished_ = false;
+};
+
+}  // namespace sld::pipeline

@@ -1,0 +1,45 @@
+#include "pipeline/stages.h"
+
+namespace sld::pipeline {
+
+void TemporalStage::Feed(const core::Augmented& msg,
+                         std::vector<MergeEdge>* out) {
+  const std::size_t group = grouper_.Feed(msg);
+  const auto [it, fresh] = tail_.emplace(group, msg.raw_index);
+  if (!fresh) {
+    out->push_back({it->second, msg.raw_index});
+    it->second = msg.raw_index;
+  }
+}
+
+void RuleStage::Feed(const core::Augmented& msg, std::vector<MergeEdge>* out,
+                     std::vector<std::uint64_t>* fired_rules) {
+  std::deque<Entry>& window = windows_[msg.router_key];
+  while (!window.empty() && msg.time - window.front().time > window_ms_) {
+    window.pop_front();
+  }
+  for (const Entry& other : window) {
+    if (other.tmpl == msg.tmpl) continue;
+    if (!rules_->Has(msg.tmpl, other.tmpl)) continue;
+    // Spatial match between any location pair of the two messages.
+    bool matched = false;
+    for (const core::LocationId la : msg.locs) {
+      for (const core::LocationId lb : other.locs) {
+        if (dict_->SpatiallyMatched(la, lb)) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+    // Messages whose router is absent from the configs have no locations;
+    // same router key is the best spatial evidence.
+    if (msg.locs.empty() && other.locs.empty()) matched = true;
+    if (!matched) continue;
+    fired_rules->push_back(core::MiningStats::PairKey(msg.tmpl, other.tmpl));
+    out->push_back({msg.raw_index, other.seq});
+  }
+  window.push_back({msg.raw_index, msg.time, msg.tmpl, msg.locs});
+}
+
+}  // namespace sld::pipeline

@@ -1,0 +1,145 @@
+// The staged grouping pipeline (§4.2): the three grouping passes of the
+// online system expressed as composable, single-responsibility stage types
+// over the augmented stream.
+//
+// Every stage consumes messages in timestamp order and emits *merge
+// edges* — pairs of message sequence numbers (raw indices) that belong to
+// the same network event.  All edges flow into one union-find (the
+// GroupTracker), so the final partition is independent of which stage
+// found an edge first — the §4.2.3 order-independence property the seed
+// digesters relied on, now load-bearing for sharding:
+//
+//   decode/collect -> signature match + augment -> per-router shard
+//     (TemporalStage + RuleStage: only touch per-router state)
+//   -> sequenced merge (CrossRouterStage + GroupTracker: the only
+//      globally-coupled pass, §4.2.3's 1-second window)
+//   -> prioritize / present.
+//
+// TemporalStage and RuleStage key every piece of state by (template,
+// location, router) or by router alone, so a shard that owns a subset of
+// routers and sees its messages in global timestamp order produces exactly
+// the edges the single-threaded digester would.  CrossRouterStage compares
+// messages across routers and therefore runs on the one sequenced merge
+// thread.  Stages keep their own bounded copies of the window fields they
+// need, so they never dangle into an arena that compacts underneath them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/augment.h"
+#include "core/rules/rules.h"
+#include "core/temporal/temporal.h"
+
+namespace sld::pipeline {
+
+// A merge instruction: the messages with sequence numbers (raw indices)
+// `a` and `b` belong to the same event.
+struct MergeEdge {
+  std::size_t a = 0;
+  std::size_t b = 0;
+};
+
+// Pass 1 (§4.2.1): same template at the same location recurring at its
+// learned period joins the previous message of the chain.  Per-router
+// state only (the temporal key includes the router), so shardable.
+class TemporalStage {
+ public:
+  TemporalStage(core::TemporalParams params,
+                const core::TemporalPriors* priors)
+      : grouper_(params, priors) {}
+
+  // Appends the chain edge (previous tail, msg) when `msg` continues an
+  // existing temporal chain.  The tail may already have been emitted by
+  // the tracker under a short idle horizon; the edge applier skips those.
+  void Feed(const core::Augmented& msg, std::vector<MergeEdge>* out);
+
+ private:
+  core::TemporalGrouper grouper_;
+  // temporal group id -> sequence number of the chain's latest message.
+  std::unordered_map<std::size_t, std::size_t> tail_;
+};
+
+// Pass 2 (§4.2.2): different templates on the same router related by a
+// mined association rule, spatially matched, within the mining window W.
+// Per-router sliding windows, so shardable.
+class RuleStage {
+ public:
+  RuleStage(const core::RuleBase* rules, TimeMs window_ms,
+            const core::LocationDict* dict)
+      : rules_(rules), window_ms_(window_ms), dict_(dict) {}
+
+  // Appends an edge per rule hit and the fired rule's pair key.
+  void Feed(const core::Augmented& msg, std::vector<MergeEdge>* out,
+            std::vector<std::uint64_t>* fired_rules);
+
+ private:
+  struct Entry {
+    std::size_t seq;
+    TimeMs time;
+    core::TemplateId tmpl;
+    std::vector<core::LocationId> locs;
+  };
+
+  const core::RuleBase* rules_;
+  TimeMs window_ms_;
+  const core::LocationDict* dict_;
+  std::unordered_map<std::uint32_t, std::deque<Entry>> windows_;
+};
+
+// Pass 3 (§4.2.3): the same template on connected locations of different
+// routers at "almost the same time" (the 1-second window).  This is the
+// only stage whose window spans routers, so it runs on the sequenced
+// merge thread, after the shard edges for the message have been applied.
+class CrossRouterStage {
+ public:
+  CrossRouterStage(const core::LocationDict* dict, TimeMs window_ms)
+      : dict_(dict), window_ms_(window_ms) {}
+
+  // `same_group(a, b)` lets the stage skip the location scan for pairs the
+  // tracker already holds together (an optimization, not a correctness
+  // requirement: re-merging a joined pair is a no-op).
+  template <typename SameGroupFn>
+  void Feed(const core::Augmented& msg, SameGroupFn&& same_group,
+            std::vector<MergeEdge>* out) {
+    while (!window_.empty() &&
+           msg.time - window_.front().time > window_ms_) {
+      window_.pop_front();
+    }
+    for (const Entry& other : window_) {
+      if (other.tmpl != msg.tmpl) continue;
+      if (other.router_key == msg.router_key) continue;
+      if (same_group(msg.raw_index, other.seq)) continue;
+      bool connected = false;
+      for (const core::LocationId la : msg.locs) {
+        for (const core::LocationId lb : other.locs) {
+          if (dict_->Connected(la, lb)) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) break;
+      }
+      if (connected) out->push_back({msg.raw_index, other.seq});
+    }
+    window_.push_back(
+        {msg.raw_index, msg.time, msg.tmpl, msg.router_key, msg.locs});
+  }
+
+ private:
+  struct Entry {
+    std::size_t seq;
+    TimeMs time;
+    core::TemplateId tmpl;
+    std::uint32_t router_key;
+    std::vector<core::LocationId> locs;
+  };
+
+  const core::LocationDict* dict_;
+  TimeMs window_ms_;
+  std::deque<Entry> window_;
+};
+
+}  // namespace sld::pipeline

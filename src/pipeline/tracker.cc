@@ -1,0 +1,180 @@
+#include "pipeline/tracker.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace sld::pipeline {
+namespace {
+
+// Sweep for idle groups at most this often (stream-clock time).
+constexpr TimeMs kSweepInterval = 30 * kMsPerSecond;
+
+}  // namespace
+
+GroupTracker::GroupTracker(const core::KnowledgeBase* kb,
+                           const core::LocationDict* dict,
+                           TimeMs idle_close_ms,
+                           TimeMs max_group_age_ms,
+                           std::shared_mutex* kb_mutex)
+    : kb_(kb),
+      dict_(dict),
+      idle_close_ms_(idle_close_ms),
+      max_group_age_ms_(max_group_age_ms),
+      kb_mutex_(kb_mutex) {}
+
+std::vector<core::DigestEvent> GroupTracker::Observe(TimeMs now) {
+  std::vector<core::DigestEvent> events;
+  if (now >= clock_ + kSweepInterval) events = CloseIdle(now);
+  clock_ = std::max(clock_, now);
+  return events;
+}
+
+void GroupTracker::Add(core::Augmented msg) {
+  const std::size_t index = arena_.size();
+  const std::size_t seq = msg.raw_index;
+  const TimeMs t = msg.time;
+  arena_.push_back(std::move(msg));
+  closed_.push_back(false);
+  uf_.Add();
+  slot_[seq] = index;
+  groups_[uf_.Find(index)] = {t, t};
+  ++open_messages_;
+  ++processed_;
+
+  if (arena_.size() > 4096 && arena_.size() > 4 * open_messages_) {
+    CompactArena();
+  }
+}
+
+void GroupTracker::MergeSlots(std::size_t a, std::size_t b) {
+  const std::size_t ra = uf_.Find(a);
+  const std::size_t rb = uf_.Find(b);
+  if (ra == rb) return;
+  const GroupMeta ma = groups_[ra];
+  const GroupMeta mb = groups_[rb];
+  groups_.erase(ra);
+  groups_.erase(rb);
+  const std::size_t merged = uf_.Union(ra, rb);
+  groups_[merged] = {std::min(ma.first_time, mb.first_time),
+                     std::max(ma.last_time, mb.last_time)};
+}
+
+void GroupTracker::ApplyEdges(const std::vector<MergeEdge>& edges) {
+  for (const MergeEdge& e : edges) {
+    const auto a = slot_.find(e.a);
+    if (a == slot_.end()) continue;  // already emitted; starts anew
+    const auto b = slot_.find(e.b);
+    if (b == slot_.end()) continue;
+    MergeSlots(a->second, b->second);
+  }
+}
+
+bool GroupTracker::SameGroup(std::size_t seq_a, std::size_t seq_b) {
+  const auto a = slot_.find(seq_a);
+  if (a == slot_.end()) return false;
+  const auto b = slot_.find(seq_b);
+  if (b == slot_.end()) return false;
+  return uf_.Connected(a->second, b->second);
+}
+
+void GroupTracker::Touch(std::size_t seq, TimeMs t) {
+  const auto it = slot_.find(seq);
+  if (it == slot_.end()) return;
+  groups_[uf_.Find(it->second)].last_time = t;
+}
+
+void GroupTracker::NoteRules(const std::vector<std::uint64_t>& keys) {
+  active_rules_.insert(keys.begin(), keys.end());
+}
+
+core::DigestEvent GroupTracker::BuildLocked(
+    const std::vector<const core::Augmented*>& members) const {
+  if (kb_mutex_ == nullptr) return core::BuildEvent(members, *kb_, *dict_);
+  std::shared_lock lock(*kb_mutex_);
+  return core::BuildEvent(members, *kb_, *dict_);
+}
+
+std::vector<core::DigestEvent> GroupTracker::CloseIdle(TimeMs now) {
+  std::vector<std::size_t> closing;
+  for (const auto& [root, meta] : groups_) {
+    if (now - meta.last_time > idle_close_ms_ ||
+        now - meta.first_time > max_group_age_ms_) {
+      closing.push_back(root);
+    }
+  }
+  if (closing.empty()) return {};
+
+  // One arena scan (ascending sequence order, so score summation matches
+  // the batch digester bit for bit) collects every closing group.
+  std::unordered_map<std::size_t, std::vector<const core::Augmented*>>
+      members;
+  for (const std::size_t root : closing) members[root];
+  for (std::size_t i = 0; i < arena_.size(); ++i) {
+    if (closed_[i]) continue;
+    const auto it = members.find(uf_.Find(i));
+    if (it == members.end()) continue;
+    it->second.push_back(&arena_[i]);
+    closed_[i] = true;
+    slot_.erase(arena_[i].raw_index);
+    --open_messages_;
+  }
+  std::vector<core::DigestEvent> events;
+  events.reserve(closing.size());
+  for (const std::size_t root : closing) {
+    if (!members[root].empty()) {
+      events.push_back(BuildLocked(members[root]));
+    }
+    groups_.erase(root);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const core::DigestEvent& a, const core::DigestEvent& b) {
+              return a.start < b.start;
+            });
+  return events;
+}
+
+std::vector<core::DigestEvent> GroupTracker::Flush() {
+  clock_ = INT64_MAX - idle_close_ms_ - 1;
+  std::vector<core::DigestEvent> events = CloseIdle(INT64_MAX - 1);
+  CompactArena();
+  return events;
+}
+
+void GroupTracker::CompactArena() {
+  // Remap open messages into a fresh arena, preserving group structure.
+  std::vector<core::Augmented> new_arena;
+  new_arena.reserve(open_messages_);
+  std::vector<std::size_t> remap(arena_.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < arena_.size(); ++i) {
+    if (closed_[i]) continue;
+    remap[i] = new_arena.size();
+    new_arena.push_back(std::move(arena_[i]));
+  }
+  UnionFind new_uf(new_arena.size());
+  // Reconstruct unions: connect every open message to its root's first
+  // open representative.
+  std::unordered_map<std::size_t, std::size_t> first_of_root;
+  std::unordered_map<std::size_t, GroupMeta> new_groups;
+  for (std::size_t i = 0; i < arena_.size(); ++i) {
+    if (remap[i] == SIZE_MAX) continue;
+    const std::size_t root = uf_.Find(i);
+    const auto [it, inserted] = first_of_root.emplace(root, remap[i]);
+    if (!inserted) new_uf.Union(it->second, remap[i]);
+  }
+  for (const auto& [root, meta] : groups_) {
+    const auto it = first_of_root.find(root);
+    if (it != first_of_root.end()) {
+      new_groups[new_uf.Find(it->second)] = meta;
+    }
+  }
+  arena_ = std::move(new_arena);
+  closed_.assign(arena_.size(), false);
+  uf_ = std::move(new_uf);
+  groups_ = std::move(new_groups);
+  slot_.clear();
+  for (std::size_t i = 0; i < arena_.size(); ++i) {
+    slot_[arena_[i].raw_index] = i;
+  }
+}
+
+}  // namespace sld::pipeline

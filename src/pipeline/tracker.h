@@ -1,0 +1,107 @@
+// GroupTracker: the sequenced merge stage's bookkeeping.
+//
+// One union-find over the open messages receives every merge edge the
+// stages emit (temporal + rule edges from the shards, cross-router edges
+// from the merge thread itself), so the final partition is bit-identical
+// to the single-threaded digesters no matter how the per-router work was
+// sharded.  The tracker also owns the streaming lifecycle: per-group
+// first/last activity clocks, the periodic idle sweep that closes groups
+// no further message could join, the max-age force close that bounds
+// latency and memory for never-ending periodic trains, and arena
+// compaction once closed messages dominate.
+//
+// Messages are addressed by their sequence number (raw index); an edge
+// whose endpoint has already been emitted is skipped — the same "chain
+// tail already closed" guard the seed StreamingDigester applied.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/union_find.h"
+#include "core/digest.h"
+#include "pipeline/stages.h"
+
+namespace sld::pipeline {
+
+class GroupTracker {
+ public:
+  // An idle horizon that never closes a group before Flush (batch mode).
+  static constexpr TimeMs kUnboundedMs = INT64_MAX / 4;
+
+  // `kb_mutex`, when given, is reader-locked around event building: the
+  // sharded pipeline's workers may grow the template set (catch-all
+  // creation) concurrently with the merge thread reading it for labels.
+  GroupTracker(const core::KnowledgeBase* kb, const core::LocationDict* dict,
+               TimeMs idle_close_ms, TimeMs max_group_age_ms,
+               std::shared_mutex* kb_mutex = nullptr);
+
+  // Advances the stream clock; when a sweep is due, closes every group
+  // that has been idle past the horizon (or alive past the max age) and
+  // returns its events, ordered by start time.
+  std::vector<core::DigestEvent> Observe(TimeMs now);
+
+  // Admits a message to the arena (sequence numbers must be fresh and
+  // increasing — the sequenced merge stage guarantees that).
+  void Add(core::Augmented msg);
+
+  // Applies merge edges; endpoints already emitted (or never seen) are
+  // skipped and the edge is dropped.
+  void ApplyEdges(const std::vector<MergeEdge>& edges);
+
+  // True when both messages are open and currently in the same group.
+  bool SameGroup(std::size_t seq_a, std::size_t seq_b);
+
+  // Refreshes the activity clock of the group containing `seq`.
+  void Touch(std::size_t seq, TimeMs t);
+
+  // Records rules that fired (distinct count reported to the result).
+  void NoteRules(const std::vector<std::uint64_t>& keys);
+
+  // Closes every open group (end of stream); events ordered by start.
+  std::vector<core::DigestEvent> Flush();
+
+  std::size_t open_group_count() const noexcept { return groups_.size(); }
+  std::size_t open_message_count() const noexcept { return open_messages_; }
+  std::size_t processed_count() const noexcept { return processed_; }
+  std::size_t active_rule_count() const noexcept {
+    return active_rules_.size();
+  }
+
+ private:
+  struct GroupMeta {
+    TimeMs first_time = 0;
+    TimeMs last_time = 0;
+  };
+
+  void MergeSlots(std::size_t a, std::size_t b);
+  std::vector<core::DigestEvent> CloseIdle(TimeMs now);
+  core::DigestEvent BuildLocked(
+      const std::vector<const core::Augmented*>& members) const;
+  void CompactArena();
+
+  const core::KnowledgeBase* kb_;
+  const core::LocationDict* dict_;
+  TimeMs idle_close_ms_;
+  TimeMs max_group_age_ms_;
+  std::shared_mutex* kb_mutex_;
+
+  // Arena of messages still belonging to open groups (plus closed ones
+  // awaiting compaction); union-find indexes into it.
+  std::vector<core::Augmented> arena_;
+  std::vector<bool> closed_;
+  UnionFind uf_{0};
+  // sequence number -> arena slot, for OPEN messages only.
+  std::unordered_map<std::size_t, std::size_t> slot_;
+  // union-find root -> group bookkeeping (kept in sync across unions).
+  std::unordered_map<std::size_t, GroupMeta> groups_;
+  std::unordered_set<std::uint64_t> active_rules_;
+  std::size_t open_messages_ = 0;
+  std::size_t processed_ = 0;
+  TimeMs clock_ = INT64_MIN;
+};
+
+}  // namespace sld::pipeline

@@ -4,18 +4,131 @@
 // loopback sockets.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
 #include <thread>
 
 #include "common/bounded_queue.h"
 #include "core/learn.h"
 #include "core/stream.h"
 #include "net/config_parser.h"
+#include "pipeline/pipeline.h"
 #include "sim/generator.h"
 #include "syslog/collector.h"
 #include "syslog/udp.h"
 
 namespace sld::core {
 namespace {
+
+// Canonical form of a partition: sorted list of sorted message-index sets.
+std::set<std::vector<std::size_t>> Partition(
+    const std::vector<DigestEvent>& events) {
+  std::set<std::vector<std::size_t>> out;
+  for (const DigestEvent& ev : events) {
+    std::vector<std::size_t> messages = ev.messages;
+    std::sort(messages.begin(), messages.end());
+    out.insert(std::move(messages));
+  }
+  return out;
+}
+
+// Group -> score, keyed by the canonical member set.
+std::map<std::vector<std::size_t>, double> Scores(
+    const std::vector<DigestEvent>& events) {
+  std::map<std::vector<std::size_t>, double> out;
+  for (const DigestEvent& ev : events) {
+    std::vector<std::size_t> messages = ev.messages;
+    std::sort(messages.begin(), messages.end());
+    out[std::move(messages)] = ev.score;
+  }
+  return out;
+}
+
+// The tentpole invariant: the sharded pipeline's event partition and
+// scores are identical to the single-threaded batch digester no matter
+// how many shards the per-router work is spread over.
+TEST(ThreadedPipelineTest, ShardedMatchesSingleThreadedDigest) {
+  sim::DatasetSpec spec = sim::DatasetASpec();
+  spec.topo.num_routers = 10;
+  const sim::Dataset history = sim::GenerateDataset(spec, 0, 7, 301);
+  const sim::Dataset live = sim::GenerateDataset(spec, 7, 1, 302);
+  std::vector<net::ParsedConfig> parsed;
+  for (const std::string& cfg : history.configs) {
+    parsed.push_back(net::ParseConfig(cfg));
+  }
+  const LocationDict dict = LocationDict::Build(parsed);
+  OfflineLearner learner;
+  KnowledgeBase kb = learner.Learn(history.messages, dict);
+
+  Digester batch(&kb, &dict);
+  const DigestResult expected = batch.Digest(live.messages);
+  ASSERT_GT(expected.events.size(), 0u);
+
+  for (const std::size_t shards : {1u, 4u}) {
+    pipeline::PipelineOptions opts;
+    opts.shards = shards;
+    // Exercise the queue seams: many small batches instead of a few big
+    // ones.
+    opts.batch_size = 64;
+    pipeline::ShardedPipeline p(&kb, &dict, opts);
+    for (const auto& rec : live.messages) p.Push(rec);
+    const DigestResult got = p.Finish();
+
+    SCOPED_TRACE(testing::Message() << shards << " shard(s)");
+    EXPECT_EQ(got.message_count, live.messages.size());
+    EXPECT_EQ(Partition(got.events), Partition(expected.events));
+    const auto want_scores = Scores(expected.events);
+    const auto got_scores = Scores(got.events);
+    ASSERT_EQ(got_scores.size(), want_scores.size());
+    for (const auto& [members, score] : want_scores) {
+      const auto it = got_scores.find(members);
+      ASSERT_NE(it, got_scores.end());
+      EXPECT_DOUBLE_EQ(it->second, score);
+    }
+  }
+}
+
+// Streaming form: a finite idle horizon, events delivered through the
+// sink as they close, same partition as the single-threaded
+// StreamingDigester with the same horizon.
+TEST(ThreadedPipelineTest, ShardedStreamingMatchesStreamingDigester) {
+  sim::DatasetSpec spec = sim::DatasetASpec();
+  spec.topo.num_routers = 8;
+  const sim::Dataset history = sim::GenerateDataset(spec, 0, 5, 311);
+  const sim::Dataset live = sim::GenerateDataset(spec, 5, 1, 312);
+  std::vector<net::ParsedConfig> parsed;
+  for (const std::string& cfg : history.configs) {
+    parsed.push_back(net::ParseConfig(cfg));
+  }
+  const LocationDict dict = LocationDict::Build(parsed);
+  OfflineLearner learner;
+  KnowledgeBase kb = learner.Learn(history.messages, dict);
+
+  const TimeMs idle_close = 600 * kMsPerSecond;
+  StreamingDigester stream(&kb, &dict, DigestOptions{}, idle_close);
+  std::vector<DigestEvent> expected;
+  for (const auto& rec : live.messages) {
+    for (auto& ev : stream.Push(rec)) expected.push_back(std::move(ev));
+  }
+  for (auto& ev : stream.Flush()) expected.push_back(std::move(ev));
+  ASSERT_GT(expected.size(), 0u);
+
+  pipeline::PipelineOptions opts;
+  opts.shards = 4;
+  opts.idle_close_ms = idle_close;
+  // Match the StreamingDigester default so force-closes line up too.
+  opts.max_group_age_ms = 24 * kMsPerHour;
+  pipeline::ShardedPipeline p(&kb, &dict, opts);
+  std::vector<DigestEvent> got;
+  p.SetEventSink([&got](DigestEvent ev) { got.push_back(std::move(ev)); });
+  for (const auto& rec : live.messages) p.Push(rec);
+  const DigestResult result = p.Finish();
+
+  EXPECT_TRUE(result.events.empty());  // the sink consumed them
+  EXPECT_EQ(result.message_count, live.messages.size());
+  EXPECT_EQ(Partition(got), Partition(expected));
+}
 
 TEST(ThreadedPipelineTest, UdpToQueueToStreamingDigester) {
   // Learn a small knowledge base.

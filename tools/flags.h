@@ -1,0 +1,81 @@
+// Minimal flag parser for the sldigest CLI: --name value, --name=value,
+// and boolean --name.
+//
+// A following argument is consumed as the flag's value unless it looks
+// like a flag itself ("--" followed by a non-digit).  The digit carve-out
+// matters for negative numbers: "--day0 -5" and even "--top --5" are
+// values, not flags — the seed parser's bare strncmp(next, "--", 2) test
+// swallowed such values (tools/flags_test.cc pins the regression).
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace sld::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!LooksLikeFlag(arg.c_str())) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+        continue;
+      }
+      arg = arg.substr(2);
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && !LooksLikeFlag(argv[i + 1])) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& name) const { return values_.count(name); }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& name, long fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    char* end = nullptr;
+    const long value = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "flag --%s: not a number: %s\n", name.c_str(),
+                   it->second.c_str());
+      return fallback;
+    }
+    return value;
+  }
+  std::string Require(const std::string& name) {
+    if (!Has(name) || values_.at(name).empty()) {
+      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+      ok_ = false;
+      return "";
+    }
+    return values_.at(name);
+  }
+
+ private:
+  // "--name" is a flag; "-5", "--5", "-" and plain words are values.
+  static bool LooksLikeFlag(const char* s) {
+    return std::strncmp(s, "--", 2) == 0 && s[2] != '\0' &&
+           !std::isdigit(static_cast<unsigned char>(s[2]));
+  }
+
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+}  // namespace sld::tools

@@ -20,10 +20,8 @@
 #include <unistd.h>
 
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,7 +29,9 @@
 #include "core/learn.h"
 #include "core/priority/report.h"
 #include "core/stream.h"
+#include "flags.h"
 #include "net/config_parser.h"
+#include "pipeline/pipeline.h"
 #include "sim/generator.h"
 #include "syslog/archive.h"
 #include "syslog/collector.h"
@@ -40,51 +40,7 @@
 namespace {
 
 using namespace sld;
-
-// Minimal flag parser: --name value and boolean --name.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        ok_ = false;
-        continue;
-      }
-      arg = arg.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        values_[arg] = argv[++i];
-      } else {
-        values_[arg] = "";
-      }
-    }
-  }
-
-  bool ok() const { return ok_; }
-  bool Has(const std::string& name) const { return values_.count(name); }
-  std::string Get(const std::string& name,
-                  const std::string& fallback = "") const {
-    const auto it = values_.find(name);
-    return it == values_.end() ? fallback : it->second;
-  }
-  long GetInt(const std::string& name, long fallback) const {
-    const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::atol(it->second.c_str());
-  }
-  std::string Require(const std::string& name) {
-    if (!Has(name) || values_.at(name).empty()) {
-      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
-      ok_ = false;
-      return "";
-    }
-    return values_.at(name);
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
-};
+using tools::Flags;
 
 std::vector<net::ParsedConfig> LoadConfigs(const std::string& dir) {
   std::vector<net::ParsedConfig> parsed;
@@ -189,8 +145,18 @@ int CmdDigest(Flags& flags) {
     std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
     return 1;
   }
-  core::Digester digester(&kb, &dict);
-  const core::DigestResult result = digester.Digest(records);
+  const long threads = flags.GetInt("threads", 1);
+  core::DigestResult result;
+  if (threads > 1) {
+    pipeline::PipelineOptions opts;
+    opts.shards = static_cast<std::size_t>(threads);
+    pipeline::ShardedPipeline p(&kb, &dict, opts);
+    for (const auto& rec : records) p.Push(rec);
+    result = p.Finish();
+  } else {
+    core::Digester digester(&kb, &dict);
+    result = digester.Digest(records);
+  }
   if (flags.Has("report")) {
     std::fputs(core::RenderReport(result, dict).c_str(), stdout);
   } else {
@@ -238,19 +204,34 @@ int CmdStream(Flags& flags) {
     std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
     return 1;
   }
-  core::StreamingDigester digester(
-      &kb, &dict, core::DigestOptions{},
-      flags.GetInt("idle-close-s", 1800) * kMsPerSecond);
+  const TimeMs idle_close =
+      flags.GetInt("idle-close-s", 1800) * kMsPerSecond;
+  const long threads = flags.GetInt("threads", 1);
   std::size_t events = 0;
-  for (const auto& rec : records) {
-    for (const auto& ev : digester.Push(rec)) {
+  if (threads > 1) {
+    pipeline::PipelineOptions opts;
+    opts.shards = static_cast<std::size_t>(threads);
+    opts.idle_close_ms = idle_close;
+    pipeline::ShardedPipeline p(&kb, &dict, opts);
+    p.SetEventSink([&events](core::DigestEvent ev) {
+      std::printf("%s\n", ev.Format().c_str());
+      ++events;
+    });
+    for (const auto& rec : records) p.Push(rec);
+    p.Finish();
+  } else {
+    core::StreamingDigester digester(&kb, &dict, core::DigestOptions{},
+                                     idle_close);
+    for (const auto& rec : records) {
+      for (const auto& ev : digester.Push(rec)) {
+        std::printf("%s\n", ev.Format().c_str());
+        ++events;
+      }
+    }
+    for (const auto& ev : digester.Flush()) {
       std::printf("%s\n", ev.Format().c_str());
       ++events;
     }
-  }
-  for (const auto& ev : digester.Flush()) {
-    std::printf("%s\n", ev.Format().c_str());
-    ++events;
   }
   std::fprintf(stderr, "%zu records -> %zu events\n", records.size(),
                events);
@@ -390,8 +371,9 @@ void Usage() {
       "  learn   --configs DIR --history FILE --kb FILE [--window-s N] "
       "[--sweep]\n"
       "  digest  --configs DIR --kb FILE --in FILE [--report] [--csv FILE] "
-      "[--top N]\n"
-      "  stream  --configs DIR --kb FILE --in FILE [--idle-close-s N]\n"
+      "[--top N] [--threads N]\n"
+      "  stream  --configs DIR --kb FILE --in FILE [--idle-close-s N] "
+      "[--threads N]\n"
       "  serve   --configs DIR --kb FILE [--port N] [--max-datagrams N] [--idle-exit-s N]\n"
       "  replay  --in FILE [--host IP] [--port N]\n"
       "  inspect --kb FILE\n",
