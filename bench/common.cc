@@ -1,6 +1,57 @@
 #include "common.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Counting global operator new/delete: every bench binary links this TU
+// (they all call into bench_common), so the replaceable allocation
+// functions below override the library ones and count every heap
+// allocation in the process.  Deletes forward straight to free — the
+// counter tracks allocation pressure, not live bytes.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* CountedAlloc(std::size_t size) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
 namespace sld::bench {
+
+std::uint64_t AllocationCount() noexcept {
+  return g_allocations.load(std::memory_order_relaxed);
+}
 
 core::RuleMinerParams PaperRuleParams(const sim::DatasetSpec& spec) {
   core::RuleMinerParams params;

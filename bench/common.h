@@ -8,6 +8,7 @@
 // magnitude are.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -52,5 +53,12 @@ std::vector<core::Augmented> Augment(core::KnowledgeBase& kb,
 
 // Section header for bench output.
 void Header(const char* id, const char* title, const char* paper_shape);
+
+// Process-wide heap-allocation counter.  Bench binaries link a counting
+// global operator new (defined in common.cc), so a hot loop can assert a
+// zero-allocation steady state by differencing this before and after.
+// Counts every new from every thread; sample around single-threaded
+// sections for per-message numbers.
+std::uint64_t AllocationCount() noexcept;
 
 }  // namespace sld::bench

@@ -1,0 +1,56 @@
+// Small non-cryptographic hashing helpers.
+//
+// Both hashes are allocation-free, which is what the zero-allocation match
+// hot path needs.  Fnv1a64 is the simple byte-serial reference (and
+// constexpr); HashBytes is the word-chunked variant the match memo cache
+// uses to key (code, detail) pairs, since hashing the full detail is the
+// single largest cost of a memo hit.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace sld {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+// 64-bit FNV-1a over `bytes`, chainable through `seed`.
+constexpr std::uint64_t Fnv1a64(std::string_view bytes,
+                                std::uint64_t seed = kFnv1aOffset) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+// Word-chunked multiply-xorshift hash, chainable through `seed`.  FNV's
+// byte-serial dependency chain costs ~1 cycle/byte; syslog details run
+// 40-80 bytes, so the per-message memo key eats 8 bytes per step instead.
+// The length is folded into the seed, so concatenation ambiguity
+// ("ab"+"c" vs "a"+"bc") cannot collide across chained calls.
+inline std::uint64_t HashBytes(std::string_view bytes,
+                               std::uint64_t seed = kFnv1aOffset) noexcept {
+  constexpr std::uint64_t kMul = 0x9e3779b97f4a7c15ull;
+  std::uint64_t h =
+      seed ^ (static_cast<std::uint64_t>(bytes.size()) * kMul);
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, bytes.data() + i, 8);
+    h = (h ^ w) * kMul;
+    h ^= h >> 29;
+  }
+  if (i < bytes.size()) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, bytes.data() + i, bytes.size() - i);
+    h = (h ^ w) * kMul;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace sld

@@ -11,14 +11,20 @@ bool IsSpace(char c) noexcept { return c == ' ' || c == '\t'; }
 
 std::vector<std::string_view> SplitWhitespace(std::string_view text) {
   std::vector<std::string_view> out;
+  SplitWhitespace(text, &out);
+  return out;
+}
+
+void SplitWhitespace(std::string_view text,
+                     std::vector<std::string_view>* out) {
+  out->clear();
   std::size_t i = 0;
   while (i < text.size()) {
     while (i < text.size() && IsSpace(text[i])) ++i;
     const std::size_t start = i;
     while (i < text.size() && !IsSpace(text[i])) ++i;
-    if (i > start) out.push_back(text.substr(start, i - start));
+    if (i > start) out->push_back(text.substr(start, i - start));
   }
-  return out;
 }
 
 std::vector<std::string_view> SplitChar(std::string_view text, char delim) {

@@ -16,6 +16,12 @@ namespace sld {
 // The returned views alias `text` and are invalidated with it.
 std::vector<std::string_view> SplitWhitespace(std::string_view text);
 
+// Scratch form: clears `out` and refills it with the split of `text`.
+// Reusing one vector across calls keeps steady-state tokenization
+// allocation-free once its capacity has warmed up.
+void SplitWhitespace(std::string_view text,
+                     std::vector<std::string_view>* out);
+
 // Splits on every occurrence of `delim`; empty fields are preserved
 // ("a||b" -> {"a", "", "b"}).  The views alias `text`.
 std::vector<std::string_view> SplitChar(std::string_view text, char delim);

@@ -47,17 +47,35 @@ class RouterResolver {
  public:
   explicit RouterResolver(const LocationDict* dict) : dict_(dict) {}
 
-  // Returns (router_key, router_known).
+  // Returns (router_key, router_known).  Every router name is interned at
+  // first sight with its resolved key, so the steady-state path is a
+  // single transparent string_view hash — no dictionary probe, no second
+  // hash for unknown routers, no allocation.
   std::pair<std::uint32_t, bool> Resolve(std::string_view router) {
-    if (const auto rid = dict_->RouterByName(router)) return {*rid, true};
-    return {static_cast<std::uint32_t>(dict_->router_count()) +
-                unknown_routers_.Intern(router),
-            false};
+    if (const auto seen = names_.Lookup(router)) return keys_[*seen];
+    // Interned ids are dense in first-sight order, so this slot lands at
+    // keys_[names_.Intern(router)].
+    names_.Intern(router);
+    std::pair<std::uint32_t, bool> key;
+    if (const auto rid = dict_->RouterByName(router)) {
+      key = {*rid, true};
+    } else {
+      // Unknown routers get ids offset past the dictionary range, dense
+      // in first-sight order among unknowns (same assignment as before
+      // the memo existed, so grouping keys stay stable).
+      key = {static_cast<std::uint32_t>(dict_->router_count() +
+                                        unknown_count_++),
+             false};
+    }
+    keys_.push_back(key);
+    return key;
   }
 
  private:
   const LocationDict* dict_;
-  StringInterner unknown_routers_;
+  StringInterner names_;
+  std::vector<std::pair<std::uint32_t, bool>> keys_;  // by interned id
+  std::size_t unknown_count_ = 0;
 };
 
 // Fills every Augmented field except the template id, given an already

@@ -4,8 +4,14 @@
 
 namespace sld::core {
 
-std::string Template::Canonical() const {
-  std::string out = code;
+namespace {
+
+// The canonical comparable form of a (code, tokens) pair; shared by
+// Template::Canonical and TemplateSet::Add so the probe-side key is built
+// exactly once per insertion.
+std::string CanonicalOf(std::string_view code,
+                        std::span<const std::string> tokens) {
+  std::string out(code);
   for (const std::string& tok : tokens) {
     out += ' ';
     out += tok;
@@ -13,8 +19,12 @@ std::string Template::Canonical() const {
   return out;
 }
 
+}  // namespace
+
+std::string Template::Canonical() const { return CanonicalOf(code, tokens); }
+
 bool Template::Matches(
-    const std::vector<std::string_view>& detail_tokens) const {
+    std::span<const std::string_view> detail_tokens) const {
   if (detail_tokens.size() != tokens.size()) return false;
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     if (tokens[i] != kMask && tokens[i] != detail_tokens[i]) return false;
@@ -22,54 +32,56 @@ bool Template::Matches(
   return true;
 }
 
-std::size_t Template::FixedCount() const noexcept {
-  std::size_t n = 0;
+void Template::RecomputeFixedCount() noexcept {
+  fixed_count = 0;
   for (const std::string& tok : tokens) {
-    if (tok != kMask) ++n;
+    if (tok != kMask) ++fixed_count;
   }
-  return n;
-}
-
-std::string TemplateSet::IndexKey(std::string_view code, std::size_t len) {
-  std::string key(code);
-  key += '\x1f';
-  key += std::to_string(len);
-  return key;
 }
 
 TemplateId TemplateSet::Add(std::string code,
                             std::vector<std::string> tokens) {
-  Template probe;
-  probe.code = code;
-  probe.tokens = tokens;
-  const std::string canonical = probe.Canonical();
+  std::string canonical = CanonicalOf(code, tokens);
   const auto it = by_canonical_.find(canonical);
   if (it != by_canonical_.end()) return it->second;
-  return AddUnchecked(std::move(code), std::move(tokens));
+  return AddUnchecked(std::move(code), std::move(tokens),
+                      std::move(canonical));
 }
 
 TemplateId TemplateSet::AddUnchecked(std::string code,
-                                     std::vector<std::string> tokens) {
+                                     std::vector<std::string> tokens,
+                                     std::string canonical) {
   Template tmpl;
   tmpl.id = static_cast<TemplateId>(templates_.size());
   tmpl.code = std::move(code);
   tmpl.tokens = std::move(tokens);
-  index_[IndexKey(tmpl.code, tmpl.tokens.size())].push_back(tmpl.id);
-  by_canonical_.emplace(tmpl.Canonical(), tmpl.id);
+  tmpl.RecomputeFixedCount();
+  index_[IndexKey(codes_.Intern(tmpl.code), tmpl.tokens.size())].push_back(
+      tmpl.id);
+  by_canonical_.emplace(std::move(canonical), tmpl.id);
   templates_.push_back(std::move(tmpl));
+  ++epoch_;
   return templates_.back().id;
 }
 
 std::optional<TemplateId> TemplateSet::Match(std::string_view code,
                                              std::string_view detail) const {
   const auto tokens = SplitWhitespace(detail);
-  const auto it = index_.find(IndexKey(code, tokens.size()));
+  return Match(code, tokens);
+}
+
+std::optional<TemplateId> TemplateSet::Match(
+    std::string_view code,
+    std::span<const std::string_view> detail_tokens) const {
+  const auto code_id = codes_.Lookup(code);
+  if (!code_id) return std::nullopt;
+  const auto it = index_.find(IndexKey(*code_id, detail_tokens.size()));
   if (it == index_.end()) return std::nullopt;
   const Template* best = nullptr;
   for (const TemplateId id : it->second) {
     const Template& tmpl = templates_[id];
-    if (!tmpl.Matches(tokens)) continue;
-    if (best == nullptr || tmpl.FixedCount() > best->FixedCount()) {
+    if (!tmpl.Matches(detail_tokens)) continue;
+    if (best == nullptr || tmpl.fixed_count > best->fixed_count) {
       best = &tmpl;
     }
   }
@@ -79,9 +91,16 @@ std::optional<TemplateId> TemplateSet::Match(std::string_view code,
 
 TemplateId TemplateSet::MatchOrFallback(std::string_view code,
                                         std::string_view detail) {
-  if (const auto id = Match(code, detail)) return *id;
-  const std::vector<std::string_view> tokens = SplitWhitespace(detail);
-  std::vector<std::string> masked(tokens.size(), std::string(kMask));
+  std::vector<std::string_view> scratch;
+  return MatchOrFallback(code, detail, &scratch);
+}
+
+TemplateId TemplateSet::MatchOrFallback(
+    std::string_view code, std::string_view detail,
+    std::vector<std::string_view>* scratch) {
+  SplitWhitespace(detail, scratch);
+  if (const auto id = Match(code, *scratch)) return *id;
+  std::vector<std::string> masked(scratch->size(), std::string(kMask));
   return Add(std::string(code), std::move(masked));
 }
 

@@ -3,33 +3,176 @@
 // The template set is read-mostly: nearly every message matches a learned
 // template, but the online system must stay total, so unmatched messages
 // create a catch-all template on demand (TemplateSet::MatchOrFallback).
-// Shards therefore match under a reader lock and upgrade to a writer lock
-// only on the rare miss.  The same mutex is reader-locked by the merge
-// stage while it reads template text for event labels.
+// Shards match under a reader lock and upgrade to a writer lock only on
+// the rare miss.  The same mutex is reader-locked by the merge stage while
+// it reads template text for event labels.
+//
+// Syslog is extremely repetitive (Table 5: a handful of templates cover
+// most traffic), so each shard additionally keeps a private memo cache
+// mapping hash(code, detail) -> TemplateId.  A memo hit touches no lock
+// and performs no heap allocation — the steady-state cost of signature
+// matching is one FNV-1a pass over the message plus one table probe.  The
+// cache is versioned against the TemplateSet epoch: a catch-all insertion
+// bumps the epoch, and every shard drops its (possibly stale) entries the
+// next time it looks, without the hit path ever taking the shared lock.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string_view>
+#include <vector>
 
+#include "common/hash.h"
+#include "common/strings.h"
 #include "core/templates/template.h"
 
 namespace sld::pipeline {
 
+// 64-bit memo identity of a (code, detail) pair.  HashBytes folds each
+// piece's length into the chain, so ("ab", "c") and ("a", "bc") stay
+// distinct; the separator byte additionally splits the domains.  0 is
+// remapped because it is the cache's empty-slot sentinel.
+inline std::uint64_t MessageKey(std::string_view code,
+                                std::string_view detail) noexcept {
+  std::uint64_t h = HashBytes(code);
+  h = HashBytes(detail, h ^ 0x1f);
+  return h == 0 ? 1 : h;
+}
+
+// Open-addressed (linear probing, power-of-two capacity) memo table owned
+// by exactly one shard thread — no synchronization inside.  Once half
+// full it stops inserting rather than evicting: the hot keys of a skewed
+// syslog stream are seen early, and refusing new one-off keys is cheaper
+// and more predictable than periodically dumping the hot set.  The
+// default (2^15 slots = 16K usable entries, ~384 KiB) keeps the table
+// L2-resident; one day of dataset A has ~5.4K distinct (code, detail)
+// pairs, so capacity is not the limiter.
+class ShardMatchCache {
+ public:
+  explicit ShardMatchCache(std::size_t log2_capacity = 15)
+      : keys_(std::size_t{1} << log2_capacity, 0),
+        vals_(std::size_t{1} << log2_capacity, core::kNoTemplate),
+        mask_((std::size_t{1} << log2_capacity) - 1) {}
+
+  std::optional<core::TemplateId> Lookup(std::uint64_t key) noexcept {
+    ++lookups_;
+    for (std::size_t i = key & mask_;; i = (i + 1) & mask_) {
+      if (keys_[i] == key) {
+        ++hits_;
+        return vals_[i];
+      }
+      if (keys_[i] == 0) return std::nullopt;
+    }
+  }
+
+  void Insert(std::uint64_t key, core::TemplateId id) noexcept {
+    for (std::size_t i = key & mask_;; i = (i + 1) & mask_) {
+      if (keys_[i] == key) {
+        vals_[i] = id;
+        return;
+      }
+      if (keys_[i] == 0) {
+        if ((size_ + 1) * 2 > keys_.size()) return;  // full: keep hot set
+        keys_[i] = key;
+        vals_[i] = id;
+        ++size_;
+        return;
+      }
+    }
+  }
+
+  // Drops every entry when the template set has moved past the epoch this
+  // cache was filled under.
+  void SyncEpoch(std::uint64_t epoch) noexcept {
+    if (epoch != epoch_) {
+      Clear();
+      epoch_ = epoch;
+    }
+  }
+
+  void Clear() noexcept {
+    std::fill(keys_.begin(), keys_.end(), 0);
+    std::fill(vals_.begin(), vals_.end(), core::kNoTemplate);
+    size_ = 0;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  double hit_rate() const noexcept {
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(hits_) /
+                               static_cast<double>(lookups_);
+  }
+
+ private:
+  std::vector<std::uint64_t> keys_;  // 0 = empty slot
+  std::vector<core::TemplateId> vals_;
+  std::size_t mask_;
+  std::size_t size_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
 class ConcurrentTemplateMatcher {
  public:
-  explicit ConcurrentTemplateMatcher(core::TemplateSet* set) : set_(set) {}
+  explicit ConcurrentTemplateMatcher(core::TemplateSet* set)
+      : set_(set), epoch_(set->epoch()) {}
 
+  // The shard hot path.  `cache` (may be null) and `scratch` are owned by
+  // the calling shard; a memo hit returns without locking or allocating.
   core::TemplateId MatchOrFallback(std::string_view code,
-                                   std::string_view detail) {
+                                   std::string_view detail,
+                                   ShardMatchCache* cache,
+                                   std::vector<std::string_view>* scratch) {
+    std::uint64_t key = 0;
+    if (cache != nullptr) {
+      cache->SyncEpoch(epoch_.load(std::memory_order_acquire));
+      key = MessageKey(code, detail);
+      if (const auto id = cache->Lookup(key)) return *id;
+    }
+    SplitWhitespace(detail, scratch);
     {
       std::shared_lock lock(mutex_);
-      if (const auto id = set_->Match(code, detail)) return *id;
+      if (const auto id = set_->Match(code, *scratch)) {
+        if (cache != nullptr) cache->Insert(key, *id);
+        return *id;
+      }
     }
-    // Miss: take the writer lock and re-run the full fallback path (another
-    // shard may have created the catch-all in between; MatchOrFallback
-    // dedups on the canonical form).
+    // Miss: take the writer lock and re-run the full fallback path
+    // (another shard may have created the catch-all in between;
+    // MatchOrFallback dedups on the canonical form).
     std::unique_lock lock(mutex_);
-    return set_->MatchOrFallback(code, detail);
+    const core::TemplateId id = set_->MatchOrFallback(code, detail, scratch);
+    // Publish the (possibly bumped) epoch while still serialized by the
+    // writer lock, so concurrent fallbacks cannot reorder the stores.
+    epoch_.store(set_->epoch(), std::memory_order_release);
+    if (cache != nullptr) {
+      // Adopt the new epoch before inserting, or the entry would be
+      // dropped by our own SyncEpoch on the next message.
+      cache->SyncEpoch(set_->epoch());
+      cache->Insert(key, id);
+    }
+    return id;
+  }
+
+  // Uncached convenience form (tests, single-shot callers).
+  core::TemplateId MatchOrFallback(std::string_view code,
+                                   std::string_view detail) {
+    std::vector<std::string_view> scratch;
+    return MatchOrFallback(code, detail, nullptr, &scratch);
+  }
+
+  // The template-set epoch as last published by a writer, readable
+  // without any lock.
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
   }
 
   // Reader-lockable by stages that read template text (event labeling).
@@ -38,6 +181,7 @@ class ConcurrentTemplateMatcher {
  private:
   core::TemplateSet* set_;
   std::shared_mutex mutex_;
+  std::atomic<std::uint64_t> epoch_;
 };
 
 }  // namespace sld::pipeline

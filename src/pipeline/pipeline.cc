@@ -78,6 +78,12 @@ void ShardedPipeline::RunShard(Shard& shard) {
   core::LocationExtractor extractor(dict_);
   TemporalStage temporal(kb_->temporal_params, &kb_->temporal_priors);
   RuleStage rules(&kb_->rules, kb_->rule_params.window_ms, dict_);
+  // Shard-private match state: the memo cache and the token scratch make
+  // the steady-state signature match lock- and allocation-free.
+  ShardMatchCache match_cache;
+  ShardMatchCache* cache =
+      options_.use_match_cache ? &match_cache : nullptr;
+  std::vector<std::string_view> match_scratch;
   while (auto batch = shard.in.Pop()) {
     std::vector<ShardOutput> out;
     out.reserve(batch->size());
@@ -85,7 +91,8 @@ void ShardedPipeline::RunShard(Shard& shard) {
       ShardOutput o;
       o.msg = core::AugmentWithRouting(in.rec, in.seq, in.router_key,
                                        in.router_known, extractor, *dict_);
-      o.msg.tmpl = matcher_.MatchOrFallback(in.rec.code, in.rec.detail);
+      o.msg.tmpl = matcher_.MatchOrFallback(in.rec.code, in.rec.detail,
+                                            cache, &match_scratch);
       temporal.Feed(o.msg, &o.edges);
       if (options_.digest.use_rules) {
         rules.Feed(o.msg, &o.edges, &o.fired_rules);

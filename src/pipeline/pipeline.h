@@ -47,6 +47,10 @@ struct PipelineOptions {
   // pipeline a batch digester — nothing closes before Finish().
   TimeMs idle_close_ms = GroupTracker::kUnboundedMs;
   TimeMs max_group_age_ms = GroupTracker::kUnboundedMs;
+  // Per-shard signature-match memo cache (see ShardMatchCache).  The
+  // event partition is identical either way; disabling is for A/B
+  // measurement and equivalence tests.
+  bool use_match_cache = true;
 };
 
 class ShardedPipeline {

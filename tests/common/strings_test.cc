@@ -25,6 +25,21 @@ TEST(SplitWhitespaceTest, Empty) {
   EXPECT_TRUE(SplitWhitespace("   ").empty());
 }
 
+TEST(SplitWhitespaceTest, ScratchFormClearsAndRefills) {
+  std::vector<std::string_view> scratch;
+  SplitWhitespace("a bb  ccc", &scratch);
+  ASSERT_EQ(scratch.size(), 3u);
+  EXPECT_EQ(scratch[2], "ccc");
+  // A second call replaces, never appends; capacity is reused.
+  const auto capacity = scratch.capacity();
+  SplitWhitespace("x y", &scratch);
+  ASSERT_EQ(scratch.size(), 2u);
+  EXPECT_EQ(scratch[0], "x");
+  EXPECT_EQ(scratch.capacity(), capacity);
+  SplitWhitespace("", &scratch);
+  EXPECT_TRUE(scratch.empty());
+}
+
 TEST(SplitCharTest, PreservesEmptyFields) {
   const auto parts = SplitChar("a||b|", '|');
   ASSERT_EQ(parts.size(), 4u);

@@ -65,26 +65,33 @@ TEST(ThreadedPipelineTest, ShardedMatchesSingleThreadedDigest) {
   const DigestResult expected = batch.Digest(live.messages);
   ASSERT_GT(expected.events.size(), 0u);
 
-  for (const std::size_t shards : {1u, 4u}) {
-    pipeline::PipelineOptions opts;
-    opts.shards = shards;
-    // Exercise the queue seams: many small batches instead of a few big
-    // ones.
-    opts.batch_size = 64;
-    pipeline::ShardedPipeline p(&kb, &dict, opts);
-    for (const auto& rec : live.messages) p.Push(rec);
-    const DigestResult got = p.Finish();
+  for (const std::size_t shards : {1u, 4u, 16u}) {
+    // The match memo cache must be invisible in the results: run the
+    // 4-shard configuration both ways, the rest with the default (on).
+    for (const bool use_cache : (shards == 4u ? std::vector<bool>{true, false}
+                                              : std::vector<bool>{true})) {
+      pipeline::PipelineOptions opts;
+      opts.shards = shards;
+      opts.use_match_cache = use_cache;
+      // Exercise the queue seams: many small batches instead of a few big
+      // ones.
+      opts.batch_size = 64;
+      pipeline::ShardedPipeline p(&kb, &dict, opts);
+      for (const auto& rec : live.messages) p.Push(rec);
+      const DigestResult got = p.Finish();
 
-    SCOPED_TRACE(testing::Message() << shards << " shard(s)");
-    EXPECT_EQ(got.message_count, live.messages.size());
-    EXPECT_EQ(Partition(got.events), Partition(expected.events));
-    const auto want_scores = Scores(expected.events);
-    const auto got_scores = Scores(got.events);
-    ASSERT_EQ(got_scores.size(), want_scores.size());
-    for (const auto& [members, score] : want_scores) {
-      const auto it = got_scores.find(members);
-      ASSERT_NE(it, got_scores.end());
-      EXPECT_DOUBLE_EQ(it->second, score);
+      SCOPED_TRACE(testing::Message() << shards << " shard(s), cache "
+                                      << (use_cache ? "on" : "off"));
+      EXPECT_EQ(got.message_count, live.messages.size());
+      EXPECT_EQ(Partition(got.events), Partition(expected.events));
+      const auto want_scores = Scores(expected.events);
+      const auto got_scores = Scores(got.events);
+      ASSERT_EQ(got_scores.size(), want_scores.size());
+      for (const auto& [members, score] : want_scores) {
+        const auto it = got_scores.find(members);
+        ASSERT_NE(it, got_scores.end());
+        EXPECT_DOUBLE_EQ(it->second, score);
+      }
     }
   }
 }

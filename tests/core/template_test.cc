@@ -17,9 +17,16 @@ TEST(TemplateTest, CanonicalJoinsCodeAndTokens) {
   Template tmpl;
   tmpl.code = "LINK-3-UPDOWN";
   tmpl.tokens = Tokens("Interface * changed state to down");
+  tmpl.RecomputeFixedCount();
   EXPECT_EQ(tmpl.Canonical(),
             "LINK-3-UPDOWN Interface * changed state to down");
   EXPECT_EQ(tmpl.FixedCount(), 5u);
+}
+
+TEST(TemplateTest, FixedCountIsCachedBySet) {
+  TemplateSet set;
+  const auto id = set.Add("C", Tokens("a * c *"));
+  EXPECT_EQ(set.Get(id).FixedCount(), 2u);
 }
 
 TEST(TemplateTest, MatchesRespectsMaskAndLength) {
@@ -102,6 +109,58 @@ TEST(TemplateSetTest, EmptySetMatchesNothing) {
   TemplateSet set;
   EXPECT_FALSE(set.Match("X", "anything").has_value());
   EXPECT_EQ(TemplateSet::Deserialize("").size(), 0u);
+}
+
+TEST(TemplateSetTest, PreSplitMatchAgreesWithStringMatch) {
+  TemplateSet set;
+  set.Add("BGP-5-ADJCHANGE", Tokens("neighbor * *"));
+  set.Add("BGP-5-ADJCHANGE", Tokens("neighbor * Up"));
+  set.Add("LINK-3-UPDOWN", Tokens("Interface * changed state to down"));
+  const std::vector<std::pair<std::string_view, std::string_view>> probes = {
+      {"BGP-5-ADJCHANGE", "neighbor 10.0.0.1 Up"},
+      {"BGP-5-ADJCHANGE", "neighbor 10.0.0.1 Down"},
+      {"BGP-5-ADJCHANGE", "neighbor extra words here now"},
+      {"LINK-3-UPDOWN", "Interface Serial1/0 changed state to down"},
+      {"NOPE-1-X", "anything at all"},
+      {"LINK-3-UPDOWN", ""},
+  };
+  std::vector<std::string_view> scratch;
+  for (const auto& [code, detail] : probes) {
+    SplitWhitespace(detail, &scratch);
+    EXPECT_EQ(set.Match(code, scratch), set.Match(code, detail))
+        << code << " " << detail;
+  }
+}
+
+TEST(TemplateSetTest, ScratchMatchOrFallbackReusesOneSplit) {
+  TemplateSet set;
+  const auto learned = set.Add("C", Tokens("fixed * words"));
+  std::vector<std::string_view> scratch;
+  EXPECT_EQ(set.MatchOrFallback("C", "fixed anything words", &scratch),
+            learned);
+  EXPECT_EQ(scratch.size(), 3u);  // the split is left for the caller
+  const auto fallback = set.MatchOrFallback("NEW-1-X", "a b c d", &scratch);
+  EXPECT_EQ(set.Get(fallback).Canonical(), "NEW-1-X * * * *");
+  // Same shape again: the fallback is found by match, not re-added.
+  EXPECT_EQ(set.MatchOrFallback("NEW-1-X", "w x y z", &scratch), fallback);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TemplateSetTest, EpochBumpsOnlyOnStructuralInsertions) {
+  TemplateSet set;
+  const auto e0 = set.epoch();
+  set.Add("C", Tokens("x * z"));
+  const auto e1 = set.epoch();
+  EXPECT_GT(e1, e0);
+  // Duplicate canonical form: no insertion, no epoch change.
+  set.Add("C", Tokens("x * z"));
+  EXPECT_EQ(set.epoch(), e1);
+  // A matched message adds nothing.
+  set.MatchOrFallback("C", "x anything z");
+  EXPECT_EQ(set.epoch(), e1);
+  // A catch-all insertion bumps it.
+  set.MatchOrFallback("NEW-1-X", "a b");
+  EXPECT_GT(set.epoch(), e1);
 }
 
 }  // namespace

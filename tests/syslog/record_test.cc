@@ -75,12 +75,78 @@ INSTANTIATE_TEST_SUITE_P(
         SeverityCase{"SYSTEM-INFO-tmnxTimeSync", 6},
         SeverityCase{"NOSEVERITY", 6},
         SeverityCase{"WEIRD-99-THING", 6},  // 99 is not a single digit
-        SeverityCase{"A-0-B", 0}));
+        SeverityCase{"A-0-B", 0},
+        // Trailing-dash codes: the severity field may sit at the end or
+        // be empty.
+        SeverityCase{"LINK-3-", 3},
+        SeverityCase{"CODE-", 6},    // nothing after the first dash
+        SeverityCase{"A--B", 6},     // empty middle field
+        // Named severities, including names the table does not know.
+        SeverityCase{"A-CRITICAL-B", 2},
+        SeverityCase{"A-EMERGENCY-B", 0},
+        SeverityCase{"A-BANANA-B", 6},
+        SeverityCase{"A-warning-B", 6},  // names are case-sensitive
+        // More than two dashes: only the field between the first two
+        // counts.
+        SeverityCase{"A-1-B-C-D", 1},
+        SeverityCase{"SVCMGR-MAJOR-sap-extra-parts", 3},
+        SeverityCase{"A-B-2-C", 6},  // digit in the wrong field
+        SeverityCase{"A-8-B", 6},    // out of the 0..7 range
+        SeverityCase{"A-42", 6}));   // two digits, no third field
 
 TEST(RecordTest, CodeFacility) {
   EXPECT_EQ(CodeFacility("LINK-3-UPDOWN"), "LINK");
   EXPECT_EQ(CodeFacility("SNMP-WARNING-linkDown"), "SNMP");
   EXPECT_EQ(CodeFacility("PLAIN"), "PLAIN");
+  EXPECT_EQ(CodeFacility("LINK-"), "LINK");
+}
+
+TEST(RecordTest, ParseRejectsSub21CharLines) {
+  // A bare timestamp (19 chars) or timestamp plus separator (20) carries
+  // no router/code and must be rejected, not sliced out of bounds.
+  EXPECT_FALSE(ParseRecordLine("2010-01-10 00:00:15").has_value());
+  EXPECT_FALSE(ParseRecordLine("2010-01-10 00:00:15 ").has_value());
+  // 21 chars but router only — still no code.
+  EXPECT_FALSE(ParseRecordLine("2010-01-10 00:00:15 r").has_value());
+  // The shortest parseable form: router plus code, no detail.
+  const auto parsed = ParseRecordLine("2010-01-10 00:00:15 r C");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->router, "r");
+  EXPECT_EQ(parsed->code, "C");
+  EXPECT_TRUE(parsed->detail.empty());
+}
+
+TEST(RecordTest, ParseCollapsesMultiSpaceSeparators) {
+  const auto parsed = ParseRecordLine(
+      "2010-01-10 00:00:15   cr01.dllstx    LINK-3-UPDOWN    Interface "
+      "down");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->router, "cr01.dllstx");
+  EXPECT_EQ(parsed->code, "LINK-3-UPDOWN");
+  EXPECT_EQ(parsed->detail, "Interface down");
+}
+
+TEST(RecordTest, ParsePreservesInternalDetailSpacing) {
+  // Only the separators around router/code collapse; spacing inside the
+  // detail text is payload and survives.
+  const auto parsed =
+      ParseRecordLine("2010-01-10 00:00:15 r1 A-1-B hello   world");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->detail, "hello   world");
+}
+
+TEST(RecordTest, ParseNoDetailWithTrailingSpaces) {
+  const auto parsed = ParseRecordLine("2010-01-10 00:00:15 r1 SYS-5-X   ");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->code, "SYS-5-X");
+  EXPECT_TRUE(parsed->detail.empty());
+}
+
+TEST(RecordTest, ParseKeepsTrailingDashCode) {
+  const auto parsed = ParseRecordLine("2010-01-10 00:00:15 r1 LINK-3- up");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->code, "LINK-3-");
+  EXPECT_EQ(VendorSeverity(parsed->code), 3);
 }
 
 // The paper's §2 point: vendor severity does NOT order operational
