@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common.h"
+#include "obs/registry.h"
 #include "pipeline/matcher.h"
 
 using namespace sld;
@@ -175,6 +176,10 @@ struct HotResult {
   double msgs_per_sec = 0;
   double hit_rate = 0;
   double allocs_per_message = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t allocs = 0;
 };
 
 HotResult MeasureHot(const core::TemplateSet& learned, const Corpus& corpus,
@@ -211,9 +216,13 @@ HotResult MeasureHot(const core::TemplateSet& learned, const Corpus& corpus,
   HotResult r;
   r.msgs_per_sec = n / secs;
   r.allocs_per_message = static_cast<double>(allocs) / n;
+  r.messages = static_cast<std::uint64_t>(n);
+  r.cache_lookups = cache.lookups() - lookups0;
+  r.cache_hits = cache.hits() - hits0;
+  r.allocs = allocs;
   if (use_cache && cache.lookups() > lookups0) {
-    r.hit_rate = static_cast<double>(cache.hits() - hits0) /
-                 static_cast<double>(cache.lookups() - lookups0);
+    r.hit_rate = static_cast<double>(r.cache_hits) /
+                 static_cast<double>(r.cache_lookups);
   }
   std::printf("  (checksum %llu)\n", static_cast<unsigned long long>(sink));
   return r;
@@ -336,7 +345,26 @@ int main(int argc, char** argv) {
         << ", \"msgs_per_sec\": " << sweep[i].second << "}"
         << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  // Counters from the timed memoized run, in the DESIGN.md §9 snapshot
+  // schema so the same tooling reads bench and CLI output.
+  obs::Registry metrics;
+  metrics
+      .AddCounter("bench_match_messages_total",
+                   "messages matched in the timed memoized run")
+      ->Inc(cached.messages);
+  metrics
+      .AddCounter("pipeline_match_cache_lookups_total",
+                   "memo-cache lookups in the timed run")
+      ->Inc(cached.cache_lookups);
+  metrics
+      .AddCounter("pipeline_match_cache_hits_total",
+                   "memo-cache hits in the timed run")
+      ->Inc(cached.cache_hits);
+  metrics
+      .AddCounter("bench_match_heap_allocations_total",
+                   "heap allocations in the timed run (must stay 0)")
+      ->Inc(cached.allocs);
+  out << "  ],\n  \"metrics\": " << metrics.Collect().RenderJson() << "}\n";
   std::printf("wrote %s\n", json.c_str());
   return 0;
 }

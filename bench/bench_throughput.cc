@@ -18,6 +18,7 @@
 
 #include "common.h"
 #include "core/stream.h"
+#include "obs/registry.h"
 #include "pipeline/pipeline.h"
 #include "syslog/wire.h"
 
@@ -36,9 +37,11 @@ Fixture& Shared() {
 }
 
 // One full live day through the sharded pipeline; returns seconds.
-double RunSharded(Fixture& f, std::size_t threads) {
+double RunSharded(Fixture& f, std::size_t threads,
+                  obs::Registry* metrics = nullptr) {
   pipeline::PipelineOptions opts;
   opts.shards = threads;
+  opts.metrics = metrics;
   pipeline::ShardedPipeline p(&f.p.kb, &f.p.dict, opts);
   const auto start = std::chrono::steady_clock::now();
   for (const auto& rec : f.p.live.messages) p.Push(rec);
@@ -143,7 +146,8 @@ void BM_WireRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_WireRoundTrip);
 
 void WriteSweepJson(const std::string& path, std::size_t messages,
-                    const std::vector<std::pair<std::size_t, double>>& sweep) {
+                    const std::vector<std::pair<std::size_t, double>>& sweep,
+                    const obs::MetricsSnapshot& metrics) {
   std::ofstream out(path);
   // cpus matters for reading the sweep: speedup is bounded by the cores
   // actually available, not the thread count requested.
@@ -157,7 +161,10 @@ void WriteSweepJson(const std::string& path, std::size_t messages,
         << ", \"speedup\": " << sweep[i].second / base << "}"
         << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  // Pipeline-internals snapshot (DESIGN.md §9) from an instrumented run
+  // at the highest shard count: queue depths, cache hit ratio, merge
+  // backlog — context for interpreting a sweep regression.
+  out << "  ],\n  \"metrics\": " << metrics.RenderJson() << "}\n";
 }
 
 }  // namespace
@@ -183,8 +190,11 @@ int main(int argc, char** argv) {
     const double rate = MeasureSharded(f, static_cast<std::size_t>(threads));
     std::printf("sharded_pipeline threads=%ld msgs_per_sec=%.0f\n", threads,
                 rate);
+    obs::Registry metrics;
+    RunSharded(f, static_cast<std::size_t>(threads), &metrics);
     WriteSweepJson(json, f.p.live.messages.size(),
-                   {{static_cast<std::size_t>(threads), rate}});
+                   {{static_cast<std::size_t>(threads), rate}},
+                   metrics.Collect());
     return 0;
   }
 
@@ -202,7 +212,9 @@ int main(int argc, char** argv) {
     std::printf("sharded_pipeline threads=%zu msgs_per_sec=%.0f\n", n,
                 sweep.back().second);
   }
-  WriteSweepJson(json, f.p.live.messages.size(), sweep);
+  obs::Registry metrics;
+  RunSharded(f, sweep.back().first, &metrics);
+  WriteSweepJson(json, f.p.live.messages.size(), sweep, metrics.Collect());
   std::printf("wrote %s\n", json.c_str());
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.h"
 #include "pipeline/stages.h"
 #include "pipeline/tracker.h"
 
@@ -83,6 +84,13 @@ DigestResult Digester::Digest(std::span<const syslog::SyslogRecord> stream,
   pipeline::GroupTracker tracker(kb_, dict_,
                                  pipeline::GroupTracker::kUnboundedMs,
                                  pipeline::GroupTracker::kUnboundedMs);
+  if (metrics_ != nullptr) {
+    tracker.BindMetrics(metrics_);
+    metrics_
+        ->AddCounter("digester_messages_total",
+                     "records fed to the batch digester")
+        ->Inc(stream.size());
+  }
 
   std::vector<pipeline::MergeEdge> edges;
   std::vector<std::uint64_t> fired_rules;
@@ -110,6 +118,12 @@ DigestResult Digester::Digest(std::span<const syslog::SyslogRecord> stream,
 
   result.events = tracker.Flush();
   result.active_rule_count = tracker.active_rule_count();
+  if (metrics_ != nullptr) {
+    metrics_
+        ->AddCounter("digester_events_total",
+                     "events emitted by the batch digester")
+        ->Inc(result.events.size());
+  }
   std::sort(result.events.begin(), result.events.end(),
             [](const DigestEvent& a, const DigestEvent& b) {
               if (a.score != b.score) return a.score > b.score;

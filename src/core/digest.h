@@ -14,6 +14,10 @@
 #include "core/knowledge.h"
 #include "core/priority/present.h"
 
+namespace sld::obs {
+class Registry;
+}  // namespace sld::obs
+
 namespace sld::core {
 
 // Which grouping passes to run (Table 7 compares T, T+R, T+R+C).
@@ -74,9 +78,15 @@ class Digester {
   DigestResult Digest(std::span<const syslog::SyslogRecord> stream,
                       const DigestOptions& options = {});
 
+  // Routes driver + tracker metrics of subsequent Digest() calls into
+  // `reg` (digester_* and tracker_* series); `reg` must outlive the
+  // digester.
+  void BindMetrics(obs::Registry* reg) { metrics_ = reg; }
+
  private:
   KnowledgeBase* kb_;
   const LocationDict* dict_;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace sld::core

@@ -1,5 +1,7 @@
 #include "core/stream.h"
 
+#include "obs/registry.h"
+
 namespace sld::core {
 
 StreamingDigester::StreamingDigester(KnowledgeBase* kb,
@@ -18,9 +20,21 @@ StreamingDigester::StreamingDigester(KnowledgeBase* kb,
                                        kb->rule_params.window_ms,
                max_group_age_ms) {}
 
+void StreamingDigester::BindMetrics(obs::Registry* reg) {
+  messages_cell_ = reg->AddCounter("digester_messages_total",
+                                   "records fed to the streaming digester");
+  events_cell_ = reg->AddCounter("digester_events_total",
+                                 "events emitted by the streaming digester");
+  tracker_.BindMetrics(reg);
+}
+
 std::vector<DigestEvent> StreamingDigester::Push(
     const syslog::SyslogRecord& rec) {
   std::vector<DigestEvent> closed_events = tracker_.Observe(rec.time);
+  if (messages_cell_ != nullptr) {
+    messages_cell_->Inc();
+    events_cell_->Inc(closed_events.size());
+  }
 
   const Augmented msg =
       augmenter_.Augment(rec, tracker_.processed_count());
@@ -49,7 +63,9 @@ std::vector<DigestEvent> StreamingDigester::Push(
 }
 
 std::vector<DigestEvent> StreamingDigester::Flush() {
-  return tracker_.Flush();
+  std::vector<DigestEvent> events = tracker_.Flush();
+  if (events_cell_ != nullptr) events_cell_->Inc(events.size());
+  return events;
 }
 
 }  // namespace sld::core

@@ -17,8 +17,13 @@
 #include <vector>
 
 #include "core/digest.h"
+#include "obs/metrics.h"
 #include "pipeline/stages.h"
 #include "pipeline/tracker.h"
+
+namespace sld::obs {
+class Registry;
+}  // namespace sld::obs
 
 namespace sld::core {
 
@@ -42,6 +47,11 @@ class StreamingDigester {
 
   // Closes and returns every open group (end of stream).
   std::vector<DigestEvent> Flush();
+
+  // Registers driver + tracker metrics (digester_* and tracker_* series)
+  // with `reg`, which must outlive the digester.  Call before the first
+  // Push.
+  void BindMetrics(obs::Registry* reg);
 
   std::size_t open_group_count() const noexcept {
     return tracker_.open_group_count();
@@ -68,6 +78,10 @@ class StreamingDigester {
   // Scratch buffers reused across pushes.
   std::vector<pipeline::MergeEdge> edges_;
   std::vector<std::uint64_t> fired_rules_;
+
+  // Metric cells (null until BindMetrics).
+  obs::Counter* messages_cell_ = nullptr;
+  obs::Counter* events_cell_ = nullptr;
 };
 
 }  // namespace sld::core

@@ -1,0 +1,110 @@
+// Metric primitives for the observability layer (see registry.h).
+//
+// Everything here is built for the pipeline's hot paths: an update is one
+// relaxed atomic RMW on a cell the caller obtained once at setup time —
+// no locks, no lookups, no heap allocation.  Contention is avoided
+// structurally rather than cleverly: each shard/thread registers its own
+// cell for a series and the registry sums same-name cells at snapshot
+// time, so the cells a worker touches are written by that worker alone
+// (the snapshot reader tolerates relaxed reads — counters are monotonic
+// and a torn-in-time view is fine for monitoring).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sld::obs {
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Instantaneous level (queue depth, open groups, release lag).  Cells of
+// the same series aggregate by sum — per-shard queue depths add up to the
+// total backlog.
+class Gauge {
+ public:
+  void Set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: cumulative-style buckets are derived at
+// snapshot time; Observe touches exactly one bucket cell plus sum/count.
+// Bucket bounds are fixed at registration (shared by every cell of the
+// series) so cross-shard cells merge bucket-wise.
+class Histogram {
+ public:
+  static constexpr std::size_t kMaxBuckets = 32;
+
+  explicit Histogram(const std::vector<double>& upper_bounds) {
+    bound_count_ = upper_bounds.size() < kMaxBuckets ? upper_bounds.size()
+                                                     : kMaxBuckets;
+    for (std::size_t i = 0; i < bound_count_; ++i) {
+      bounds_[i] = upper_bounds[i];
+    }
+  }
+
+  void Observe(double v) noexcept {
+    std::size_t i = 0;
+    while (i < bound_count_ && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::size_t bound_count() const noexcept { return bound_count_; }
+  double bound(std::size_t i) const noexcept { return bounds_[i]; }
+  // Non-cumulative count of observations in bucket i (i == bound_count()
+  // is the overflow / +Inf bucket).
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<double, kMaxBuckets> bounds_{};
+  std::size_t bound_count_ = 0;
+  std::array<std::atomic<std::uint64_t>, kMaxBuckets + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Canonical latency buckets (seconds): 10 µs .. ~100 s, log-spaced.
+inline std::vector<double> LatencyBucketsSeconds() {
+  return {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+          1e-1, 3e-1, 1.0,  3.0,  10.0, 30.0, 100.0};
+}
+
+// Canonical size buckets (items): 1 .. ~100k, log-spaced.
+inline std::vector<double> SizeBuckets() {
+  return {1,    2,    4,     8,     16,    32,    64,     128,    256,
+          512,  1024, 4096, 16384, 65536, 262144};
+}
+
+}  // namespace sld::obs

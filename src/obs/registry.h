@@ -1,0 +1,109 @@
+// Metrics registry + snapshot exporter (JSON and Prometheus text).
+//
+// Usage shape:
+//   - Setup (cold): each component registers the cells it will touch —
+//     `reg->AddCounter("collector_accepted_total", "...")`.  Registration
+//     takes the registry mutex and may allocate; it happens once, before
+//     traffic.
+//   - Hot path: components bump the returned Counter*/Gauge*/Histogram*
+//     directly — one relaxed atomic op, no lock, no allocation.
+//   - Snapshot (cold): `reg->Collect()` walks the cells under the mutex
+//     and AGGREGATES cells that share (name, labels): counters and gauges
+//     sum, histograms merge bucket-wise.  That aggregation rule is what
+//     lets every shard own a private cell for the same logical series, so
+//     the hot path is uncontended by construction.
+//
+// Cell addresses are stable for the registry's lifetime (deque storage);
+// the registry must outlive every component holding cells.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sld::obs {
+
+// Ordered label set; kept small ({"shard","3"} and the like).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One aggregated series in a snapshot.
+struct SeriesSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  Labels labels;
+  // Counter/gauge value (counters as exact integers in `ivalue`).
+  std::int64_t ivalue = 0;
+  // Histogram payload (kind == kHistogram).
+  std::vector<double> bounds;          // upper bounds; +Inf implied last
+  std::vector<std::uint64_t> buckets;  // non-cumulative, bounds.size()+1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<SeriesSnapshot> series;
+
+  // One JSON object, one series per line of the "series" array (stable,
+  // grep/awk-friendly — the CI reconciliation test depends on that).
+  std::string RenderJson() const;
+  // Prometheus text exposition format (# HELP / # TYPE / samples).
+  std::string RenderPrometheus() const;
+
+  // Aggregated value of a counter/gauge series by name (sums over label
+  // sets); 0 when absent.  Convenience for tests and reconciliation.
+  std::int64_t Value(const std::string& name) const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Each call creates a NEW cell; same (name, labels) cells are summed at
+  // Collect time.  `help` from the first registration of a name wins.
+  Counter* AddCounter(std::string name, std::string help,
+                      Labels labels = {});
+  Gauge* AddGauge(std::string name, std::string help, Labels labels = {});
+  // Every histogram cell of one series must share `upper_bounds`.
+  Histogram* AddHistogram(std::string name, std::string help,
+                          std::vector<double> upper_bounds,
+                          Labels labels = {});
+
+  MetricsSnapshot Collect() const;
+
+ private:
+  template <typename T>
+  struct Cell {
+    std::string name;
+    std::string help;
+    Labels labels;
+    T metric;
+    template <typename... Args>
+    Cell(std::string n, std::string h, Labels l, Args&&... args)
+        : name(std::move(n)),
+          help(std::move(h)),
+          labels(std::move(l)),
+          metric(std::forward<Args>(args)...) {}
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Cell<Counter>> counters_;
+  std::deque<Cell<Gauge>> gauges_;
+  std::deque<Cell<Histogram>> histograms_;
+};
+
+// Writes `snapshot` as JSON to `path` and as Prometheus text to
+// `path` + ".prom".  Returns false if either file cannot be written.
+bool WriteSnapshotFiles(const MetricsSnapshot& snapshot,
+                        const std::string& path);
+
+}  // namespace sld::obs

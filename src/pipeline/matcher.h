@@ -91,6 +91,7 @@ class ShardMatchCache {
     if (epoch != epoch_) {
       Clear();
       epoch_ = epoch;
+      ++invalidations_;
     }
   }
 
@@ -104,6 +105,9 @@ class ShardMatchCache {
   std::uint64_t epoch() const noexcept { return epoch_; }
   std::uint64_t lookups() const noexcept { return lookups_; }
   std::uint64_t hits() const noexcept { return hits_; }
+  // Epoch-change flushes this cache has performed (each one re-pays the
+  // warmup misses; a high rate means the template set is still churning).
+  std::uint64_t invalidations() const noexcept { return invalidations_; }
   double hit_rate() const noexcept {
     return lookups_ == 0 ? 0.0
                          : static_cast<double>(hits_) /
@@ -118,6 +122,7 @@ class ShardMatchCache {
   std::uint64_t epoch_ = 0;
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 class ConcurrentTemplateMatcher {

@@ -1,10 +1,21 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "core/location/extractor.h"
 
 namespace sld::pipeline {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 ShardedPipeline::ShardedPipeline(core::KnowledgeBase* kb,
                                  const core::LocationDict* dict,
@@ -30,8 +41,10 @@ ShardedPipeline::ShardedPipeline(core::KnowledgeBase* kb,
   for (std::size_t k = 0; k < n; ++k) {
     shards_.push_back(std::make_unique<Shard>(options_.queue_capacity));
   }
+  if (options_.metrics != nullptr) tracker_.BindMetrics(options_.metrics);
   for (std::size_t k = 0; k < n; ++k) {
-    shards_[k]->worker = std::thread([this, k] { RunShard(*shards_[k]); });
+    shards_[k]->worker =
+        std::thread([this, k] { RunShard(*shards_[k], k); });
   }
   merge_thread_ = std::thread([this] { RunMerge(); });
 }
@@ -74,7 +87,7 @@ void ShardedPipeline::FlushBatches() {
   }
 }
 
-void ShardedPipeline::RunShard(Shard& shard) {
+void ShardedPipeline::RunShard(Shard& shard, std::size_t shard_id) {
   core::LocationExtractor extractor(dict_);
   TemporalStage temporal(kb_->temporal_params, &kb_->temporal_priors);
   RuleStage rules(&kb_->rules, kb_->rule_params.window_ms, dict_);
@@ -84,7 +97,45 @@ void ShardedPipeline::RunShard(Shard& shard) {
   ShardMatchCache* cache =
       options_.use_match_cache ? &match_cache : nullptr;
   std::vector<std::string_view> match_scratch;
+
+  // Shard-private metric cells: messages/queue-depth carry a shard label
+  // (per-shard rates are the point); the batch-latency histogram and the
+  // memo-cache counters register unlabeled — every shard's cell folds
+  // into one series at snapshot time.
+  struct ShardCells {
+    obs::Counter* messages = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* batch_seconds = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_invalidations = nullptr;
+  } cells;
+  if (options_.metrics != nullptr) {
+    obs::Registry* reg = options_.metrics;
+    const obs::Labels shard_label = {{"shard", std::to_string(shard_id)}};
+    cells.messages = reg->AddCounter("pipeline_shard_messages_total",
+                                     "messages processed by this shard",
+                                     shard_label);
+    cells.queue_depth = reg->AddGauge("pipeline_shard_queue_depth",
+                                      "input batches awaiting this shard",
+                                      shard_label);
+    cells.batch_seconds = reg->AddHistogram(
+        "pipeline_shard_batch_seconds",
+        "per-batch shard stage latency (augment+match+per-router stages)",
+        obs::LatencyBucketsSeconds());
+    cells.cache_hits = reg->AddCounter("pipeline_match_cache_hits_total",
+                                       "memo-cache hits across shards");
+    cells.cache_misses = reg->AddCounter(
+        "pipeline_match_cache_misses_total",
+        "memo-cache lookups that fell through to the shared matcher");
+    cells.cache_invalidations = reg->AddCounter(
+        "pipeline_match_cache_invalidations_total",
+        "memo-cache epoch flushes across shards");
+  }
+  std::uint64_t prev_lookups = 0, prev_hits = 0, prev_invalidations = 0;
+
   while (auto batch = shard.in.Pop()) {
+    const auto batch_start = std::chrono::steady_clock::now();
     std::vector<ShardOutput> out;
     out.reserve(batch->size());
     for (ShardInput& in : *batch) {
@@ -99,6 +150,22 @@ void ShardedPipeline::RunShard(Shard& shard) {
       }
       out.push_back(std::move(o));
     }
+    if (cells.messages != nullptr) {
+      cells.messages->Inc(out.size());
+      cells.batch_seconds->Observe(SecondsSince(batch_start));
+      cells.queue_depth->Set(static_cast<std::int64_t>(shard.in.size()));
+      if (cache != nullptr) {
+        const std::uint64_t dl = cache->lookups() - prev_lookups;
+        const std::uint64_t dh = cache->hits() - prev_hits;
+        cells.cache_hits->Inc(dh);
+        cells.cache_misses->Inc(dl - dh);
+        cells.cache_invalidations->Inc(cache->invalidations() -
+                                       prev_invalidations);
+        prev_lookups = cache->lookups();
+        prev_hits = cache->hits();
+        prev_invalidations = cache->invalidations();
+      }
+    }
     if (!shard.out.Push(std::move(out))) break;  // merge side gone
   }
   shard.out.Close();
@@ -109,6 +176,25 @@ void ShardedPipeline::RunMerge() {
   std::vector<std::vector<ShardOutput>> current(shards_.size());
   std::vector<std::size_t> cursor(shards_.size(), 0);
   std::vector<MergeEdge> cross_edges;
+
+  // Merge-thread metric cells: the backlog gauge is the pipeline's
+  // primary back-pressure signal (schedule batches the merge thread has
+  // not replayed yet).
+  obs::Counter* merged_messages = nullptr;
+  obs::Gauge* backlog = nullptr;
+  obs::Histogram* merge_seconds = nullptr;
+  if (options_.metrics != nullptr) {
+    merged_messages = options_.metrics->AddCounter(
+        "pipeline_merge_messages_total",
+        "messages replayed by the sequenced merge thread");
+    backlog = options_.metrics->AddGauge(
+        "pipeline_merge_backlog_batches",
+        "order-queue batches awaiting the merge thread");
+    merge_seconds = options_.metrics->AddHistogram(
+        "pipeline_merge_batch_seconds",
+        "per-schedule-batch merge stage latency",
+        obs::LatencyBucketsSeconds());
+  }
   const auto emit = [this](std::vector<core::DigestEvent> events) {
     for (core::DigestEvent& ev : events) {
       if (sink_) {
@@ -120,6 +206,7 @@ void ShardedPipeline::RunMerge() {
   };
 
   while (auto schedule = order_.Pop()) {
+    const auto batch_start = std::chrono::steady_clock::now();
     for (const std::uint32_t sid : *schedule) {
       if (cursor[sid] >= current[sid].size()) {
         auto next = shards_[sid]->out.Pop();
@@ -146,6 +233,11 @@ void ShardedPipeline::RunMerge() {
         tracker_.ApplyEdges(cross_edges);
       }
       tracker_.Touch(seq, t);
+    }
+    if (merged_messages != nullptr) {
+      merged_messages->Inc(schedule->size());
+      merge_seconds->Observe(SecondsSince(batch_start));
+      backlog->Set(static_cast<std::int64_t>(order_.size()));
     }
   }
   emit(tracker_.Flush());

@@ -27,6 +27,7 @@
 
 #include "common/bounded_queue.h"
 #include "core/digest.h"
+#include "obs/registry.h"
 #include "pipeline/matcher.h"
 #include "pipeline/stages.h"
 #include "pipeline/tracker.h"
@@ -51,6 +52,11 @@ struct PipelineOptions {
   // event partition is identical either way; disabling is for A/B
   // measurement and equivalence tests.
   bool use_match_cache = true;
+  // Observability (may be null).  Each shard and the merge thread
+  // register their own cells at thread start — DESIGN.md §9 lists the
+  // series — so steady-state updates stay lock-free and allocation-free.
+  // Must outlive the pipeline.
+  obs::Registry* metrics = nullptr;
 };
 
 class ShardedPipeline {
@@ -100,7 +106,7 @@ class ShardedPipeline {
     std::thread worker;
   };
 
-  void RunShard(Shard& shard);
+  void RunShard(Shard& shard, std::size_t shard_id);
   void RunMerge();
   void FlushBatches();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/registry.h"
+
 namespace sld::pipeline {
 namespace {
 
@@ -22,9 +24,37 @@ GroupTracker::GroupTracker(const core::KnowledgeBase* kb,
       max_group_age_ms_(max_group_age_ms),
       kb_mutex_(kb_mutex) {}
 
+void GroupTracker::BindMetrics(obs::Registry* reg) {
+  cells_.open_groups =
+      reg->AddGauge("tracker_open_groups", "groups not yet closed");
+  cells_.open_messages = reg->AddGauge(
+      "tracker_open_messages", "messages belonging to open groups");
+  cells_.closed_idle = reg->AddCounter(
+      "tracker_groups_closed_total", "groups closed, by reason",
+      {{"reason", "idle"}});
+  cells_.closed_max_age = reg->AddCounter(
+      "tracker_groups_closed_total", "groups closed, by reason",
+      {{"reason", "max_age"}});
+  cells_.closed_flush = reg->AddCounter(
+      "tracker_groups_closed_total", "groups closed, by reason",
+      {{"reason", "flush"}});
+  cells_.event_messages = reg->AddHistogram(
+      "tracker_event_messages", "messages per closed event",
+      obs::SizeBuckets());
+  SyncGauges();
+}
+
+void GroupTracker::SyncGauges() noexcept {
+  if (cells_.open_groups == nullptr) return;
+  cells_.open_groups->Set(static_cast<std::int64_t>(groups_.size()));
+  cells_.open_messages->Set(static_cast<std::int64_t>(open_messages_));
+}
+
 std::vector<core::DigestEvent> GroupTracker::Observe(TimeMs now) {
   std::vector<core::DigestEvent> events;
-  if (now >= clock_ + kSweepInterval) events = CloseIdle(now);
+  if (now >= clock_ + kSweepInterval) {
+    events = CloseIdle(now, /*flushing=*/false);
+  }
   clock_ = std::max(clock_, now);
   return events;
 }
@@ -40,6 +70,7 @@ void GroupTracker::Add(core::Augmented msg) {
   groups_[uf_.Find(index)] = {t, t};
   ++open_messages_;
   ++processed_;
+  SyncGauges();
 
   if (arena_.size() > 4096 && arena_.size() > 4 * open_messages_) {
     CompactArena();
@@ -94,12 +125,23 @@ core::DigestEvent GroupTracker::BuildLocked(
   return core::BuildEvent(members, *kb_, *dict_);
 }
 
-std::vector<core::DigestEvent> GroupTracker::CloseIdle(TimeMs now) {
+std::vector<core::DigestEvent> GroupTracker::CloseIdle(TimeMs now,
+                                                       bool flushing) {
   std::vector<std::size_t> closing;
   for (const auto& [root, meta] : groups_) {
-    if (now - meta.last_time > idle_close_ms_ ||
-        now - meta.first_time > max_group_age_ms_) {
+    const bool idle = now - meta.last_time > idle_close_ms_;
+    const bool aged = now - meta.first_time > max_group_age_ms_;
+    if (idle || aged) {
       closing.push_back(root);
+      if (cells_.closed_idle != nullptr) {
+        if (flushing) {
+          cells_.closed_flush->Inc();
+        } else if (idle) {
+          cells_.closed_idle->Inc();
+        } else {
+          cells_.closed_max_age->Inc();
+        }
+      }
     }
   }
   if (closing.empty()) return {};
@@ -122,10 +164,15 @@ std::vector<core::DigestEvent> GroupTracker::CloseIdle(TimeMs now) {
   events.reserve(closing.size());
   for (const std::size_t root : closing) {
     if (!members[root].empty()) {
+      if (cells_.event_messages != nullptr) {
+        cells_.event_messages->Observe(
+            static_cast<double>(members[root].size()));
+      }
       events.push_back(BuildLocked(members[root]));
     }
     groups_.erase(root);
   }
+  SyncGauges();
   std::sort(events.begin(), events.end(),
             [](const core::DigestEvent& a, const core::DigestEvent& b) {
               return a.start < b.start;
@@ -135,8 +182,10 @@ std::vector<core::DigestEvent> GroupTracker::CloseIdle(TimeMs now) {
 
 std::vector<core::DigestEvent> GroupTracker::Flush() {
   clock_ = INT64_MAX - idle_close_ms_ - 1;
-  std::vector<core::DigestEvent> events = CloseIdle(INT64_MAX - 1);
+  std::vector<core::DigestEvent> events =
+      CloseIdle(INT64_MAX - 1, /*flushing=*/true);
   CompactArena();
+  SyncGauges();
   return events;
 }
 

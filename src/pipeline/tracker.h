@@ -23,7 +23,12 @@
 
 #include "common/union_find.h"
 #include "core/digest.h"
+#include "obs/metrics.h"
 #include "pipeline/stages.h"
+
+namespace sld::obs {
+class Registry;
+}  // namespace sld::obs
 
 namespace sld::pipeline {
 
@@ -64,6 +69,12 @@ class GroupTracker {
   // Closes every open group (end of stream); events ordered by start.
   std::vector<core::DigestEvent> Flush();
 
+  // Registers tracker metrics (tracker_* series) with `reg`: open-group /
+  // open-message gauges and per-reason close counters (idle sweep,
+  // max-age force close, end-of-stream flush).  `reg` must outlive the
+  // tracker; call before the first message.
+  void BindMetrics(obs::Registry* reg);
+
   std::size_t open_group_count() const noexcept { return groups_.size(); }
   std::size_t open_message_count() const noexcept { return open_messages_; }
   std::size_t processed_count() const noexcept { return processed_; }
@@ -78,7 +89,8 @@ class GroupTracker {
   };
 
   void MergeSlots(std::size_t a, std::size_t b);
-  std::vector<core::DigestEvent> CloseIdle(TimeMs now);
+  std::vector<core::DigestEvent> CloseIdle(TimeMs now, bool flushing);
+  void SyncGauges() noexcept;
   core::DigestEvent BuildLocked(
       const std::vector<const core::Augmented*>& members) const;
   void CompactArena();
@@ -102,6 +114,16 @@ class GroupTracker {
   std::size_t open_messages_ = 0;
   std::size_t processed_ = 0;
   TimeMs clock_ = INT64_MIN;
+
+  // Metric cells (null until BindMetrics).
+  struct Cells {
+    obs::Gauge* open_groups = nullptr;
+    obs::Gauge* open_messages = nullptr;
+    obs::Counter* closed_idle = nullptr;
+    obs::Counter* closed_max_age = nullptr;
+    obs::Counter* closed_flush = nullptr;
+    obs::Histogram* event_messages = nullptr;  // group size at close
+  } cells_;
 };
 
 }  // namespace sld::pipeline

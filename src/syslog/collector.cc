@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "obs/registry.h"
+
 namespace sld::syslog {
 
 std::size_t Collector::HashRecord(const SyslogRecord& rec) noexcept {
@@ -15,22 +17,67 @@ std::size_t Collector::HashRecord(const SyslogRecord& rec) noexcept {
   return h;
 }
 
+void Collector::BindMetrics(obs::Registry* reg) {
+  cells_.accepted = reg->AddCounter(
+      "collector_accepted_total",
+      "records admitted to the reorder buffer");
+  cells_.released = reg->AddCounter(
+      "collector_released_total",
+      "records released downstream in timestamp order");
+  cells_.late = reg->AddCounter(
+      "collector_late_total",
+      "records dropped: strictly older than the released watermark");
+  cells_.malformed = reg->AddCounter(
+      "collector_malformed_total", "datagrams that failed RFC 3164 decode");
+  cells_.duplicates = reg->AddCounter(
+      "collector_duplicate_total",
+      "records suppressed as duplicates of a buffered record");
+  cells_.buffered = reg->AddGauge(
+      "collector_reorder_buffer_depth", "records held awaiting release");
+  cells_.release_lag_ms = reg->AddGauge(
+      "collector_release_lag_ms",
+      "stream-clock gap between newest seen and newest released timestamp");
+  // Mirror anything counted before binding.
+  cells_.accepted->Inc(accepted_);
+  cells_.released->Inc(released_);
+  cells_.late->Inc(late_);
+  cells_.malformed->Inc(malformed_);
+  cells_.duplicates->Inc(duplicates_);
+  SyncGauges();
+}
+
+void Collector::SyncGauges() noexcept {
+  if (cells_.buffered == nullptr) return;
+  cells_.buffered->Set(static_cast<std::int64_t>(buffer_.size()));
+  const TimeMs lag =
+      (watermark_ == INT64_MIN || released_through_ == INT64_MIN)
+          ? 0
+          : watermark_ - released_through_;
+  cells_.release_lag_ms->Set(lag);
+}
+
 bool Collector::IngestDatagram(std::string_view datagram) {
   auto rec = DecodeRfc3164(datagram, year_);
   if (!rec) {
     ++malformed_;
+    if (cells_.malformed != nullptr) cells_.malformed->Inc();
     return false;
   }
   return IngestRecord(std::move(*rec));
 }
 
 bool Collector::IngestRecord(SyslogRecord rec) {
-  if (rec.time <= released_through_ && released_through_ != INT64_MIN) {
+  // Strictly older than the released watermark: ordering can no longer be
+  // preserved.  A tie (rec.time == released_through_) is NOT late — ties
+  // release in arrival order, so accepting it keeps the output sorted and
+  // avoids losing same-second records that arrive just after a drain.
+  if (rec.time < released_through_) {
     ++late_;
+    if (cells_.late != nullptr) cells_.late->Inc();
     return false;
   }
   if (suppress_duplicates_) {
-    const std::size_t hash = HashRecord(rec);
+    const std::size_t hash = Hash(rec);
     if (buffered_hashes_.count(hash) != 0) {
       // Hash hit: confirm with an equality scan over same-time entries
       // before dropping (hash collisions must not lose records).
@@ -38,6 +85,7 @@ bool Collector::IngestRecord(SyslogRecord rec) {
       for (auto it = begin; it != end; ++it) {
         if (it->second == rec) {
           ++duplicates_;
+          if (cells_.duplicates != nullptr) cells_.duplicates->Inc();
           return false;
         }
       }
@@ -47,6 +95,8 @@ bool Collector::IngestRecord(SyslogRecord rec) {
   if (rec.time > watermark_) watermark_ = rec.time;
   buffer_.emplace(rec.time, std::move(rec));
   ++accepted_;
+  if (cells_.accepted != nullptr) cells_.accepted->Inc();
+  SyncGauges();
   return true;
 }
 
@@ -58,7 +108,7 @@ std::vector<SyslogRecord> Collector::Drain() {
   while (it != buffer_.end() && it->first <= release_up_to) {
     released_through_ = it->first;
     if (suppress_duplicates_) {
-      const auto hash_it = buffered_hashes_.find(HashRecord(it->second));
+      const auto hash_it = buffered_hashes_.find(Hash(it->second));
       if (hash_it != buffered_hashes_.end()) {
         buffered_hashes_.erase(hash_it);
       }
@@ -66,17 +116,25 @@ std::vector<SyslogRecord> Collector::Drain() {
     out.push_back(std::move(it->second));
     it = buffer_.erase(it);
   }
+  released_ += out.size();
+  if (cells_.released != nullptr) cells_.released->Inc(out.size());
+  SyncGauges();
   return out;
 }
 
 std::vector<SyslogRecord> Collector::Flush() {
   std::vector<SyslogRecord> out;
-  for (auto& [time, rec] : buffer_) {
-    released_through_ = time;
-    out.push_back(std::move(rec));
-  }
+  out.reserve(buffer_.size());
+  for (auto& [time, rec] : buffer_) out.push_back(std::move(rec));
   buffer_.clear();
   buffered_hashes_.clear();
+  released_ += out.size();
+  if (cells_.released != nullptr) cells_.released->Inc(out.size());
+  // End of epoch: reset the clocks so a reused collector does not reject
+  // the next epoch's records against this epoch's watermark.
+  watermark_ = INT64_MIN;
+  released_through_ = INT64_MIN;
+  SyncGauges();
   return out;
 }
 

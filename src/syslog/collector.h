@@ -6,6 +6,19 @@
 // skew).  Every miner in this library assumes a time-sorted stream, so the
 // collector holds a sliding reorder buffer: a record is released once the
 // newest ingested timestamp is at least `hold_ms` ahead of it.
+//
+// Release boundary: a record is "late" only when its timestamp is
+// STRICTLY older than the released watermark.  A record that shares a
+// timestamp with an already-released record is still accepted — released
+// output stays non-decreasing either way, and at syslog's 1-second
+// granularity same-second arrivals split across a Drain() are endemic
+// (dropping them would silently lose legitimate traffic).
+//
+// Lifecycle: Flush() ends an epoch.  It releases everything buffered and
+// RESETS the watermarks, so a collector reused after an end-of-stream
+// flush classifies the next epoch's records from a clean slate instead of
+// rejecting them against the previous epoch's clock.  The loss/accept
+// counters are cumulative across epochs (they are monitoring totals).
 #pragma once
 
 #include <cstddef>
@@ -14,8 +27,13 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "syslog/record.h"
 #include "syslog/wire.h"
+
+namespace sld::obs {
+class Registry;
+}  // namespace sld::obs
 
 namespace sld::syslog {
 
@@ -33,7 +51,8 @@ class Collector {
         suppress_duplicates_(suppress_duplicates) {}
 
   // Ingests one wire datagram. Returns false (and counts the drop) when
-  // the datagram is malformed or older than the release watermark.
+  // the datagram is malformed or strictly older than the release
+  // watermark.
   bool IngestDatagram(std::string_view datagram);
 
   // Ingests an already-parsed record (e.g. from a file).
@@ -43,22 +62,45 @@ class Collector {
   // Ties are released in arrival order.
   std::vector<SyslogRecord> Drain();
 
-  // Releases everything still buffered (end of stream).
+  // Releases everything still buffered and resets the epoch (end of
+  // stream); the collector may be reused afterwards.
   std::vector<SyslogRecord> Flush();
+
+  // Registers this collector's metrics (collector_* series) with `reg`
+  // and mirrors every counter/gauge into it from then on.  `reg` must
+  // outlive the collector.  Invariants the snapshot maintains:
+  //   accepted = released + buffered
+  //   ingested = accepted + late + malformed + duplicates
+  void BindMetrics(obs::Registry* reg);
 
   std::size_t buffered() const noexcept { return buffer_.size(); }
   std::size_t malformed_count() const noexcept { return malformed_; }
   std::size_t late_count() const noexcept { return late_; }
   std::size_t accepted_count() const noexcept { return accepted_; }
   std::size_t duplicate_count() const noexcept { return duplicates_; }
+  std::size_t released_count() const noexcept { return released_; }
+  // Entries in the duplicate-suppression window (tracks the buffer).
+  std::size_t duplicate_window_size() const noexcept {
+    return buffered_hashes_.size();
+  }
+
+  // Test seam: overrides the duplicate-identity hash so suppression edge
+  // cases (hash collisions between non-equal records) are reachable.
+  using HashFn = std::size_t (*)(const SyslogRecord&);
+  void SetHashForTesting(HashFn fn) { hash_fn_ = fn; }
 
  private:
   static std::size_t HashRecord(const SyslogRecord& rec) noexcept;
+  std::size_t Hash(const SyslogRecord& rec) const noexcept {
+    return hash_fn_ != nullptr ? hash_fn_(rec) : HashRecord(rec);
+  }
+  void SyncGauges() noexcept;
 
   TimeMs hold_ms_;
   int year_;
   bool suppress_duplicates_;
-  TimeMs watermark_ = INT64_MIN;  // newest timestamp seen
+  HashFn hash_fn_ = nullptr;
+  TimeMs watermark_ = INT64_MIN;  // newest timestamp seen this epoch
   TimeMs released_through_ = INT64_MIN;
   std::multimap<TimeMs, SyslogRecord> buffer_;
   // Hashes of buffered records (duplicate suppression window).
@@ -67,6 +109,18 @@ class Collector {
   std::size_t late_ = 0;
   std::size_t accepted_ = 0;
   std::size_t duplicates_ = 0;
+  std::size_t released_ = 0;
+
+  // Metric cells (null until BindMetrics).
+  struct Cells {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* released = nullptr;
+    obs::Counter* late = nullptr;
+    obs::Counter* malformed = nullptr;
+    obs::Counter* duplicates = nullptr;
+    obs::Gauge* buffered = nullptr;       // reorder-buffer depth
+    obs::Gauge* release_lag_ms = nullptr; // watermark - released_through
+  } cells_;
 };
 
 }  // namespace sld::syslog

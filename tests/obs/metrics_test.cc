@@ -1,0 +1,140 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sld::obs {
+namespace {
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  Registry reg;
+  Counter* c = reg.AddCounter("events_total", "help text");
+  Gauge* g = reg.AddGauge("depth", "queue depth");
+  c->Inc();
+  c->Inc(41);
+  g->Set(7);
+  g->Add(-2);
+  const MetricsSnapshot snap = reg.Collect();
+  EXPECT_EQ(snap.Value("events_total"), 42);
+  EXPECT_EQ(snap.Value("depth"), 5);
+  EXPECT_EQ(snap.Value("absent_series"), 0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  Registry reg;
+  Histogram* h = reg.AddHistogram("latency", "help", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket 0
+  h->Observe(1.0);    // bucket 0 (le is inclusive)
+  h->Observe(5.0);    // bucket 1
+  h->Observe(1000);   // overflow
+  const MetricsSnapshot snap = reg.Collect();
+  ASSERT_EQ(snap.series.size(), 1u);
+  const SeriesSnapshot& s = snap.series[0];
+  EXPECT_EQ(s.kind, MetricKind::kHistogram);
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 0u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 1006.5);
+}
+
+// The core per-shard contract: every shard registers its OWN cell for
+// one logical series and hammers it from its own thread; Collect()
+// aggregates them into a single series.  Run under TSan in CI.
+TEST(MetricsTest, PerShardCellsAggregateAcrossThreads) {
+  Registry reg;
+  constexpr int kShards = 4;
+  constexpr std::uint64_t kPerShard = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kShards; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Registration from the shard thread itself, as the pipeline does.
+      Counter* msgs = reg.AddCounter("shard_messages_total", "msgs");
+      Counter* labeled = reg.AddCounter(
+          "shard_messages_by_shard_total", "msgs",
+          {{"shard", std::to_string(t)}});
+      Histogram* lat =
+          reg.AddHistogram("shard_seconds", "latency", {0.001, 0.1});
+      Gauge* depth = reg.AddGauge("shard_depth", "depth");
+      for (std::uint64_t i = 0; i < kPerShard; ++i) {
+        msgs->Inc();
+        labeled->Inc();
+        lat->Observe(i % 2 == 0 ? 0.0005 : 0.01);
+        depth->Set(static_cast<std::int64_t>(i % 3));
+      }
+      depth->Set(1);
+    });
+  }
+  // Snapshots race with the updates on purpose: Collect() must stay
+  // well-defined (torn in time is fine, torn values are not).
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot racing = reg.Collect();
+    EXPECT_LE(racing.Value("shard_messages_total"),
+              static_cast<std::int64_t>(kShards * kPerShard));
+  }
+  for (auto& th : threads) th.join();
+
+  const MetricsSnapshot snap = reg.Collect();
+  EXPECT_EQ(snap.Value("shard_messages_total"),
+            static_cast<std::int64_t>(kShards * kPerShard));
+  // Labeled cells stay distinct series.
+  int labeled_series = 0;
+  for (const SeriesSnapshot& s : snap.series) {
+    if (s.name == "shard_messages_by_shard_total") {
+      ++labeled_series;
+      EXPECT_EQ(s.ivalue, static_cast<std::int64_t>(kPerShard));
+    }
+  }
+  EXPECT_EQ(labeled_series, kShards);
+  // Unlabeled gauges sum across shards.
+  EXPECT_EQ(snap.Value("shard_depth"), kShards);
+  // Histogram cells merge bucket-wise.
+  for (const SeriesSnapshot& s : snap.series) {
+    if (s.name != "shard_seconds") continue;
+    ASSERT_EQ(s.buckets.size(), 3u);
+    EXPECT_EQ(s.count, kShards * kPerShard);
+    EXPECT_EQ(s.buckets[0], kShards * kPerShard / 2);
+    EXPECT_EQ(s.buckets[1], kShards * kPerShard / 2);
+    EXPECT_EQ(s.buckets[2], 0u);
+  }
+}
+
+TEST(MetricsTest, RenderJsonAndPrometheus) {
+  Registry reg;
+  reg.AddCounter("a_total", "a help", {{"shard", "0"}})->Inc(3);
+  reg.AddCounter("a_total", "a help", {{"shard", "1"}})->Inc(4);
+  reg.AddGauge("b_depth", "b help")->Set(-2);
+  Histogram* h = reg.AddHistogram("c_seconds", "c help", {0.5});
+  h->Observe(0.25);
+  h->Observe(2.0);
+  const MetricsSnapshot snap = reg.Collect();
+
+  const std::string json = snap.RenderJson();
+  EXPECT_NE(json.find("\"name\":\"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard\":\"1\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+
+  const std::string prom = snap.RenderPrometheus();
+  EXPECT_NE(prom.find("# TYPE a_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("a_total{shard=\"0\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("a_total{shard=\"1\"} 4"), std::string::npos);
+  EXPECT_NE(prom.find("b_depth -2"), std::string::npos);
+  // Prometheus buckets are cumulative; +Inf equals _count.
+  EXPECT_NE(prom.find("c_seconds_bucket{le=\"0.5\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("c_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("c_seconds_count 2"), std::string::npos);
+  // HELP/TYPE emitted once per family even with two cells.
+  EXPECT_EQ(prom.find("# TYPE a_total counter"),
+            prom.rfind("# TYPE a_total counter"));
+}
+
+}  // namespace
+}  // namespace sld::obs

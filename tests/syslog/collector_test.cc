@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/registry.h"
+
 namespace sld::syslog {
 namespace {
 
@@ -43,9 +45,57 @@ TEST(CollectorTest, DropsRecordsOlderThanReleasedWatermark) {
   c.IngestRecord(At(1000));
   c.IngestRecord(At(10000));
   (void)c.Drain();  // 1000 released
-  EXPECT_FALSE(c.IngestRecord(At(500)));  // too late
+  EXPECT_FALSE(c.IngestRecord(At(500)));  // strictly older: too late
   EXPECT_EQ(c.late_count(), 1u);
   EXPECT_TRUE(c.IngestRecord(At(9500)));  // not yet released
+}
+
+// Regression for the release-boundary data loss: at syslog's 1-second
+// granularity, a record sharing a timestamp with an already-released
+// record is NOT late — ties release in arrival order, so ordering is
+// preserved and no same-second record is dropped.
+TEST(CollectorTest, SameTimestampRecordsSplitAcrossDrainAreNotLost) {
+  Collector c(/*hold_ms=*/1000);
+  SyslogRecord first = At(5000, "alpha");
+  SyslogRecord second = At(5000, "beta");
+  c.IngestRecord(first);
+  c.IngestRecord(At(10000));  // watermark 10000: release up to 9000
+  const auto released = c.Drain();
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].router, "alpha");
+
+  // The second same-second record arrives just after the drain.
+  EXPECT_TRUE(c.IngestRecord(second));
+  EXPECT_EQ(c.late_count(), 0u);
+  const auto next = c.Drain();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].router, "beta");
+  EXPECT_EQ(next[0].time, 5000);  // output is still non-decreasing
+  EXPECT_EQ(c.accepted_count(), 3u);
+}
+
+// Flush() ends an epoch: the watermarks reset, so a reused collector
+// classifies the next epoch's (possibly earlier) timestamps cleanly
+// instead of dropping them against the previous epoch's clock.
+TEST(CollectorTest, FlushResetsEpochForReuse) {
+  Collector c(/*hold_ms=*/1000);
+  c.IngestRecord(At(50000));
+  c.IngestRecord(At(60000));
+  // Drain advances released_through_ to 59000; Flush must not leave it
+  // there for the next epoch.
+  ASSERT_EQ(c.Drain().size(), 1u);
+  ASSERT_EQ(c.Flush().size(), 1u);
+
+  // Next epoch restarts earlier (e.g. a replayed archive).
+  EXPECT_TRUE(c.IngestRecord(At(1000)));
+  EXPECT_TRUE(c.IngestRecord(At(7000)));
+  EXPECT_EQ(c.late_count(), 0u);
+  const auto out = c.Drain();  // watermark 7000: release up to 6000
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 1000);
+  EXPECT_EQ(c.Flush().size(), 1u);
+  EXPECT_EQ(c.accepted_count(), 4u);
+  EXPECT_EQ(c.released_count(), 4u);
 }
 
 TEST(CollectorTest, FlushReleasesEverything) {
@@ -121,11 +171,110 @@ TEST(CollectorTest, DuplicateWindowExpiresWithRelease) {
   c.IngestRecord(At(1000));
   c.IngestRecord(At(10000));
   (void)c.Drain();  // the t=1000 record has been released
-  // A replay of the released record is no longer in the duplicate window;
-  // it is rejected as LATE, not as duplicate.
-  EXPECT_FALSE(c.IngestRecord(At(1000)));
+  // A duplicate arriving after the original drained is outside the
+  // suppression window.  Its timestamp ties the released watermark, so it
+  // is ACCEPTED (same-second records must not be lost; suppression only
+  // covers the reorder buffer — DESIGN.md documents the trade-off).
+  EXPECT_TRUE(c.IngestRecord(At(1000)));
   EXPECT_EQ(c.duplicate_count(), 0u);
+  EXPECT_EQ(c.late_count(), 0u);
+  // A duplicate of a released record that is strictly older than the
+  // watermark is still rejected as late.
+  (void)c.IngestRecord(At(20000));
+  (void)c.Drain();  // releases 1000 and 10000; watermark passes 10000
+  EXPECT_FALSE(c.IngestRecord(At(10000 - 1)));
   EXPECT_EQ(c.late_count(), 1u);
+}
+
+// A hash collision between non-equal records must not suppress either
+// one: the multiset is only a fast-path filter, the equality scan
+// decides.  Reachable via the test-only hash override.
+TEST(CollectorTest, HashCollisionWithNonEqualRecordIsNotSuppressed) {
+  Collector c(/*hold_ms=*/5000, /*year=*/2009,
+              /*suppress_duplicates=*/true);
+  c.SetHashForTesting([](const SyslogRecord&) -> std::size_t { return 7; });
+  SyslogRecord a = At(1000, "alpha");
+  SyslogRecord b = At(1000, "beta");   // same time, different payload
+  SyslogRecord d = At(2000, "gamma");  // different time bucket entirely
+  EXPECT_TRUE(c.IngestRecord(a));
+  EXPECT_TRUE(c.IngestRecord(b));
+  EXPECT_TRUE(c.IngestRecord(d));
+  EXPECT_EQ(c.duplicate_count(), 0u);
+  EXPECT_EQ(c.duplicate_window_size(), 3u);
+  // True duplicates are still caught through the collision pile-up.
+  EXPECT_FALSE(c.IngestRecord(a));
+  EXPECT_EQ(c.duplicate_count(), 1u);
+  EXPECT_EQ(c.Flush().size(), 3u);
+}
+
+// Draining must erase exactly ONE multiset entry per released record —
+// an erase(hash) call would wipe every collided entry and reopen the
+// window for still-buffered records.
+TEST(CollectorTest, DrainErasesOneHashEntryPerReleasedRecord) {
+  Collector c(/*hold_ms=*/1000, /*year=*/2009,
+              /*suppress_duplicates=*/true);
+  c.SetHashForTesting([](const SyslogRecord&) -> std::size_t { return 7; });
+  SyslogRecord early = At(1000, "alpha");
+  SyslogRecord late_twin = At(6000, "alpha");
+  c.IngestRecord(early);
+  c.IngestRecord(late_twin);
+  c.IngestRecord(At(10000, "tick"));
+  EXPECT_EQ(c.duplicate_window_size(), 3u);
+  const auto out = c.Drain();  // releases t=1000 and t=6000
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(c.duplicate_window_size(), 1u);  // one entry per release
+  // The still-buffered t=10000 record keeps its window entry: replaying
+  // it is still suppressed.
+  EXPECT_FALSE(c.IngestRecord(At(10000, "tick")));
+  EXPECT_EQ(c.duplicate_count(), 1u);
+  (void)c.Flush();
+  EXPECT_EQ(c.duplicate_window_size(), 0u);
+}
+
+// The collector_* metric series reconcile at every point:
+//   accepted = released + buffered
+//   ingested (= accepted + late + malformed + duplicates) = offered
+TEST(CollectorTest, MetricsReconcile) {
+  obs::Registry reg;
+  Collector c(/*hold_ms=*/1000, /*year=*/2009,
+              /*suppress_duplicates=*/true);
+  c.BindMetrics(&reg);
+
+  std::size_t offered = 0;
+  const auto check = [&] {
+    const obs::MetricsSnapshot snap = reg.Collect();
+    EXPECT_EQ(snap.Value("collector_accepted_total"),
+              snap.Value("collector_released_total") +
+                  snap.Value("collector_reorder_buffer_depth"));
+    EXPECT_EQ(snap.Value("collector_accepted_total") +
+                  snap.Value("collector_late_total") +
+                  snap.Value("collector_malformed_total") +
+                  snap.Value("collector_duplicate_total"),
+              static_cast<std::int64_t>(offered));
+  };
+
+  for (TimeMs t = 0; t < 50; ++t) {
+    c.IngestRecord(At(t * 500));  // same-second pairs at 1-s granularity
+    ++offered;
+    if (t % 7 == 0) {
+      c.IngestRecord(At(t * 500));  // duplicate while buffered
+      ++offered;
+    }
+    for ([[maybe_unused]] auto& rec : c.Drain()) {
+    }
+    check();
+  }
+  c.IngestDatagram("not a syslog frame");
+  ++offered;
+  c.IngestRecord(At(0));  // strictly late by now
+  ++offered;
+  (void)c.Flush();
+  check();
+  const obs::MetricsSnapshot snap = reg.Collect();
+  EXPECT_EQ(snap.Value("collector_reorder_buffer_depth"), 0);
+  EXPECT_GT(snap.Value("collector_duplicate_total"), 0);
+  EXPECT_EQ(snap.Value("collector_malformed_total"), 1);
+  EXPECT_EQ(snap.Value("collector_late_total"), 1);
 }
 
 TEST(CollectorTest, DuplicatesAllowedWhenSuppressionOff) {

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Verify collector reconciliation invariants on a metrics snapshot.
+
+Usage: check_metrics.py SNAPSHOT.json EXPECTED_INGESTED
+
+Reads the JSON snapshot written by `sldigest --metrics-out` and checks
+the collector accounting identities documented in DESIGN.md section 9:
+
+  accepted == released + buffered          (no record vanishes)
+  accepted + late + malformed + duplicates == EXPECTED_INGESTED
+
+EXPECTED_INGESTED is the number of records offered to the collector
+(for `sldigest stream` runs, the archive size).  Exits non-zero with a
+diagnostic on any violation.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    expected = int(sys.argv[2])
+
+    with open(path, encoding="utf-8") as f:
+        snapshot = json.load(f)
+
+    totals: dict[str, int] = {}
+    for series in snapshot["series"]:
+        if series["type"] == "histogram":
+            continue
+        totals[series["name"]] = totals.get(series["name"], 0) + series["value"]
+
+    def get(name: str) -> int:
+        return totals.get(name, 0)
+
+    accepted = get("collector_accepted_total")
+    released = get("collector_released_total")
+    buffered = get("collector_reorder_buffer_depth")
+    late = get("collector_late_total")
+    malformed = get("collector_malformed_total")
+    duplicates = get("collector_duplicate_total")
+
+    failures = []
+    if accepted != released + buffered:
+        failures.append(
+            f"accepted ({accepted}) != released ({released}) "
+            f"+ buffered ({buffered})"
+        )
+    ingested = accepted + late + malformed + duplicates
+    if ingested != expected:
+        failures.append(
+            f"accepted ({accepted}) + late ({late}) + malformed ({malformed})"
+            f" + duplicates ({duplicates}) = {ingested}, expected {expected}"
+        )
+    if accepted == 0:
+        failures.append("accepted is 0 -- metrics were not wired through")
+
+    if failures:
+        for f in failures:
+            print(f"RECONCILE FAIL: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"reconciled: accepted={accepted} released={released} "
+        f"buffered={buffered} late={late} malformed={malformed} "
+        f"duplicates={duplicates}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

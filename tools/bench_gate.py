@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Threshold gate for bench_match smoke runs.
+
+Usage: bench_gate.py FRESH.json BASELINE.json [--max-regress PCT]
+
+Compares a freshly produced BENCH_match.json against the committed
+baseline and fails (exit 1) when:
+
+  - cached_msgs_per_sec regressed by more than --max-regress percent
+    (default 20), or
+  - allocs_per_message is non-zero (the steady-state hot path must stay
+    allocation-free).
+
+Hosted runners are noisy, hence the generous default margin: the gate
+catches "someone put an allocation or a lock back on the hot path"
+regressions, not single-digit jitter.  Improvements always pass.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-regress", type=float, default=20.0,
+                        help="max allowed regression in percent")
+    args = parser.parse_args()
+
+    with open(args.fresh, encoding="utf-8") as f:
+        fresh = json.load(f)
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    base_rate = float(baseline["cached_msgs_per_sec"])
+    fresh_rate = float(fresh["cached_msgs_per_sec"])
+    floor = base_rate * (1.0 - args.max_regress / 100.0)
+    delta_pct = (fresh_rate - base_rate) / base_rate * 100.0
+    print(f"cached_msgs_per_sec: fresh={fresh_rate:.3e} "
+          f"baseline={base_rate:.3e} ({delta_pct:+.1f}%)")
+    if fresh_rate < floor:
+        failures.append(
+            f"cached_msgs_per_sec {fresh_rate:.3e} is more than "
+            f"{args.max_regress:.0f}% below baseline {base_rate:.3e}"
+        )
+
+    allocs = float(fresh.get("allocs_per_message", 0.0))
+    print(f"allocs_per_message: {allocs}")
+    if allocs > 0.0:
+        failures.append(
+            f"allocs_per_message is {allocs}; the steady-state match path "
+            "must stay allocation-free"
+        )
+
+    if failures:
+        for msg in failures:
+            print(f"BENCH GATE FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

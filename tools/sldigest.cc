@@ -19,6 +19,7 @@
 //       Dumps the learned domain knowledge in human-readable form.
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -31,6 +32,7 @@
 #include "core/stream.h"
 #include "flags.h"
 #include "net/config_parser.h"
+#include "obs/registry.h"
 #include "pipeline/pipeline.h"
 #include "sim/generator.h"
 #include "syslog/archive.h"
@@ -61,6 +63,46 @@ std::vector<net::ParsedConfig> LoadConfigs(const std::string& dir) {
   }
   return parsed;
 }
+
+// Shared --metrics-out handling: when the flag is set, snapshots of `reg`
+// are written to PATH (JSON) and PATH.prom (Prometheus text).  Periodic()
+// rewrites them at most once per `interval_s` of wall clock; Final()
+// always writes.
+class MetricsWriter {
+ public:
+  MetricsWriter(Flags& flags, obs::Registry* reg)
+      : reg_(reg),
+        path_(flags.Get("metrics-out")),
+        interval_s_(flags.GetInt("metrics-interval-s", 10)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Periodic() {
+    if (!enabled()) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (wrote_once_ &&
+        now - last_write_ < std::chrono::seconds(interval_s_)) {
+      return;
+    }
+    Final();
+    last_write_ = now;
+    wrote_once_ = true;
+  }
+
+  void Final() {
+    if (!enabled()) return;
+    if (!obs::WriteSnapshotFiles(reg_->Collect(), path_)) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  obs::Registry* reg_;
+  std::string path_;
+  long interval_s_;
+  bool wrote_once_ = false;
+  std::chrono::steady_clock::time_point last_write_;
+};
 
 int CmdGen(Flags& flags) {
   const std::string dataset = flags.Get("dataset", "A");
@@ -146,17 +188,22 @@ int CmdDigest(Flags& flags) {
     return 1;
   }
   const long threads = flags.GetInt("threads", 1);
+  obs::Registry metrics;
+  MetricsWriter metrics_out(flags, &metrics);
   core::DigestResult result;
   if (threads > 1) {
     pipeline::PipelineOptions opts;
     opts.shards = static_cast<std::size_t>(threads);
+    opts.metrics = metrics_out.enabled() ? &metrics : nullptr;
     pipeline::ShardedPipeline p(&kb, &dict, opts);
     for (const auto& rec : records) p.Push(rec);
     result = p.Finish();
   } else {
     core::Digester digester(&kb, &dict);
+    if (metrics_out.enabled()) digester.BindMetrics(&metrics);
     result = digester.Digest(records);
   }
+  metrics_out.Final();
   if (flags.Has("report")) {
     std::fputs(core::RenderReport(result, dict).c_str(), stdout);
   } else {
@@ -191,7 +238,12 @@ bool LoadOnlineState(Flags& flags, core::LocationDict& dict,
   return true;
 }
 
-// Streaming mode over an archive file: events print the moment they close.
+// Streaming mode over an archive file: events print the moment they
+// close.  Records route through a Collector first — the same
+// reorder/dedup/loss-accounting front the live UDP mode uses — so the
+// run is a faithful end-to-end simulation and the collector_* metrics
+// reconcile: accepted = released + buffered, and ingested
+// (accepted + late + malformed + duplicates) equals the archive size.
 int CmdStream(Flags& flags) {
   core::LocationDict dict;
   core::KnowledgeBase kb;
@@ -207,31 +259,52 @@ int CmdStream(Flags& flags) {
   const TimeMs idle_close =
       flags.GetInt("idle-close-s", 1800) * kMsPerSecond;
   const long threads = flags.GetInt("threads", 1);
+
+  obs::Registry metrics;
+  MetricsWriter metrics_out(flags, &metrics);
+  const bool want_metrics = metrics_out.enabled() || flags.Has("stats");
+  syslog::Collector collector(flags.GetInt("hold-ms", 5000));
+  if (want_metrics) collector.BindMetrics(&metrics);
+
   std::size_t events = 0;
   if (threads > 1) {
     pipeline::PipelineOptions opts;
     opts.shards = static_cast<std::size_t>(threads);
     opts.idle_close_ms = idle_close;
+    opts.metrics = want_metrics ? &metrics : nullptr;
     pipeline::ShardedPipeline p(&kb, &dict, opts);
     p.SetEventSink([&events](core::DigestEvent ev) {
       std::printf("%s\n", ev.Format().c_str());
       ++events;
     });
-    for (const auto& rec : records) p.Push(rec);
+    for (const auto& rec : records) {
+      collector.IngestRecord(rec);
+      for (auto& released : collector.Drain()) p.Push(released);
+      metrics_out.Periodic();
+    }
+    for (auto& released : collector.Flush()) p.Push(released);
     p.Finish();
   } else {
     core::StreamingDigester digester(&kb, &dict, core::DigestOptions{},
                                      idle_close);
-    for (const auto& rec : records) {
-      for (const auto& ev : digester.Push(rec)) {
+    if (want_metrics) digester.BindMetrics(&metrics);
+    const auto emit = [&events](const std::vector<core::DigestEvent>& evs) {
+      for (const auto& ev : evs) {
         std::printf("%s\n", ev.Format().c_str());
         ++events;
       }
+    };
+    for (const auto& rec : records) {
+      collector.IngestRecord(rec);
+      for (auto& released : collector.Drain()) emit(digester.Push(released));
+      metrics_out.Periodic();
     }
-    for (const auto& ev : digester.Flush()) {
-      std::printf("%s\n", ev.Format().c_str());
-      ++events;
-    }
+    for (auto& released : collector.Flush()) emit(digester.Push(released));
+    emit(digester.Flush());
+  }
+  metrics_out.Final();
+  if (flags.Has("stats")) {
+    std::fputs(metrics.Collect().RenderPrometheus().c_str(), stderr);
   }
   std::fprintf(stderr, "%zu records -> %zu events\n", records.size(),
                events);
@@ -253,12 +326,18 @@ int CmdServe(Flags& flags) {
     return 1;
   }
   std::fprintf(stderr, "listening on 127.0.0.1:%u\n", receiver->port());
+  obs::Registry metrics;
+  MetricsWriter metrics_out(flags, &metrics);
   syslog::Collector collector(
       flags.GetInt("hold-ms", 5000),
       static_cast<int>(flags.GetInt("year", 2009)));
   core::StreamingDigester digester(
       &kb, &dict, core::DigestOptions{},
       flags.GetInt("idle-close-s", 1800) * kMsPerSecond);
+  if (metrics_out.enabled()) {
+    collector.BindMetrics(&metrics);
+    digester.BindMetrics(&metrics);
+  }
   const long max_datagrams = flags.GetInt("max-datagrams", 0);
   // After traffic has been seen, an idle stretch of this many seconds
   // ends the server (0 = run forever); makes scripted runs robust to UDP
@@ -268,6 +347,7 @@ int CmdServe(Flags& flags) {
   long quiet_polls = 0;
   while (max_datagrams == 0 || seen < max_datagrams) {
     const auto datagram = receiver->Receive(1000);
+    metrics_out.Periodic();
     if (!datagram) {
       ++quiet_polls;
       if (idle_exit_s > 0 && seen > 0 && quiet_polls >= idle_exit_s) break;
@@ -287,6 +367,7 @@ int CmdServe(Flags& flags) {
   for (const auto& ev : digester.Flush()) {
     std::printf("%s\n", ev.Format().c_str());
   }
+  metrics_out.Final();
   std::fprintf(stderr,
                "done: %zu datagrams (%zu malformed)\n",
                collector.accepted_count() + collector.malformed_count(),
@@ -371,10 +452,14 @@ void Usage() {
       "  learn   --configs DIR --history FILE --kb FILE [--window-s N] "
       "[--sweep]\n"
       "  digest  --configs DIR --kb FILE --in FILE [--report] [--csv FILE] "
-      "[--top N] [--threads N]\n"
+      "[--top N] [--threads N] [--metrics-out FILE]\n"
       "  stream  --configs DIR --kb FILE --in FILE [--idle-close-s N] "
-      "[--threads N]\n"
-      "  serve   --configs DIR --kb FILE [--port N] [--max-datagrams N] [--idle-exit-s N]\n"
+      "[--threads N] [--hold-ms N]\n"
+      "          [--metrics-out FILE] [--metrics-interval-s N] [--stats]\n"
+      "  serve   --configs DIR --kb FILE [--port N] [--max-datagrams N] "
+      "[--idle-exit-s N] [--metrics-out FILE]\n"
+      "  (--metrics-out FILE writes a metrics snapshot as FILE (JSON) and "
+      "FILE.prom (Prometheus text))\n"
       "  replay  --in FILE [--host IP] [--port N]\n"
       "  inspect --kb FILE\n",
       stderr);
