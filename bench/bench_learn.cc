@@ -1,0 +1,257 @@
+// Offline learning throughput (§4.1): msgs/sec through the full
+// template/augment/temporal/rule learning pass, serial baseline vs the
+// thread-pool learner, with bit-identical knowledge-base verification at
+// every thread count.  Written to BENCH_learn.json.
+//
+// The baseline ("legacy") is the pre-parallelization OfflineLearner
+// reproduced verbatim on the public APIs: a straight serial loop per
+// phase, exactly as learn.cc read before the thread-pool refactor.  The
+// measured path is the real OfflineLearner at each sweep point; its
+// serialized KnowledgeBase must equal the legacy one bit for bit or the
+// bench exits non-zero.
+//
+//   bench_learn                         # defaults: 14 learn days, 3 reps
+//   bench_learn --learn-days 2 --reps 3 --sweep 1,4   # CI smoke
+//   bench_learn --json=FILE             # output path (default
+//                                       # BENCH_learn.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "obs/registry.h"
+
+using namespace sld;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// The pre-parallelization learner, frozen here as the speedup baseline
+// (same role the legacy matcher plays in bench_match).
+core::KnowledgeBase LegacyLearn(
+    std::span<const syslog::SyslogRecord> history,
+    const core::LocationDict& dict, const core::OfflineLearnerParams& p) {
+  core::KnowledgeBase kb;
+  kb.rule_params = p.rules;
+  kb.temporal_params = p.temporal;
+  kb.history_message_count = history.size();
+
+  core::TemplateLearner template_learner(p.templates);
+  for (const syslog::SyslogRecord& rec : history) {
+    template_learner.Add(rec.code, rec.detail);
+  }
+  kb.templates = template_learner.Learn();
+
+  core::Augmenter augmenter(&kb.templates, &dict);
+  const std::vector<core::Augmented> augmented =
+      augmenter.AugmentAll(history);
+
+  kb.temporal_priors = core::MineTemporalPriors(augmented, p.temporal.smax);
+  if (p.sweep_temporal) {
+    core::TemporalParams tuned = core::SelectTemporalParams(
+        augmented, kb.temporal_priors, p.alpha_grid, p.beta_grid);
+    tuned.smin = p.temporal.smin;
+    tuned.smax = p.temporal.smax;
+    kb.temporal_params = tuned;
+  }
+
+  if (!augmented.empty()) {
+    const TimeMs period =
+        static_cast<TimeMs>(p.update_period_days) * kMsPerDay;
+    const TimeMs t0 = augmented.front().time;
+    std::size_t begin = 0;
+    std::size_t prev_size = 0;
+    while (begin < augmented.size()) {
+      const TimeMs period_end =
+          t0 + ((augmented[begin].time - t0) / period + 1) * period;
+      std::size_t end = begin;
+      while (end < augmented.size() && augmented[end].time < period_end) {
+        ++end;
+      }
+      const bool sliver = end == augmented.size() && prev_size > 0 &&
+                          (end - begin) < prev_size / 10;
+      if (!sliver) {
+        const core::MiningStats stats = core::MineCooccurrence(
+            std::span<const core::Augmented>(augmented)
+                .subspan(begin, end - begin),
+            p.rules.window_ms);
+        kb.rules.Update(stats, p.rules);
+      }
+      prev_size = end - begin;
+      begin = end;
+    }
+  }
+
+  for (const core::Augmented& msg : augmented) {
+    ++kb.signature_freq[core::KnowledgeBase::FreqKey(msg.tmpl,
+                                                     msg.router_key)];
+  }
+  return kb;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+std::string JsonArray(const std::vector<double>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ", ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v[i]);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int learn_days = 14;
+  int reps = 3;
+  std::vector<int> sweep = {1, 2, 4, 8};
+  std::string json = "BENCH_learn.json";
+  bool sweep_temporal = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--learn-days") == 0 && i + 1 < argc) {
+      learn_days = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      sweep.clear();
+      for (const char* tok = std::strtok(argv[++i], ","); tok != nullptr;
+           tok = std::strtok(nullptr, ",")) {
+        sweep.push_back(std::atoi(tok));
+      }
+    } else if (std::strcmp(argv[i], "--no-temporal-sweep") == 0) {
+      sweep_temporal = false;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = argv[i] + 7;
+    }
+  }
+  if (learn_days < 1) learn_days = 1;
+  if (reps < 1) reps = 1;
+  if (sweep.empty()) sweep = {1, 4};
+
+  bench::Header("learn", "parallel offline learning",
+                "months of history learn in minutes; the knowledge base "
+                "is bit-identical at any thread count");
+
+  const sim::Dataset history =
+      sim::GenerateDataset(sim::DatasetASpec(), 0, learn_days,
+                           bench::kOfflineSeed);
+  const core::LocationDict dict = bench::BuildDict(history);
+  core::OfflineLearnerParams params;
+  params.rules = bench::PaperRuleParams(sim::DatasetASpec());
+  // The α/β grid sweep is part of the paper's offline procedure
+  // (Figs. 10-11) and the heaviest phase; keep it on by default so the
+  // bench exercises all four parallel phases.
+  params.sweep_temporal = sweep_temporal;
+  const double n = static_cast<double>(history.messages.size());
+  std::printf("history: %zu messages (%d days), temporal sweep %s\n",
+              history.messages.size(), learn_days,
+              sweep_temporal ? "on" : "off");
+
+  // Serial baseline: the pre-refactor learner, reproduced above.
+  std::vector<double> legacy_reps;
+  core::KnowledgeBase legacy_kb;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    legacy_kb = LegacyLearn(history.messages, dict, params);
+    legacy_reps.push_back(n / Seconds(start));
+  }
+  const double legacy_rate = Median(legacy_reps);
+  const std::string expected = legacy_kb.Serialize();
+  std::printf("legacy serial learner: %12.0f msgs/sec  (%zu templates, "
+              "%zu rules)\n",
+              legacy_rate, legacy_kb.templates.size(),
+              legacy_kb.rules.size());
+
+  struct SweepPoint {
+    int threads = 1;
+    double rate = 0;
+    std::vector<double> reps;
+    core::LearnTimings timings;
+  };
+  std::vector<SweepPoint> points;
+  bool identical = true;
+  obs::Registry metrics;
+  for (const int threads : sweep) {
+    SweepPoint point;
+    point.threads = threads;
+    core::OfflineLearnerParams p = params;
+    p.threads = threads;
+    core::OfflineLearner learner(p);
+    for (int r = 0; r < reps; ++r) {
+      // Registry cells sum at Collect time, so bind only the very last
+      // rep of the last sweep point — the snapshot then holds one clean
+      // set of phase gauges.
+      if (threads == sweep.back() && r == reps - 1) {
+        learner.BindMetrics(&metrics);
+      }
+      const auto start = std::chrono::steady_clock::now();
+      const core::KnowledgeBase kb =
+          learner.Learn(history.messages, dict, nullptr, &point.timings);
+      point.reps.push_back(n / Seconds(start));
+      if (kb.Serialize() != expected) {
+        identical = false;
+        std::fprintf(stderr,
+                     "FAIL: KB at %d threads differs from serial learner\n",
+                     threads);
+      }
+    }
+    point.rate = Median(point.reps);
+    points.push_back(std::move(point));
+    std::printf(
+        "pool learner x%-2d:      %12.0f msgs/sec  (%5.2fx)  "
+        "[tmpl %.2fs aug %.2fs priors %.2fs grid %.2fs rules %.2fs]\n",
+        threads, points.back().rate, points.back().rate / legacy_rate,
+        points.back().timings.templates_s, points.back().timings.augment_s,
+        points.back().timings.priors_s, points.back().timings.params_s,
+        points.back().timings.rules_s);
+  }
+
+  std::ofstream out(json);
+  out << "{\n  \"benchmark\": \"learn\",\n  \"dataset\": \"A\",\n"
+      << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"messages\": " << history.messages.size() << ",\n"
+      << "  \"learn_days\": " << learn_days << ",\n"
+      << "  \"temporal_sweep\": " << (sweep_temporal ? "true" : "false")
+      << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"serial_msgs_per_sec\": " << legacy_rate << ",\n"
+      << "  \"serial_reps\": " << JsonArray(legacy_reps) << ",\n"
+      << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    const core::LearnTimings& t = p.timings;
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %d, \"msgs_per_sec\": %.6g, "
+                  "\"speedup\": %.6g, \"reps\": %s,\n"
+                  "     \"phases\": {\"templates_s\": %.6g, \"augment_s\": "
+                  "%.6g, \"priors_s\": %.6g, \"params_s\": %.6g, "
+                  "\"rules_s\": %.6g, \"freq_s\": %.6g, \"total_s\": "
+                  "%.6g}}",
+                  p.threads, p.rate, p.rate / legacy_rate,
+                  JsonArray(p.reps).c_str(), t.templates_s, t.augment_s,
+                  t.priors_s, t.params_s, t.rules_s, t.freq_s, t.total_s);
+    out << buf << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"metrics\": " << metrics.Collect().RenderJson() << "}\n";
+  std::printf("wrote %s\n", json.c_str());
+  return identical ? 0 : 1;
+}

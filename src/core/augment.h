@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/interner.h"
+#include "common/thread_pool.h"
 #include "core/location/extractor.h"
 #include "core/templates/template.h"
 #include "syslog/record.h"
@@ -96,8 +97,16 @@ class Augmenter {
         resolver_(dict) {}
 
   Augmented Augment(const syslog::SyslogRecord& rec, std::size_t raw_index);
+
+  // Augments a whole (time-sorted) history.  With a pool, router keys
+  // are still resolved serially (their first-sight interning order is
+  // part of the output), then extraction + matching fan out over index
+  // chunks, and catch-all fallbacks are minted in a serial index-order
+  // pass — the result is identical to the serial loop at any thread
+  // count.
   std::vector<Augmented> AugmentAll(
-      std::span<const syslog::SyslogRecord> records);
+      std::span<const syslog::SyslogRecord> records,
+      ThreadPool* pool = nullptr);
 
   const LocationDict& dict() const noexcept { return *dict_; }
 

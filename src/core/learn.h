@@ -6,6 +6,17 @@
 // (and optional α/β grid search) -> periodic association-rule mining with
 // the adaptive add/conservative-delete update -> signature frequency
 // table.
+//
+// With `params.threads > 1` the expensive phases fan out over a
+// ThreadPool: template learning shards by (code, token-count), Syslog+
+// augmentation shards by index chunk, per-period co-occurrence mining
+// runs concurrently (rule-base updates still apply strictly in period
+// order — the adaptive add/conservative-delete policy is order
+// dependent), and the α/β grid sweeps points in parallel.  Every fan-out
+// gathers results in a fixed order, so the learned KnowledgeBase is
+// bit-identical to the serial learner at any thread count (the
+// learn_parallel tests enforce this the same way the pipeline
+// equivalence tests do).
 #pragma once
 
 #include <span>
@@ -14,6 +25,10 @@
 #include "core/digest.h"
 #include "core/knowledge.h"
 #include "core/templates/learner.h"
+
+namespace sld::obs {
+class Registry;
+}  // namespace sld::obs
 
 namespace sld::core {
 
@@ -29,6 +44,10 @@ struct OfflineLearnerParams {
   std::vector<double> beta_grid = {2, 3, 4, 5, 6, 7};
   // Rule-base update period (the paper updates weekly).
   int update_period_days = 7;
+  // Worker threads for the parallel phases.  1 = fully serial (no pool
+  // is created); 0 = one thread per hardware core.  Any value produces
+  // the same KnowledgeBase.
+  int threads = 1;
 };
 
 // Per-update-period rule base sizes, for the Figs. 8-9 evolution curves.
@@ -38,21 +57,43 @@ struct RuleEvolution {
   std::vector<std::size_t> deleted;
 };
 
+// Wall-clock phase breakdown of one Learn() call, for bench_learn and
+// the obs gauges.  Per-period mining durations are task-local (periods
+// overlap in wall time when mined concurrently).
+struct LearnTimings {
+  double templates_s = 0.0;  // TemplateLearner Add feed + Learn
+  double augment_s = 0.0;    // Syslog+ augmentation
+  double priors_s = 0.0;     // temporal prior mining
+  double params_s = 0.0;     // α/β grid sweep (0 when not sweeping)
+  double rules_s = 0.0;      // period mining + ordered rule-base updates
+  double freq_s = 0.0;       // signature frequency table
+  double total_s = 0.0;
+  // One entry per mined (non-sliver) period, in period order.
+  std::vector<double> rule_period_s;
+};
+
 class OfflineLearner {
  public:
   explicit OfflineLearner(OfflineLearnerParams params = {})
       : params_(params) {}
 
   // Learns a knowledge base from a time-sorted historical stream.
-  // `evolution`, when non-null, receives the weekly rule-base trajectory.
+  // `evolution`, when non-null, receives the weekly rule-base trajectory;
+  // `timings`, when non-null, receives the phase breakdown.
   KnowledgeBase Learn(std::span<const syslog::SyslogRecord> history,
                       const LocationDict& dict,
-                      RuleEvolution* evolution = nullptr) const;
+                      RuleEvolution* evolution = nullptr,
+                      LearnTimings* timings = nullptr) const;
+
+  // Publishes phase timings and learn counters as gauges on `registry`
+  // after each Learn() call (cold path; see DESIGN.md §10).
+  void BindMetrics(obs::Registry* registry) { metrics_ = registry; }
 
   const OfflineLearnerParams& params() const noexcept { return params_; }
 
  private:
   OfflineLearnerParams params_;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace sld::core

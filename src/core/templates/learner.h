@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/interner.h"
+#include "common/thread_pool.h"
 #include "core/templates/template.h"
 
 namespace sld::core {
@@ -46,8 +47,13 @@ class TemplateLearner {
   // Number of messages fed so far.
   std::size_t message_count() const noexcept { return message_count_; }
 
-  // Builds the template set from everything fed so far.
-  TemplateSet Learn() const;
+  // Builds the template set from everything fed so far.  The sub-type
+  // trees are independent per (code, token-count) shard, so a non-null
+  // pool learns shards concurrently; the shards are merged in the fixed
+  // (code ascending, token count ascending) order either way, so the
+  // resulting TemplateSet — ids included — is identical at any thread
+  // count.
+  TemplateSet Learn(ThreadPool* pool = nullptr) const;
 
  private:
   using TokenId = StringInterner::Id;
@@ -57,13 +63,18 @@ class TemplateLearner {
     std::vector<std::vector<TokenId>> messages;
   };
 
-  void LearnGroup(const std::string& code,
-                  const std::vector<const std::vector<TokenId>*>& msgs,
-                  TemplateSet& out) const;
-  void Split(const std::string& code,
-             const std::vector<const std::vector<TokenId>*>& msgs,
-             std::vector<TokenId>& shape, TemplateSet& out) const;
+  // Token sequences of the templates one shard emits, in DFS emission
+  // order (the order the pre-shard serial learner added them).
+  using ShardEmits = std::vector<std::vector<std::string>>;
+
+  void LearnGroup(const std::vector<const std::vector<TokenId>*>& msgs,
+                  ShardEmits& out) const;
+  void Split(const std::vector<const std::vector<TokenId>*>& msgs,
+             std::vector<TokenId>& shape, ShardEmits& out) const;
   bool IsLocationToken(TokenId id) const;
+  // Classifies every interned token up front so the parallel shards read
+  // location_cache_ without writing it.
+  void FillLocationCache() const;
 
   TemplateLearnerParams params_;
   StringInterner interner_;

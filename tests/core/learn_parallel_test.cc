@@ -1,0 +1,218 @@
+// Serial/parallel equivalence of the offline learner: the KnowledgeBase
+// produced with a thread pool must be bit-identical to the serial one at
+// any thread count — templates, temporal priors, tuned α/β, association
+// rules, and signature frequencies all included.  Mirrors the sharded-
+// pipeline equivalence suite (pipeline_threads_test) for the offline side.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/learn.h"
+#include "net/config_parser.h"
+#include "obs/registry.h"
+#include "sim/generator.h"
+
+namespace sld::core {
+namespace {
+
+// Small α/β grids so the sweep phase runs (it is the heaviest parallel
+// phase) without dominating test time.
+OfflineLearnerParams SweepParams() {
+  OfflineLearnerParams params;
+  params.sweep_temporal = true;
+  params.alpha_grid = {0.05, 0.1, 0.2};
+  params.beta_grid = {3, 5};
+  return params;
+}
+
+// Canonical, order-independent view of a rule base.
+std::vector<std::tuple<TemplateId, TemplateId, double, double, bool>>
+CanonicalRules(const RuleBase& rules) {
+  std::vector<std::tuple<TemplateId, TemplateId, double, double, bool>> out;
+  for (const Rule& r : rules.All()) {
+    out.emplace_back(r.a, r.b, r.support, r.confidence, r.expert);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectIdentical(const KnowledgeBase& serial,
+                     const KnowledgeBase& parallel, int threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  // The headline invariant: the serialized knowledge bases are equal bit
+  // for bit.
+  EXPECT_EQ(serial.Serialize(), parallel.Serialize());
+  // And piecewise, so a divergence names the phase that caused it.
+  EXPECT_EQ(serial.templates.size(), parallel.templates.size());
+  EXPECT_EQ(serial.temporal_priors, parallel.temporal_priors);
+  EXPECT_EQ(serial.temporal_params.alpha, parallel.temporal_params.alpha);
+  EXPECT_EQ(serial.temporal_params.beta, parallel.temporal_params.beta);
+  EXPECT_EQ(CanonicalRules(serial.rules), CanonicalRules(parallel.rules));
+  EXPECT_EQ(serial.signature_freq, parallel.signature_freq);
+  EXPECT_EQ(serial.history_message_count, parallel.history_message_count);
+}
+
+TEST(LearnParallelTest, GeneratorStreamIdenticalAcrossThreadCounts) {
+  sim::DatasetSpec spec = sim::DatasetASpec();
+  spec.topo.num_routers = 10;
+  const sim::Dataset history = sim::GenerateDataset(spec, 0, 16, 401);
+  std::vector<net::ParsedConfig> parsed;
+  for (const std::string& cfg : history.configs) {
+    parsed.push_back(net::ParseConfig(cfg));
+  }
+  const LocationDict dict = LocationDict::Build(parsed);
+
+  OfflineLearnerParams params = SweepParams();
+  RuleEvolution serial_evo;
+  const KnowledgeBase serial =
+      OfflineLearner(params).Learn(history.messages, dict, &serial_evo);
+  ASSERT_GT(serial.templates.size(), 0u);
+  ASSERT_GT(serial.rules.size(), 0u);
+  // 16 learn days at a 7-day update period: multiple mined periods plus
+  // a trailing partial one, so the period-order merge is exercised.
+  ASSERT_GE(serial_evo.total.size(), 2u);
+
+  for (const int threads : {4, 16}) {
+    params.threads = threads;
+    RuleEvolution evo;
+    LearnTimings timings;
+    const KnowledgeBase parallel =
+        OfflineLearner(params).Learn(history.messages, dict, &evo, &timings);
+    ExpectIdentical(serial, parallel, threads);
+    EXPECT_EQ(serial_evo.total, evo.total);
+    EXPECT_EQ(serial_evo.added, evo.added);
+    EXPECT_EQ(serial_evo.deleted, evo.deleted);
+    EXPECT_GT(timings.total_s, 0.0);
+    EXPECT_GT(timings.templates_s, 0.0);
+    EXPECT_GT(timings.params_s, 0.0);  // sweep was on
+    EXPECT_EQ(timings.rule_period_s.size(), evo.total.size());
+  }
+}
+
+// Hand-built pathological history: empty update periods (a gap longer
+// than the period), a trailing sliver (a final period under a tenth of
+// the previous one), and routers the config dictionary has never heard
+// of.  The period bookkeeping and the serial fallback-minting fixup must
+// still be order-identical under a pool.
+TEST(LearnParallelTest, EdgeCaseHistoryIdenticalAcrossThreadCounts) {
+  std::vector<syslog::SyslogRecord> history;
+  const auto add = [&](TimeMs t, std::string router, std::string code,
+                       std::string detail) {
+    syslog::SyslogRecord rec;
+    rec.time = t;
+    rec.router = std::move(router);
+    rec.code = std::move(code);
+    rec.detail = std::move(detail);
+    history.push_back(std::move(rec));
+  };
+
+  // Period 0 (days 0-7): a dense burst across known and unknown routers.
+  for (int i = 0; i < 200; ++i) {
+    const TimeMs t = static_cast<TimeMs>(i) * kMsPerSecond * 30;
+    add(t, i % 3 == 0 ? "ghost-router" : "r" + std::to_string(i % 4),
+        "LINK-3-UPDOWN",
+        "Interface Serial" + std::to_string(i % 7) + "/0, changed state to " +
+            (i % 2 ? "up" : "down"));
+    if (i % 5 == 0) {
+      add(t + 500, "r" + std::to_string(i % 4), "OSPF-5-ADJCHG",
+          "Process 1, Nbr 10.0.0." + std::to_string(i % 9) +
+              " on Serial0/0 from FULL to DOWN");
+    }
+  }
+  // Periods 1-2 are empty: a 3-week silence.  Period 3 resumes.
+  const TimeMs resume = 22 * kMsPerDay;
+  for (int i = 0; i < 100; ++i) {
+    add(resume + static_cast<TimeMs>(i) * kMsPerSecond * 60,
+        "r" + std::to_string(i % 4), "ENVMON-2-FAN",
+        "Fan " + std::to_string(i % 3) + " failure detected");
+  }
+  // Trailing sliver: 3 messages in the next period (< 100/10).
+  const TimeMs tail = 29 * kMsPerDay;
+  for (int i = 0; i < 3; ++i) {
+    add(tail + static_cast<TimeMs>(i) * kMsPerSecond, "unknown-tail",
+        "SYS-5-CONFIG_I", "Configured from console by admin");
+  }
+
+  // A dictionary built from configs that know r0..r3 but none of the
+  // ghost routers in the stream.
+  sim::DatasetSpec spec = sim::DatasetASpec();
+  spec.topo.num_routers = 4;
+  const sim::Dataset ds = sim::GenerateDataset(spec, 0, 1, 402);
+  std::vector<net::ParsedConfig> parsed;
+  for (const std::string& cfg : ds.configs) {
+    parsed.push_back(net::ParseConfig(cfg));
+  }
+  const LocationDict dict = LocationDict::Build(parsed);
+
+  OfflineLearnerParams params = SweepParams();
+  params.rules.min_support = 0.001;
+  RuleEvolution serial_evo;
+  const KnowledgeBase serial =
+      OfflineLearner(params).Learn(history, dict, &serial_evo);
+  ASSERT_GT(serial.templates.size(), 0u);
+
+  for (const int threads : {4, 16}) {
+    params.threads = threads;
+    RuleEvolution evo;
+    const KnowledgeBase parallel =
+        OfflineLearner(params).Learn(history, dict, &evo);
+    ExpectIdentical(serial, parallel, threads);
+    EXPECT_EQ(serial_evo.total, evo.total);
+  }
+}
+
+TEST(LearnParallelTest, EmptyHistoryAtAnyThreadCount) {
+  const LocationDict dict;
+  for (const int threads : {1, 4}) {
+    OfflineLearnerParams params;
+    params.threads = threads;
+    LearnTimings timings;
+    const KnowledgeBase kb = OfflineLearner(params).Learn(
+        std::span<const syslog::SyslogRecord>{}, dict, nullptr, &timings);
+    EXPECT_EQ(kb.templates.size(), 0u);
+    EXPECT_EQ(kb.rules.size(), 0u);
+    EXPECT_EQ(kb.history_message_count, 0u);
+    EXPECT_TRUE(timings.rule_period_s.empty());
+  }
+}
+
+TEST(LearnParallelTest, PublishesPhaseGaugesWhenBound) {
+  sim::DatasetSpec spec = sim::DatasetASpec();
+  spec.topo.num_routers = 4;
+  const sim::Dataset history = sim::GenerateDataset(spec, 0, 2, 403);
+  std::vector<net::ParsedConfig> parsed;
+  for (const std::string& cfg : history.configs) {
+    parsed.push_back(net::ParseConfig(cfg));
+  }
+  const LocationDict dict = LocationDict::Build(parsed);
+
+  OfflineLearnerParams params;
+  params.threads = 2;
+  OfflineLearner learner(params);
+  obs::Registry registry;
+  learner.BindMetrics(&registry);
+  const KnowledgeBase kb = learner.Learn(history.messages, dict);
+  ASSERT_GT(kb.templates.size(), 0u);
+
+  const std::string json = registry.Collect().RenderJson();
+  for (const char* phase :
+       {"templates", "augment", "priors", "rules", "freq", "total"}) {
+    EXPECT_NE(json.find("\"name\":\"learn_phase_duration_us\",\"type\":"
+                        "\"gauge\",\"labels\":{\"phase\":\"" +
+                        std::string(phase) + "\"}"),
+              std::string::npos)
+        << "missing phase gauge: " << phase;
+  }
+  EXPECT_NE(json.find("\"learn_templates\""), std::string::npos);
+  EXPECT_NE(json.find("\"learn_rules\""), std::string::npos);
+  EXPECT_NE(json.find("\"learn_threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"learn_history_messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"learn_rule_period_duration_us\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sld::core

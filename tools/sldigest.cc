@@ -6,9 +6,10 @@
 //       config file per router under DIR.
 //
 //   sldigest learn   --configs DIR --history msgs.log --kb kb.txt
-//                    [--window-s 120] [--sweep]
+//                    [--window-s 120] [--sweep] [--learn-threads N]
 //       Offline learning: templates, temporal patterns, rules, and
-//       signature frequencies, written as a knowledge-base file.
+//       signature frequencies, written as a knowledge-base file.  The
+//       learned KB is identical at any --learn-threads value.
 //
 //   sldigest digest  --configs DIR --kb kb.txt --in live.log
 //                    [--report] [--csv out.csv] [--top N]
@@ -150,8 +151,16 @@ int CmdLearn(Flags& flags) {
   core::OfflineLearnerParams params;
   params.rules.window_ms = flags.GetInt("window-s", 120) * kMsPerSecond;
   params.sweep_temporal = flags.Has("sweep");
+  // 1 = serial; 0 = one thread per core.  Any value learns the same KB.
+  params.threads = static_cast<int>(flags.GetInt("learn-threads", 1));
   core::OfflineLearner learner(params);
-  const core::KnowledgeBase kb = learner.Learn(records, dict);
+  obs::Registry metrics;
+  MetricsWriter metrics_out(flags, &metrics);
+  if (metrics_out.enabled()) learner.BindMetrics(&metrics);
+  core::LearnTimings timings;
+  const core::KnowledgeBase kb =
+      learner.Learn(records, dict, nullptr, &timings);
+  metrics_out.Final();
   std::ofstream out(kb_path);
   out << kb.Serialize();
   if (!out) {
@@ -160,9 +169,10 @@ int CmdLearn(Flags& flags) {
   }
   std::printf(
       "learned from %zu messages (%zu malformed skipped): %zu templates, "
-      "%zu rules, alpha=%g beta=%g -> %s\n",
+      "%zu rules, alpha=%g beta=%g in %.2fs -> %s\n",
       records.size(), malformed, kb.templates.size(), kb.rules.size(),
-      kb.temporal_params.alpha, kb.temporal_params.beta, kb_path.c_str());
+      kb.temporal_params.alpha, kb.temporal_params.beta, timings.total_s,
+      kb_path.c_str());
   return 0;
 }
 
@@ -451,6 +461,8 @@ void Usage() {
       "--configs DIR\n"
       "  learn   --configs DIR --history FILE --kb FILE [--window-s N] "
       "[--sweep]\n"
+      "          [--learn-threads N] [--metrics-out FILE]  (N=0: one thread "
+      "per core; same KB at any N)\n"
       "  digest  --configs DIR --kb FILE --in FILE [--report] [--csv FILE] "
       "[--top N] [--threads N] [--metrics-out FILE]\n"
       "  stream  --configs DIR --kb FILE --in FILE [--idle-close-s N] "
