@@ -59,6 +59,12 @@ int LearnThreadsFromEnv() {
   return std::atoi(env);
 }
 
+int IngestThreadsFromEnv() {
+  const char* env = std::getenv("SLD_INGEST_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::atoi(env);
+}
+
 core::RuleMinerParams PaperRuleParams(const sim::DatasetSpec& spec) {
   core::RuleMinerParams params;
   params.window_ms = (spec.name == "A" ? 120 : 40) * kMsPerSecond;

@@ -40,6 +40,11 @@ core::RuleMinerParams PaperRuleParams(const sim::DatasetSpec& spec);
 // identical at any value, only fixture build time changes.
 int LearnThreadsFromEnv();
 
+// Archive-ingest threads for fixture building: $SLD_INGEST_THREADS
+// (default 1, 0 = one per core).  Same convention as above; the parsed
+// records are identical at any value.
+int IngestThreadsFromEnv();
+
 // Generates `learn_days` of history starting at day 0 and `online_days`
 // starting right after, learns the knowledge base, and returns everything.
 // `online_days` may be 0 when a bench only needs the offline side.

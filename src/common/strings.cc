@@ -79,6 +79,16 @@ std::string_view Trim(std::string_view text) noexcept {
   return text.substr(begin, end - begin);
 }
 
+std::string_view TrimLeft(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  while (begin < text.size() &&
+         (IsSpace(text[begin]) || text[begin] == '\r' ||
+          text[begin] == '\n')) {
+    ++begin;
+  }
+  return text.substr(begin);
+}
+
 std::optional<std::int64_t> ParseInt(std::string_view text) noexcept {
   if (text.empty() || text.size() > 18) return std::nullopt;
   std::int64_t value = 0;

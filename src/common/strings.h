@@ -34,6 +34,10 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 // Removes leading and trailing whitespace (space/tab/CR/LF).
 std::string_view Trim(std::string_view text) noexcept;
 
+// Removes leading whitespace only (space/tab/CR/LF).  For text that is
+// already right-trimmed, this is the cheap half of Trim.
+std::string_view TrimLeft(std::string_view text) noexcept;
+
 // Parses a non-negative decimal integer occupying the whole view.
 std::optional<std::int64_t> ParseInt(std::string_view text) noexcept;
 

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstring>
 
 namespace sld {
 namespace {
@@ -121,6 +122,42 @@ std::optional<TimeMs> ParseTimestamp(std::string_view text) noexcept {
   }
   if (ct.hour > 23 || ct.minute > 59 || ct.second > 59) return std::nullopt;
   return ToTimeMs(ct);
+}
+
+std::optional<TimeMs> ParseTimestampFast(std::string_view text,
+                                         TimestampMemo& memo) noexcept {
+  if (text.size() != 19 && text.size() != 23) return std::nullopt;
+  TimeMs base;
+  if (memo.valid &&
+      std::memcmp(text.data(), memo.date.data(), memo.date.size()) == 0) {
+    base = memo.day_base;
+  } else {
+    int year, month, day;
+    if (!ParseFixedInt(text, 0, 4, year) || text[4] != '-' ||
+        !ParseFixedInt(text, 5, 2, month) || text[7] != '-' ||
+        !ParseFixedInt(text, 8, 2, day)) {
+      return std::nullopt;
+    }
+    if (month < 1 || month > 12) return std::nullopt;
+    if (day < 1 || day > DaysInMonth(year, month)) return std::nullopt;
+    base = DaysFromCivil(year, month, day) * kMsPerDay;
+    std::memcpy(memo.date.data(), text.data(), memo.date.size());
+    memo.day_base = base;
+    memo.valid = true;
+  }
+  int hour, minute, second, millisecond = 0;
+  if (text[10] != ' ' || !ParseFixedInt(text, 11, 2, hour) ||
+      text[13] != ':' || !ParseFixedInt(text, 14, 2, minute) ||
+      text[16] != ':' || !ParseFixedInt(text, 17, 2, second)) {
+    return std::nullopt;
+  }
+  if (text.size() == 23 &&
+      (text[19] != '.' || !ParseFixedInt(text, 20, 3, millisecond))) {
+    return std::nullopt;
+  }
+  if (hour > 23 || minute > 59 || second > 59) return std::nullopt;
+  return base + hour * kMsPerHour + minute * kMsPerMinute +
+         second * kMsPerSecond + millisecond;
 }
 
 }  // namespace sld

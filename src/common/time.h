@@ -8,6 +8,7 @@
 // so the library has no dependency on the host timezone database.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -57,6 +58,26 @@ std::string FormatTimestampMs(TimeMs t);
 // Parses "YYYY-MM-DD HH:MM:SS" with an optional ".mmm" suffix.
 // Returns nullopt on any syntactic or range violation.
 std::optional<TimeMs> ParseTimestamp(std::string_view text) noexcept;
+
+// Memo for ParseTimestampFast: caches the last successfully validated
+// "YYYY-MM-DD" prefix and its midnight on the millisecond axis.  Only
+// validated dates enter the memo, so a 10-byte prefix match is proof the
+// date part is well-formed and in range.
+struct TimestampMemo {
+  std::array<char, 10> date{};
+  TimeMs day_base = 0;
+  bool valid = false;
+};
+
+// ParseTimestamp with a cached calendar date: when `text` carries the
+// same "YYYY-MM-DD" prefix as the memo, only the "HH:MM:SS[.mmm]" tail
+// is parsed (digits-only; no civil-date math).  Syslog timestamps are
+// near-monotonic, so in archive scans this hits on all but ~1 line per
+// day.  Accepts and rejects exactly the same inputs as ParseTimestamp
+// and returns the same value for every accepted input, regardless of
+// the memo's prior state.
+std::optional<TimeMs> ParseTimestampFast(std::string_view text,
+                                         TimestampMemo& memo) noexcept;
 
 // True when the given year is a Gregorian leap year.
 bool IsLeapYear(int year) noexcept;

@@ -8,8 +8,22 @@ namespace sld::syslog {
 
 void WriteArchive(std::ostream& out,
                   std::span<const SyslogRecord> records) {
+  // One reused line buffer, flushed to the stream in large writes — the
+  // old per-record `out << FormatRecord(rec)` paid a string allocation
+  // and an operator<< round trip for every ~70-byte line.
+  static constexpr std::size_t kFlushBytes = 1u << 18;
+  std::string buffer;
+  buffer.reserve(kFlushBytes + 512);
   for (const SyslogRecord& rec : records) {
-    out << FormatRecord(rec) << '\n';
+    AppendRecord(rec, buffer);
+    buffer += '\n';
+    if (buffer.size() >= kFlushBytes) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   }
 }
 

@@ -1,0 +1,235 @@
+#include "syslog/ingest.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "obs/registry.h"
+
+namespace sld::syslog {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// A read-only mapping of a whole file.  When mmap cannot serve (not a
+// regular file, exotic filesystem), `fallback` holds the bytes instead.
+class FileBytes {
+ public:
+  FileBytes() = default;
+  FileBytes(const FileBytes&) = delete;
+  FileBytes& operator=(const FileBytes&) = delete;
+  ~FileBytes() {
+    if (mapped_ != nullptr) ::munmap(mapped_, mapped_size_);
+  }
+
+  bool Open(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+        if (st.st_size == 0) {
+          ::close(fd);
+          data_ = std::string_view();
+          return true;
+        }
+        void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+        if (p != MAP_FAILED) {
+          ::close(fd);
+          mapped_ = p;
+          mapped_size_ = static_cast<std::size_t>(st.st_size);
+          ::madvise(mapped_, mapped_size_, MADV_SEQUENTIAL);
+          data_ = std::string_view(static_cast<const char*>(mapped_),
+                                   mapped_size_);
+          return true;
+        }
+      }
+      ::close(fd);
+    }
+    // Fallback: plain buffered read (also the path for whatever open()
+    // variant the mmap attempt rejected but ifstream can still serve).
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    fallback_.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    data_ = fallback_;
+    return true;
+  }
+
+  std::string_view data() const { return data_; }
+
+ private:
+  void* mapped_ = nullptr;
+  std::size_t mapped_size_ = 0;
+  std::string fallback_;
+  std::string_view data_;
+};
+
+// Block boundaries: multiples of `block_bytes` snapped forward past the
+// next '\n'.  A deliberate function of (data, block_bytes) alone so the
+// same file splits identically at every thread count.
+std::vector<std::pair<std::size_t, std::size_t>> SplitBlocks(
+    std::string_view data, std::size_t block_bytes) {
+  if (block_bytes == 0) block_bytes = 4u << 20;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  blocks.reserve(data.size() / block_bytes + 1);
+  std::size_t begin = 0;
+  while (begin < data.size()) {
+    std::size_t end = begin + block_bytes;
+    if (end >= data.size()) {
+      end = data.size();
+    } else {
+      const void* nl =
+          std::memchr(data.data() + end, '\n', data.size() - end);
+      end = nl != nullptr ? static_cast<std::size_t>(
+                                static_cast<const char*>(nl) - data.data()) +
+                                1
+                          : data.size();
+    }
+    blocks.emplace_back(begin, end);
+    begin = end;
+  }
+  return blocks;
+}
+
+// Parses one block (which starts at a line start and ends after a
+// newline or at EOF).  Line semantics replicate serial ReadArchive
+// exactly: the raw line (newline excluded, '\r' kept) is skipped when
+// empty or '#'-led, otherwise parsed and counted malformed on failure.
+void ParseBlock(std::string_view block, std::vector<SyslogRecord>& out,
+                std::size_t& malformed, TimestampMemo& memo) {
+  // Typical archive lines run ~70-100 bytes, so size/64 over-reserves
+  // slightly and the common case never reallocates.
+  out.reserve(block.size() / 64 + 1);
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    const void* nl =
+        std::memchr(block.data() + pos, '\n', block.size() - pos);
+    const std::size_t end =
+        nl != nullptr
+            ? static_cast<std::size_t>(static_cast<const char*>(nl) -
+                                       block.data())
+            : block.size();
+    const std::string_view line = block.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line.front() == '#') continue;
+    SyslogRecord rec;
+    if (ParseRecordInto(line, rec, &memo)) {
+      out.push_back(std::move(rec));
+    } else {
+      ++malformed;
+    }
+  }
+}
+
+void PublishMetrics(obs::Registry* reg, const IngestStats& stats) {
+  if (reg == nullptr) return;
+  reg->AddCounter("ingest_bytes_total", "Archive bytes ingested")
+      ->Inc(stats.bytes);
+  reg->AddCounter("ingest_records_total", "Archive records parsed")
+      ->Inc(stats.records);
+  reg->AddCounter("ingest_malformed_total",
+                  "Malformed archive lines skipped")
+      ->Inc(stats.malformed);
+  reg->AddCounter("ingest_blocks_total", "Archive blocks parsed")
+      ->Inc(stats.blocks);
+  reg->AddGauge("ingest_threads", "Parse workers of the last ingest")
+      ->Set(stats.threads);
+  const auto phase_us = [&](const char* phase, double seconds) {
+    reg->AddCounter("ingest_phase_duration_us",
+                    "Ingest wall clock by phase", {{"phase", phase}})
+        ->Inc(static_cast<std::uint64_t>(seconds * 1e6));
+  };
+  phase_us("read", stats.read_s);
+  phase_us("parse", stats.parse_s);
+  phase_us("assemble", stats.assemble_s);
+}
+
+}  // namespace
+
+std::vector<SyslogRecord> ParseArchive(std::string_view data,
+                                       const IngestOptions& options,
+                                       IngestStats* stats) {
+  IngestStats local;
+  local.bytes = data.size();
+
+  const auto parse_start = std::chrono::steady_clock::now();
+  const auto blocks = SplitBlocks(data, options.block_bytes);
+  local.blocks = blocks.size();
+
+  ThreadPool pool(options.threads);
+  local.threads = static_cast<int>(pool.thread_count());
+  std::vector<std::vector<SyslogRecord>> parsed(blocks.size());
+  std::vector<std::size_t> bad(blocks.size(), 0);
+  std::vector<TimestampMemo> memos(pool.thread_count());
+  pool.ParallelFor(
+      blocks.size(),
+      [&](std::size_t i, std::size_t worker) {
+        ParseBlock(data.substr(blocks[i].first,
+                               blocks[i].second - blocks[i].first),
+                   parsed[i], bad[i], memos[worker]);
+      },
+      /*chunk=*/1);  // blocks are coarse; claim one at a time for balance
+  local.parse_s = Seconds(parse_start);
+
+  // Gather in strict block (= file) order.
+  const auto assemble_start = std::chrono::steady_clock::now();
+  for (const std::size_t n : bad) local.malformed += n;
+  std::vector<SyslogRecord> records;
+  if (parsed.size() == 1) {
+    records = std::move(parsed.front());
+  } else {
+    std::size_t total = 0;
+    for (const auto& chunk : parsed) total += chunk.size();
+    records.reserve(total);
+    for (auto& chunk : parsed) {
+      for (SyslogRecord& rec : chunk) records.push_back(std::move(rec));
+      chunk.clear();
+      chunk.shrink_to_fit();
+    }
+  }
+  local.records = records.size();
+  local.assemble_s = Seconds(assemble_start);
+
+  PublishMetrics(options.metrics, local);
+  if (stats != nullptr) *stats = local;
+  return records;
+}
+
+std::vector<SyslogRecord> ReadArchiveFileParallel(
+    const std::string& path, const IngestOptions& options,
+    IngestStats* stats, bool* ok) {
+  const auto read_start = std::chrono::steady_clock::now();
+  FileBytes file;
+  if (!file.Open(path)) {
+    if (ok != nullptr) *ok = false;
+    if (stats != nullptr) *stats = IngestStats{};
+    return {};
+  }
+  if (ok != nullptr) *ok = true;
+  const double read_s = Seconds(read_start);
+  IngestStats local;
+  auto records = ParseArchive(file.data(), options, &local);
+  local.read_s = read_s;
+  if (options.metrics != nullptr) {
+    options.metrics
+        ->AddCounter("ingest_phase_duration_us",
+                     "Ingest wall clock by phase", {{"phase", "read"}})
+        ->Inc(static_cast<std::uint64_t>(read_s * 1e6));
+  }
+  if (stats != nullptr) *stats = local;
+  return records;
+}
+
+}  // namespace sld::syslog

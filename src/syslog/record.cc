@@ -6,38 +6,59 @@
 
 namespace sld::syslog {
 
-std::string FormatRecord(const SyslogRecord& rec) {
-  std::string out = FormatTimestamp(rec.time);
+void AppendRecord(const SyslogRecord& rec, std::string& out) {
+  const CivilTime ct = ToCivil(rec.time);
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%04d-%02d-%02d %02d:%02d:%02d", ct.year,
+                ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  out += ts;
   out += ' ';
   out += rec.router;
   out += ' ';
   out += rec.code;
   out += ' ';
   out += rec.detail;
+}
+
+std::string FormatRecord(const SyslogRecord& rec) {
+  std::string out;
+  AppendRecord(rec, out);
   return out;
 }
 
-std::optional<SyslogRecord> ParseRecordLine(std::string_view line) {
+bool ParseRecordInto(std::string_view line, SyslogRecord& rec,
+                     TimestampMemo* memo) {
   line = Trim(line);
   // Timestamp occupies the first 19 characters ("YYYY-MM-DD HH:MM:SS").
-  if (line.size() < 21) return std::nullopt;
-  const auto time = ParseTimestamp(line.substr(0, 19));
-  if (!time) return std::nullopt;
-  std::string_view rest = Trim(line.substr(19));
+  if (line.size() < 21) return false;
+  const std::string_view ts = line.substr(0, 19);
+  const std::optional<TimeMs> time =
+      memo != nullptr ? ParseTimestampFast(ts, *memo) : ParseTimestamp(ts);
+  if (!time) return false;
+  // `line` is right-trimmed already, so each later field only needs its
+  // leading whitespace skipped — and the tail can never be all spaces,
+  // which is why the code-emptiness check below still suffices.
+  std::string_view rest = TrimLeft(line.substr(19));
   const std::size_t router_end = rest.find(' ');
-  if (router_end == std::string_view::npos) return std::nullopt;
-  SyslogRecord rec;
+  if (router_end == std::string_view::npos) return false;
   rec.time = *time;
-  rec.router = std::string(rest.substr(0, router_end));
-  rest = Trim(rest.substr(router_end));
+  rec.router.assign(rest.data(), router_end);
+  rest = TrimLeft(rest.substr(router_end));
   const std::size_t code_end = rest.find(' ');
   if (code_end == std::string_view::npos) {
-    rec.code = std::string(rest);
+    rec.code.assign(rest.data(), rest.size());
+    rec.detail.clear();
   } else {
-    rec.code = std::string(rest.substr(0, code_end));
-    rec.detail = std::string(Trim(rest.substr(code_end)));
+    rec.code.assign(rest.data(), code_end);
+    const std::string_view detail = TrimLeft(rest.substr(code_end));
+    rec.detail.assign(detail.data(), detail.size());
   }
-  if (rec.code.empty()) return std::nullopt;
+  return !rec.code.empty();
+}
+
+std::optional<SyslogRecord> ParseRecordLine(std::string_view line) {
+  SyslogRecord rec;
+  if (!ParseRecordInto(line, rec)) return std::nullopt;
   return rec;
 }
 

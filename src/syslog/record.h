@@ -30,8 +30,22 @@ struct SyslogRecord {
 // Renders the canonical single-line form.
 std::string FormatRecord(const SyslogRecord& rec);
 
+// Appends the canonical single-line form to `out` (no trailing newline).
+// Same rendering as FormatRecord without the per-record temporary —
+// WriteArchive reuses one buffer across millions of records.
+void AppendRecord(const SyslogRecord& rec, std::string& out);
+
 // Parses the canonical single-line form; nullopt on malformed input.
 std::optional<SyslogRecord> ParseRecordLine(std::string_view line);
+
+// Span fast path behind ParseRecordLine: parses `line` directly into
+// `rec` (reusing its field capacity; no intermediate copies) and returns
+// false on malformed input, leaving `rec` unspecified.  When `memo` is
+// non-null the timestamp's calendar date is memoized across calls via
+// ParseTimestampFast.  Accepts exactly the lines ParseRecordLine accepts
+// and produces the same record for each.
+bool ParseRecordInto(std::string_view line, SyslogRecord& rec,
+                     TimestampMemo* memo = nullptr);
 
 // Vendor-assigned severity extracted from the error code.
 // V1 codes carry a digit between dashes ("LINK-3-UPDOWN" -> 3); V2 codes

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
+
 namespace sld {
 namespace {
 
@@ -95,6 +99,94 @@ INSTANTIATE_TEST_SUITE_P(
     SweepsThirtyYears, TimeRoundTrip,
     ::testing::Range<std::int64_t>(0, 30LL * 365 * 86400,
                                    37LL * 86400 + 12345));
+
+// ParseTimestampFast must accept/reject exactly what ParseTimestamp
+// does and return the same value, whatever the memo held before.
+void ExpectFastMatchesSlow(std::string_view text, TimestampMemo& memo) {
+  const auto slow = ParseTimestamp(text);
+  const auto fast = ParseTimestampFast(text, memo);
+  ASSERT_EQ(fast.has_value(), slow.has_value()) << "input: " << text;
+  if (slow.has_value()) {
+    EXPECT_EQ(*fast, *slow) << "input: " << text;
+  }
+}
+
+TEST(TimestampFastTest, ExhaustiveDaySweepWithWarmMemo) {
+  // Every day of a leap and a non-leap year, in order (the memo stays
+  // warm within a day, exactly the archive access pattern).
+  TimestampMemo memo;
+  for (const int year : {2008, 2009}) {
+    for (int month = 1; month <= 12; ++month) {
+      for (int day = 1; day <= DaysInMonth(year, month); ++day) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d 11:22:33", year,
+                      month, day);
+        ExpectFastMatchesSlow(buf, memo);
+        std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d 23:59:59.999",
+                      year, month, day);
+        ExpectFastMatchesSlow(buf, memo);
+      }
+    }
+  }
+}
+
+TEST(TimestampFastTest, MonthAndDayBounds) {
+  TimestampMemo memo;
+  const char* cases[] = {
+      "2008-02-29 00:00:00",  // leap day: valid
+      "2009-02-29 00:00:00",  // not a leap year
+      "2100-02-29 00:00:00",  // century non-leap
+      "2000-02-29 00:00:00",  // 400-year leap: valid
+      "2009-00-10 00:00:00", "2009-13-01 00:00:00",
+      "2009-01-00 00:00:00", "2009-01-32 00:00:00",
+      "2009-04-31 00:00:00", "2009-12-31 23:59:59",
+      "2009-06-15 24:00:00", "2009-06-15 23:60:00",
+      "2009-06-15 23:59:60",
+  };
+  for (const char* text : cases) ExpectFastMatchesSlow(text, memo);
+}
+
+TEST(TimestampFastTest, SyntaxAndMillisForms) {
+  TimestampMemo memo;
+  const char* cases[] = {
+      "2009-06-15 12:00:00.000", "2009-06-15 12:00:00.999",
+      "2009-06-15 12:00:00.5",    // wrong length
+      "2009-06-15 12:00:00,500",  // wrong separator
+      "2009-06-15 12:00:00.a00", "2009/06/15 12:00:00",
+      "2009-06-15T12:00:00",     "2009-06-15 12.00.00",
+      "2009-06-1 12:00:00",      "garbage",
+      "",                        "2009-06-15 12:00:0x",
+      "x009-06-15 12:00:00",
+  };
+  for (const char* text : cases) ExpectFastMatchesSlow(text, memo);
+}
+
+TEST(TimestampFastTest, MemoCannotLeakAcrossDates) {
+  TimestampMemo memo;
+  // Seed the memo with a valid date, then present inputs that share a
+  // 10-char prefix shape but differ somewhere in the date: every one
+  // must be re-validated from scratch.
+  ExpectFastMatchesSlow("2008-02-28 10:00:00", memo);
+  ExpectFastMatchesSlow("2008-02-29 10:00:00", memo);  // differs in day
+  ExpectFastMatchesSlow("2008-02-30 10:00:00", memo);  // invalid day
+  ExpectFastMatchesSlow("2008-02-29 10:00:01", memo);  // memo hit again
+  ExpectFastMatchesSlow("2009-02-28 10:00:00", memo);  // differs in year
+  // A memo hit must still reject a bad time-of-day tail.
+  ExpectFastMatchesSlow("2009-02-28 25:00:00", memo);
+  ExpectFastMatchesSlow("2009-02-28 10:00:00.bad", memo);
+}
+
+TEST(TimestampFastTest, RoundTripSweepMatchesSlow) {
+  TimestampMemo memo;
+  for (std::int64_t s = 0; s < 30LL * 365 * 86400;
+       s += 37LL * 86400 + 12345) {
+    const TimeMs t = s * kMsPerSecond;
+    const std::string text = FormatTimestamp(t);
+    const auto fast = ParseTimestampFast(text, memo);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_EQ(*fast, t);
+  }
+}
 
 TEST(TimeTest, DaysFromCivilInverse) {
   for (std::int64_t d = -100000; d <= 100000; d += 733) {

@@ -50,6 +50,45 @@ TEST(ArchiveTest, SkipsCommentsBlanksAndGarbage) {
   EXPECT_EQ(malformed, 2u);
 }
 
+TEST(ArchiveTest, AppendRecordMatchesFormatRecord) {
+  for (const auto& rec : Sample()) {
+    std::string appended = "prefix|";
+    AppendRecord(rec, appended);
+    EXPECT_EQ(appended, "prefix|" + FormatRecord(rec));
+  }
+  // Empty detail keeps the trailing-space rendering FormatRecord had.
+  SyslogRecord bare;
+  bare.time = ToTimeMs(CivilTime{2009, 9, 1, 0, 0, 0, 0});
+  bare.router = "r1";
+  bare.code = "A-1-B";
+  std::string out;
+  AppendRecord(bare, out);
+  EXPECT_EQ(out, FormatRecord(bare));
+  EXPECT_EQ(out.back(), ' ');
+}
+
+TEST(ArchiveTest, LargeWriteCrossesFlushBoundary) {
+  // Enough records to cross WriteArchive's internal flush threshold, so
+  // the buffered multi-write path round-trips too.
+  std::vector<SyslogRecord> records;
+  for (int i = 0; i < 5000; ++i) {
+    SyslogRecord rec;
+    rec.time = ToTimeMs(CivilTime{2009, 9, 1 + i / 5000, 0, 0, i % 60, 0});
+    rec.router = "router-" + std::to_string(i % 97);
+    rec.code = "LINK-3-UPDOWN";
+    rec.detail = "Interface Serial" + std::to_string(i) +
+                 "/0/0, changed state to down (padding padding padding)";
+    records.push_back(std::move(rec));
+  }
+  std::stringstream buffer;
+  WriteArchive(buffer, records);
+  std::size_t malformed = 99;
+  const auto restored = ReadArchive(buffer, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_EQ(restored.size(), records.size());
+  EXPECT_TRUE(restored == records);
+}
+
 TEST(ArchiveTest, FileRoundTrip) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "sld_archive_test.log")

@@ -157,5 +157,43 @@ TEST(RecordTest, VendorSeverityIsNotOperationalImportance) {
             VendorSeverity("LINK-3-UPDOWN"));
 }
 
+TEST(RecordTest, ParseRecordIntoReusesRecordWithoutLeakingFields) {
+  SyslogRecord rec;
+  TimestampMemo memo;
+  ASSERT_TRUE(ParseRecordInto(
+      "2009-09-01 00:00:01 r1 LINK-3-UPDOWN long detail text", rec, &memo));
+  EXPECT_EQ(rec.detail, "long detail text");
+  // A detail-less line parsed into the same record must clear the stale
+  // detail, not keep the previous parse's.
+  ASSERT_TRUE(ParseRecordInto("2009-09-01 00:00:02 r2 OSPF-5-ADJCHG", rec,
+                              &memo));
+  EXPECT_EQ(rec.router, "r2");
+  EXPECT_EQ(rec.code, "OSPF-5-ADJCHG");
+  EXPECT_TRUE(rec.detail.empty());
+}
+
+TEST(RecordTest, ParseRecordIntoMatchesParseRecordLine) {
+  const char* lines[] = {
+      "2009-09-01 00:00:01 r1 LINK-3-UPDOWN Interface down",
+      "  2009-09-01 00:00:01   r1   LINK-3-UPDOWN   spaced out  ",
+      "2009-09-01 00:00:01 r1 CODE-ONLY",
+      "2009-09-01 00:00:01.250 r1 A-1-B millis are not archive form",
+      "2009-13-01 00:00:01 r1 A-1-B bad month",
+      "2009-09-01 00:00:01 router-without-code",
+      "short",
+      "",
+  };
+  TimestampMemo memo;
+  for (const char* line : lines) {
+    const auto viaLine = ParseRecordLine(line);
+    SyslogRecord rec;
+    const bool ok = ParseRecordInto(line, rec, &memo);
+    ASSERT_EQ(ok, viaLine.has_value()) << "line: " << line;
+    if (viaLine.has_value()) {
+      EXPECT_EQ(rec, *viaLine) << "line: " << line;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sld::syslog

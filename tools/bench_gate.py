@@ -18,6 +18,15 @@ Dispatches on the "benchmark" field of FRESH.json:
                 When the fresh run reports cpus == 1 the speedup
                 assertion is skipped: a single-core container cannot
                 show parallel speedup by construction.
+  ingest      - "identical" must be true (the block reader's records
+                equal the serial reader's), extra_allocs_per_msg must
+                stay ~0, the threads=1 rate must not regress by more
+                than the noise margin, the threads=1 speedup over the
+                in-bench legacy istream reader must reach --min-speedup
+                (a same-process relative measure, asserted on any
+                host), and -- on multi-core hosts only -- the sweep
+                point at --speedup-threads must scale >= 2x over
+                threads=1.
 
 Noise model: when a metric carries a per-rep array ("reps",
 "serial_reps"), the compared statistic is the median of the reps, and
@@ -144,10 +153,58 @@ def gate_learn(gate, fresh, baseline, args):
                   f"{cpus}-cpu host")
 
 
+def gate_ingest(gate, fresh, baseline, args):
+    if not fresh.get("identical", False):
+        gate.fail("ingest bench reports identical=false: the block reader's "
+                  "records diverged from the serial reader")
+    extra = float(fresh.get("extra_allocs_per_msg", 0.0))
+    print(f"extra_allocs_per_msg: {extra}")
+    if extra > 0.01:
+        gate.fail(f"extra_allocs_per_msg is {extra}; the steady-state parse "
+                  "must allocate only the records' own string fields")
+
+    fresh_base = sweep_entry(fresh, 1)
+    baseline_base = sweep_entry(baseline, 1)
+    if fresh_base is None or baseline_base is None:
+        gate.fail("ingest sweep has no threads=1 entry to compare")
+        return
+    gate.check_rate("ingest_msgs_per_sec[threads=1]",
+                    reps_of(fresh_base, "msgs_per_sec", "reps"),
+                    reps_of(baseline_base, "msgs_per_sec", "reps"))
+
+    # Single-thread speedup over the in-bench legacy istream reader: both
+    # sides run in the same process on the same bytes, so this holds on
+    # any host, single-core included.
+    speedup = float(fresh_base.get("speedup", 0.0))
+    print(f"ingest speedup vs legacy reader at 1 thread: {speedup:.2f}x "
+          f"(need >= {args.min_speedup:.2f}x)")
+    if speedup < args.min_speedup:
+        gate.fail(f"ingest speedup {speedup:.2f}x over the legacy istream "
+                  f"reader is below the {args.min_speedup:.2f}x floor")
+
+    cpus = int(fresh.get("cpus", 0))
+    if cpus <= 1:
+        print(f"scaling assertion skipped: fresh run reports cpus={cpus} "
+              "(single-core host cannot show parallel speedup)")
+        return
+    entry = sweep_entry(fresh, args.speedup_threads)
+    if entry is None:
+        gate.fail(f"ingest sweep has no threads={args.speedup_threads} "
+                  "entry for the scaling assertion")
+        return
+    scaling = float(entry.get("scaling", 0.0))
+    print(f"ingest scaling at {args.speedup_threads} threads: "
+          f"{scaling:.2f}x over threads=1 (cpus={cpus}, need >= 2.00x)")
+    if scaling < 2.0:
+        gate.fail(f"ingest scaling {scaling:.2f}x at {args.speedup_threads} "
+                  f"threads is below the 2.00x floor on a {cpus}-cpu host")
+
+
 GATES = {
     "match": gate_match,
     "throughput": gate_throughput,
     "learn": gate_learn,
+    "ingest": gate_ingest,
 }
 
 
@@ -159,10 +216,11 @@ def main() -> int:
                         help="base allowed regression in percent (widened "
                              "by the per-rep noise model when reps exist)")
     parser.add_argument("--min-speedup", type=float, default=1.5,
-                        help="learn only: required parallel speedup on "
-                             "multi-core hosts")
+                        help="learn: required parallel speedup on multi-core "
+                             "hosts; ingest: required 1-thread speedup over "
+                             "the legacy reader")
     parser.add_argument("--speedup-threads", type=int, default=4,
-                        help="learn only: sweep point the speedup "
+                        help="learn/ingest: sweep point the speedup/scaling "
                              "assertion reads")
     args = parser.parse_args()
 

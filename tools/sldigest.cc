@@ -38,6 +38,7 @@
 #include "sim/generator.h"
 #include "syslog/archive.h"
 #include "syslog/collector.h"
+#include "syslog/ingest.h"
 #include "syslog/udp.h"
 
 namespace {
@@ -105,6 +106,31 @@ class MetricsWriter {
   std::chrono::steady_clock::time_point last_write_;
 };
 
+// Shared archive ingest for every record-consuming mode: the parallel
+// block reader behind --ingest-threads (0 = one per core; any value
+// yields bit-identical records), ingest_* metrics when a registry is
+// given, and a stderr warning when malformed lines were skipped — bad
+// input is no longer silently dropped.
+std::vector<syslog::SyslogRecord> ReadRecordsCli(
+    Flags& flags, const std::string& path, obs::Registry* metrics,
+    bool& ok, std::size_t* malformed_out = nullptr) {
+  syslog::IngestOptions opts;
+  opts.threads = static_cast<int>(flags.GetInt("ingest-threads", 1));
+  opts.metrics = metrics;
+  syslog::IngestStats stats;
+  auto records = syslog::ReadArchiveFileParallel(path, opts, &stats, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return records;
+  }
+  if (stats.malformed > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed line(s) in %s\n",
+                 stats.malformed, path.c_str());
+  }
+  if (malformed_out != nullptr) *malformed_out = stats.malformed;
+  return records;
+}
+
 int CmdGen(Flags& flags) {
   const std::string dataset = flags.Get("dataset", "A");
   const std::string out = flags.Require("out");
@@ -140,22 +166,20 @@ int CmdLearn(Flags& flags) {
   if (!flags.ok()) return 2;
   const core::LocationDict dict = core::LocationDict::Build(
       LoadConfigs(configs));
+  obs::Registry metrics;
+  MetricsWriter metrics_out(flags, &metrics);
   std::size_t malformed = 0;
   bool ok = true;
-  const auto records =
-      syslog::ReadArchiveFile(history, &malformed, &ok);
-  if (!ok) {
-    std::fprintf(stderr, "cannot read %s\n", history.c_str());
-    return 1;
-  }
+  const auto records = ReadRecordsCli(
+      flags, history, metrics_out.enabled() ? &metrics : nullptr, ok,
+      &malformed);
+  if (!ok) return 1;
   core::OfflineLearnerParams params;
   params.rules.window_ms = flags.GetInt("window-s", 120) * kMsPerSecond;
   params.sweep_temporal = flags.Has("sweep");
   // 1 = serial; 0 = one thread per core.  Any value learns the same KB.
   params.threads = static_cast<int>(flags.GetInt("learn-threads", 1));
   core::OfflineLearner learner(params);
-  obs::Registry metrics;
-  MetricsWriter metrics_out(flags, &metrics);
   if (metrics_out.enabled()) learner.BindMetrics(&metrics);
   core::LearnTimings timings;
   const core::KnowledgeBase kb =
@@ -191,15 +215,13 @@ int CmdDigest(Flags& flags) {
     return 1;
   }
   core::KnowledgeBase kb = core::KnowledgeBase::Deserialize(kb_text.str());
-  bool ok = true;
-  const auto records = syslog::ReadArchiveFile(in_path, nullptr, &ok);
-  if (!ok) {
-    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
-    return 1;
-  }
-  const long threads = flags.GetInt("threads", 1);
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
+  bool ok = true;
+  const auto records = ReadRecordsCli(
+      flags, in_path, metrics_out.enabled() ? &metrics : nullptr, ok);
+  if (!ok) return 1;
+  const long threads = flags.GetInt("threads", 1);
   core::DigestResult result;
   if (threads > 1) {
     pipeline::PipelineOptions opts;
@@ -260,19 +282,17 @@ int CmdStream(Flags& flags) {
   if (!LoadOnlineState(flags, dict, kb)) return 2;
   const std::string in_path = flags.Require("in");
   if (!flags.ok()) return 2;
+  obs::Registry metrics;
+  MetricsWriter metrics_out(flags, &metrics);
+  const bool want_metrics = metrics_out.enabled() || flags.Has("stats");
   bool ok = true;
-  const auto records = syslog::ReadArchiveFile(in_path, nullptr, &ok);
-  if (!ok) {
-    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
-    return 1;
-  }
+  const auto records = ReadRecordsCli(
+      flags, in_path, want_metrics ? &metrics : nullptr, ok);
+  if (!ok) return 1;
   const TimeMs idle_close =
       flags.GetInt("idle-close-s", 1800) * kMsPerSecond;
   const long threads = flags.GetInt("threads", 1);
 
-  obs::Registry metrics;
-  MetricsWriter metrics_out(flags, &metrics);
-  const bool want_metrics = metrics_out.enabled() || flags.Has("stats");
   syslog::Collector collector(flags.GetInt("hold-ms", 5000));
   if (want_metrics) collector.BindMetrics(&metrics);
 
@@ -399,11 +419,8 @@ int CmdReplay(Flags& flags) {
     return 1;
   }
   bool ok = true;
-  const auto records = syslog::ReadArchiveFile(in_path, nullptr, &ok);
-  if (!ok) {
-    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
-    return 1;
-  }
+  const auto records = ReadRecordsCli(flags, in_path, nullptr, ok);
+  if (!ok) return 1;
   // Pace the replay so the receiver's socket buffer keeps up (UDP has no
   // flow control); default ~20k datagrams/s.
   const long pace_us = flags.GetInt("pace-us", 50);
@@ -472,6 +489,9 @@ void Usage() {
       "[--idle-exit-s N] [--metrics-out FILE]\n"
       "  (--metrics-out FILE writes a metrics snapshot as FILE (JSON) and "
       "FILE.prom (Prometheus text))\n"
+      "  (learn/digest/stream/replay: --ingest-threads N reads archives "
+      "with N parse workers;\n"
+      "   N=0: one per core; records are identical at any N)\n"
       "  replay  --in FILE [--host IP] [--port N]\n"
       "  inspect --kb FILE\n",
       stderr);
