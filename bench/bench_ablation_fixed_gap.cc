@@ -77,8 +77,9 @@ Outcome Ewma(std::span<const core::Augmented> stream,
   return tracker.Finish();
 }
 
-void Run(const sim::DatasetSpec& spec) {
-  bench::Pipeline p = bench::BuildPipeline(spec, 14, 0);
+// Runs one dataset; appends a JSON object for it to `js` when non-null.
+void Run(const sim::DatasetSpec& spec, int learn_days, std::ostream* js) {
+  bench::Pipeline p = bench::BuildPipeline(spec, learn_days, 0);
   const auto augmented = bench::Augment(p.kb, p.dict, p.history);
   const core::TemporalPriors priors = core::MineTemporalPriors(augmented);
 
@@ -86,11 +87,22 @@ void Run(const sim::DatasetSpec& spec) {
               augmented.size());
   std::printf("  %-22s %-10s %-12s %s\n", "grouping", "groups", "ratio",
               "mean group span");
+  if (js != nullptr) {
+    *js << "    {\"dataset\": \"" << spec.name
+        << "\", \"messages\": " << augmented.size() << ", \"rows\": [\n";
+  }
+  bool first = true;
   const auto row = [&](const char* name, const Outcome& o) {
     std::printf("  %-22s %-10zu %-12.3e %.1f min\n", name, o.groups,
                 static_cast<double>(o.groups) /
                     static_cast<double>(augmented.size()),
                 o.mean_span_minutes);
+    if (js != nullptr) {
+      *js << (first ? "" : ",\n") << "      {\"grouping\": \"" << name
+          << "\", \"groups\": " << o.groups
+          << ", \"mean_span_min\": " << o.mean_span_minutes << "}";
+      first = false;
+    }
   };
   for (const int gap_s : {30, 120, 600, 1800, 10800}) {
     char name[32];
@@ -100,15 +112,30 @@ void Run(const sim::DatasetSpec& spec) {
   core::TemporalParams params;  // paper defaults
   params.alpha = spec.name == "A" ? 0.05 : 0.075;
   row("EWMA (paper)", Ewma(augmented, params, priors));
+  if (js != nullptr) *js << "\n    ]}";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::AblationArgs args =
+      bench::ParseAblationArgs(argc, argv, /*learn_days=*/14,
+                               /*live_days=*/0);
   bench::Header("ablation", "EWMA temporal grouping vs fixed gap cutoffs",
                 "only an S_max-scale cutoff matches the EWMA's compression, "
                 "and it pays with far longer (over-merged) groups");
-  Run(sim::DatasetASpec());
-  Run(sim::DatasetBSpec());
+  std::ofstream js;
+  if (!args.json.empty()) {
+    js = bench::OpenAblationJson(args.json, "fixed_gap", args);
+    js << "  \"datasets\": [\n";
+  }
+  std::ostream* out = args.json.empty() ? nullptr : &js;
+  Run(sim::DatasetASpec(), args.learn_days, out);
+  if (out != nullptr) *out << ",\n";
+  Run(sim::DatasetBSpec(), args.learn_days, out);
+  if (out != nullptr) {
+    *out << "\n  ]\n}\n";
+    std::printf("wrote %s\n", args.json.c_str());
+  }
   return 0;
 }

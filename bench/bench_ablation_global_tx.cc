@@ -25,8 +25,8 @@ core::MiningStats MineGlobal(std::span<const core::Augmented> stream,
   return core::MineCooccurrence(merged, window_ms);
 }
 
-void Run(const sim::DatasetSpec& spec) {
-  bench::Pipeline p = bench::BuildPipeline(spec, 28, 0);
+void Run(const sim::DatasetSpec& spec, int learn_days, std::ostream* js) {
+  bench::Pipeline p = bench::BuildPipeline(spec, learn_days, 0);
   const auto augmented = bench::Augment(p.kb, p.dict, p.history);
   const core::RuleMinerParams params = bench::PaperRuleParams(spec);
 
@@ -54,15 +54,35 @@ void Run(const sim::DatasetSpec& spec) {
       "(%zu spurious cross-router additions, %zu real rules lost to "
       "interleaving dilution)\n",
       spec.name.c_str(), per_router.size(), global.size(), extra, lost);
+  if (js != nullptr) {
+    *js << "    {\"dataset\": \"" << spec.name
+        << "\", \"per_router_rules\": " << per_router.size()
+        << ", \"global_rules\": " << global.size()
+        << ", \"spurious\": " << extra << ", \"lost\": " << lost << "}";
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::AblationArgs args =
+      bench::ParseAblationArgs(argc, argv, /*learn_days=*/28,
+                               /*live_days=*/0);
   bench::Header("ablation", "rule mining scope: per-router vs global windows",
                 "global windows admit spurious rules between unrelated "
                 "routers and dilute real ones");
-  Run(sim::DatasetASpec());
-  Run(sim::DatasetBSpec());
+  std::ofstream js;
+  if (!args.json.empty()) {
+    js = bench::OpenAblationJson(args.json, "global_tx", args);
+    js << "  \"datasets\": [\n";
+  }
+  std::ostream* out = args.json.empty() ? nullptr : &js;
+  Run(sim::DatasetASpec(), args.learn_days, out);
+  if (out != nullptr) *out << ",\n";
+  Run(sim::DatasetBSpec(), args.learn_days, out);
+  if (out != nullptr) {
+    *out << "\n  ]\n}\n";
+    std::printf("wrote %s\n", args.json.c_str());
+  }
   return 0;
 }

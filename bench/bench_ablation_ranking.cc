@@ -62,12 +62,16 @@ double TicketPercentile(const std::vector<Ranked>& order,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::AblationArgs args =
+      bench::ParseAblationArgs(argc, argv, /*learn_days=*/28,
+                               /*live_days=*/14);
   bench::Header("ablation", "event ranking: paper score vs vendor severity",
                 "ranking by vendor severity buries ticketed incidents; the "
                 "paper's l_m/log(f_m) score keeps them near the top");
   const sim::DatasetSpec spec = sim::DatasetBSpec();
-  bench::Pipeline p = bench::BuildPipeline(spec, 28, 14);
+  bench::Pipeline p =
+      bench::BuildPipeline(spec, args.learn_days, args.live_days);
   core::Digester digester(&p.kb, &p.dict);
   const core::DigestResult result = digester.Digest(p.live.messages);
 
@@ -107,5 +111,14 @@ int main() {
   std::printf(severity_worst > score_worst
                   ? "vendor severity demotes real incidents, as §2 argues\n"
                   : "NOTE: severity ranking unexpectedly competitive here\n");
+  if (!args.json.empty()) {
+    std::ofstream js =
+        bench::OpenAblationJson(args.json, "ranking", args);
+    js << "  \"dataset\": \"" << spec.name
+       << "\",\n  \"events\": " << result.events.size()
+       << ",\n  \"score_worst_pct\": " << score_worst
+       << ",\n  \"severity_worst_pct\": " << severity_worst << "\n}\n";
+    std::printf("wrote %s\n", args.json.c_str());
+  }
   return 0;
 }

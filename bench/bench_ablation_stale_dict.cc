@@ -14,15 +14,25 @@
 
 using namespace sld;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::AblationArgs args =
+      bench::ParseAblationArgs(argc, argv, /*learn_days=*/28,
+                               /*live_days=*/7);
   bench::Header("ablation", "digest quality vs dictionary completeness",
                 "compression and event assembly degrade as the location "
                 "dictionary goes stale (missing routers)");
   const sim::DatasetSpec spec = sim::DatasetASpec();
-  bench::Pipeline p = bench::BuildPipeline(spec, 28, 7);
+  bench::Pipeline p =
+      bench::BuildPipeline(spec, args.learn_days, args.live_days);
 
+  std::ofstream js;
+  if (!args.json.empty()) {
+    js = bench::OpenAblationJson(args.json, "stale_dict", args);
+    js << "  \"dataset\": \"" << spec.name << "\",\n  \"rows\": [\n";
+  }
   std::printf("%-12s %-10s %-12s %-14s %s\n", "configs %", "events",
               "ratio", "fragmentation", "fully assembled");
+  bool first = true;
   for (const int percent : {100, 75, 50, 25, 0}) {
     // Dictionary from the first `percent` of router configs.
     std::vector<net::ParsedConfig> parsed;
@@ -44,6 +54,19 @@ int main() {
     std::printf("%-12d %-10zu %-12.3e %-14.2f %.1f%%\n", percent,
                 result.events.size(), result.CompressionRatio(),
                 q.mean_fragmentation, 100.0 * q.fully_assembled_fraction);
+    if (!args.json.empty()) {
+      js << (first ? "" : ",\n") << "    {\"configs_pct\": " << percent
+         << ", \"events\": " << result.events.size()
+         << ", \"compression_ratio\": " << result.CompressionRatio()
+         << ", \"mean_fragmentation\": " << q.mean_fragmentation
+         << ", \"fully_assembled_pct\": "
+         << 100.0 * q.fully_assembled_fraction << "}";
+      first = false;
+    }
+  }
+  if (!args.json.empty()) {
+    js << "\n  ]\n}\n";
+    std::printf("wrote %s\n", args.json.c_str());
   }
   return 0;
 }

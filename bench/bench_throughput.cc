@@ -24,6 +24,7 @@
 
 #include "common.h"
 #include "core/stream.h"
+#include "engine/engine.h"
 #include "obs/registry.h"
 #include "pipeline/pipeline.h"
 #include "syslog/wire.h"
@@ -85,6 +86,42 @@ double BestOf(const std::vector<double>& rates) {
   double best = 0;
   for (const double r : rates) best = std::max(best, r);
   return best;
+}
+
+// The same live day through engine::Engine's batch path; returns seconds.
+// The engine is the layer the CLI drives since the multi-tenant refactor,
+// so this run vs RunSharded is exactly "refactored driver vs direct
+// pipeline" — the abstraction must cost nothing.
+double RunEngine(Fixture& f, std::size_t threads) {
+  engine::EngineOptions opts;
+  opts.shards = threads;
+  engine::Engine eng(&f.p.kb, &f.p.dict, opts);
+  const auto start = std::chrono::steady_clock::now();
+  const core::DigestResult result = eng.Digest(f.p.live.messages);
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(result.events.size());
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+struct EngineCompare {
+  std::size_t threads = 1;
+  std::vector<double> reps;         // Engine::Digest msgs/sec
+  std::vector<double> driver_reps;  // direct ShardedPipeline msgs/sec
+};
+
+// Interleaves engine and direct-pipeline reps so slow drift (thermal,
+// noisy neighbours) hits both sides equally; bench_gate compares the
+// two rep lists against each other, not against a stored baseline.
+EngineCompare MeasureEngineCompare(Fixture& f, std::size_t threads,
+                                   int reps) {
+  EngineCompare cmp;
+  cmp.threads = threads;
+  const auto messages = static_cast<double>(f.p.live.messages.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    cmp.driver_reps.push_back(messages / RunSharded(f, threads));
+    cmp.reps.push_back(messages / RunEngine(f, threads));
+  }
+  return cmp;
 }
 
 void BM_DigestOneDay(benchmark::State& state) {
@@ -179,6 +216,7 @@ struct SweepPoint {
 
 void WriteSweepJson(const std::string& path, std::size_t messages,
                     int learn_days, const std::vector<SweepPoint>& sweep,
+                    const EngineCompare* engine,
                     const obs::MetricsSnapshot& metrics) {
   std::ofstream out(path);
   // cpus matters for reading the sweep: speedup is bounded by the cores
@@ -198,10 +236,26 @@ void WriteSweepJson(const std::string& path, std::size_t messages,
     }
     out << "]}" << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
+  out << "  ],\n";
+  // Engine-vs-driver rep pairs: the gate asserts the Engine path stays
+  // within noise of driving the ShardedPipeline directly.  A same-run
+  // relative measure, so it holds even on 1-CPU runners.
+  if (engine != nullptr) {
+    out << "  \"engine\": {\"threads\": " << engine->threads
+        << ", \"reps\": [";
+    for (std::size_t r = 0; r < engine->reps.size(); ++r) {
+      out << (r != 0 ? ", " : "") << engine->reps[r];
+    }
+    out << "], \"driver_reps\": [";
+    for (std::size_t r = 0; r < engine->driver_reps.size(); ++r) {
+      out << (r != 0 ? ", " : "") << engine->driver_reps[r];
+    }
+    out << "]},\n";
+  }
   // Pipeline-internals snapshot (DESIGN.md §9) from an instrumented run
   // at the highest shard count: queue depths, cache hit ratio, merge
   // backlog — context for interpreting a sweep regression.
-  out << "  ],\n  \"metrics\": " << metrics.RenderJson() << "}\n";
+  out << "  \"metrics\": " << metrics.RenderJson() << "}\n";
 }
 
 }  // namespace
@@ -252,7 +306,7 @@ int main(int argc, char** argv) {
     obs::Registry metrics;
     RunSharded(f, static_cast<std::size_t>(threads), &metrics);
     WriteSweepJson(json, f.p.live.messages.size(), g_learn_days,
-                   {{static_cast<std::size_t>(threads), rates}},
+                   {{static_cast<std::size_t>(threads), rates}}, nullptr,
                    metrics.Collect());
     return 0;
   }
@@ -274,9 +328,14 @@ int main(int argc, char** argv) {
     std::printf("sharded_pipeline threads=%zu msgs_per_sec=%.0f\n", n,
                 BestOf(sweep.back().reps));
   }
+  const EngineCompare engine =
+      MeasureEngineCompare(f, sweep.back().threads, reps);
+  std::printf("engine threads=%zu msgs_per_sec=%.0f (driver %.0f)\n",
+              engine.threads, BestOf(engine.reps),
+              BestOf(engine.driver_reps));
   obs::Registry metrics;
   RunSharded(f, sweep.back().threads, &metrics);
-  WriteSweepJson(json, f.p.live.messages.size(), g_learn_days, sweep,
+  WriteSweepJson(json, f.p.live.messages.size(), g_learn_days, sweep, &engine,
                  metrics.Collect());
   std::printf("wrote %s\n", json.c_str());
   return 0;

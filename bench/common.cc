@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <new>
 
 // Counting global operator new/delete: every bench binary links this TU
@@ -109,6 +111,41 @@ std::vector<core::Augmented> Augment(core::KnowledgeBase& kb,
                                      const sim::Dataset& ds) {
   core::Augmenter augmenter(&kb.templates, &dict);
   return augmenter.AugmentAll(ds.messages);
+}
+
+AblationArgs ParseAblationArgs(int argc, char** argv, int learn_days,
+                               int live_days) {
+  AblationArgs args;
+  args.learn_days = learn_days;
+  args.live_days = live_days;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--learn-days") == 0 && i + 1 < argc) {
+      args.learn_days = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--live-days") == 0 && i + 1 < argc) {
+      args.live_days = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.json = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: %s [--learn-days N] "
+                   "[--live-days N] [--json=FILE]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+  if (args.learn_days < 1) args.learn_days = 1;
+  if (args.live_days < 0) args.live_days = 0;
+  return args;
+}
+
+std::ofstream OpenAblationJson(const std::string& path, const char* name,
+                               const AblationArgs& args) {
+  std::ofstream out(path);
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\n  \"benchmark\": \"ablation\",\n  \"name\": \"" << name
+      << "\",\n  \"learn_days\": " << args.learn_days
+      << ",\n  \"live_days\": " << args.live_days << ",\n";
+  return out;
 }
 
 void Header(const char* id, const char* title, const char* paper_shape) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,32 @@ std::vector<core::Augmented> Augment(core::KnowledgeBase& kb,
 
 // Section header for bench output.
 void Header(const char* id, const char* title, const char* paper_shape);
+
+// Shared CLI surface for the ablation benches.  Every ablation binary is
+// deterministic (fixed seeds, no timing), so CI pins its numbers: the
+// bench runs with shrunken day counts and --json, and tools/bench_gate.py
+// deep-compares the emitted JSON against a committed baseline.
+//
+//   bench_ablation_* [--learn-days N] [--live-days N] [--json=FILE]
+//
+// Unknown arguments are fatal (exit 2) so a typo'd flag cannot silently
+// produce a baseline with default day counts.
+struct AblationArgs {
+  int learn_days = 0;
+  int live_days = 0;
+  std::string json;  // empty = stdout table only
+};
+AblationArgs ParseAblationArgs(int argc, char** argv, int learn_days,
+                               int live_days);
+
+// Opens `path` for the ablation JSON and writes the shared preamble:
+//   {"benchmark": "ablation", "name": NAME, "learn_days": N,
+//    "live_days": N,
+// The caller appends its result fields and the closing brace.  Streamed
+// doubles round-trip (max_digits10) so the gate's float tolerance only
+// has to absorb cross-libm jitter, not formatting loss.
+std::ofstream OpenAblationJson(const std::string& path, const char* name,
+                               const AblationArgs& args);
 
 // Process-wide heap-allocation counter.  Bench binaries link a counting
 // global operator new (defined in common.cc), so a hot loop can assert a

@@ -1,0 +1,180 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace sld::engine {
+
+std::vector<net::ParsedConfig> LoadConfigDir(const std::string& dir) {
+  std::vector<net::ParsedConfig> parsed;
+  std::vector<std::filesystem::path> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".cfg") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      parsed.push_back(net::ParseConfig(buffer.str()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "skipping %s: %s\n", path.c_str(), e.what());
+    }
+  }
+  return parsed;
+}
+
+Engine::Engine(core::KnowledgeBase* kb, const core::LocationDict* dict,
+               EngineOptions options)
+    : options_(std::move(options)),
+      kb_(kb),
+      dict_(dict),
+      collector_(options_.hold_ms, options_.year,
+                 options_.suppress_duplicates) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.metrics != nullptr) {
+    if (options_.tenant.empty()) {
+      reg_ = options_.metrics;
+    } else {
+      scope_ = options_.metrics->ScopedView({{"tenant", options_.tenant}});
+      reg_ = scope_.get();
+    }
+    collector_.BindMetrics(reg_);
+  }
+}
+
+Engine::~Engine() {
+  // Join pipeline threads even on an abandoned engine.
+  if (pipeline_ != nullptr && !finished_) pipeline_->Finish();
+}
+
+std::unique_ptr<Engine> Engine::Load(const std::string& configs_dir,
+                                     const std::string& kb_path,
+                                     EngineOptions options,
+                                     std::string* error) {
+  std::ifstream kb_in(kb_path);
+  std::stringstream kb_text;
+  kb_text << kb_in.rdbuf();
+  if (kb_text.str().empty()) {
+    if (error != nullptr) *error = "cannot read " + kb_path;
+    return nullptr;
+  }
+  auto dict = std::make_unique<core::LocationDict>(
+      core::LocationDict::Build(LoadConfigDir(configs_dir)));
+  auto kb = std::make_unique<core::KnowledgeBase>(
+      core::KnowledgeBase::Deserialize(kb_text.str()));
+  auto engine =
+      std::make_unique<Engine>(kb.get(), dict.get(), std::move(options));
+  engine->owned_kb_ = std::move(kb);
+  engine->owned_dict_ = std::move(dict);
+  return engine;
+}
+
+void Engine::SetEventSink(EventSink sink) { sink_ = std::move(sink); }
+
+void Engine::EnsureStream() {
+  if (streaming_ != nullptr || pipeline_ != nullptr) return;
+  if (options_.shards > 1) {
+    pipeline::PipelineOptions opts;
+    opts.digest = options_.digest;
+    opts.shards = options_.shards;
+    opts.idle_close_ms = options_.idle_close_ms > 0
+                             ? options_.idle_close_ms
+                             : kb_->temporal_params.smax +
+                                   kb_->rule_params.window_ms;
+    opts.max_group_age_ms = options_.max_group_age_ms;
+    opts.metrics = reg_;
+    pipeline_ = std::make_unique<pipeline::ShardedPipeline>(kb_, dict_, opts);
+    if (sink_) {
+      // The pipeline invokes this on its merge thread; per-tenant event
+      // order is the deterministic close order either way.
+      pipeline_->SetEventSink([this](core::DigestEvent ev) {
+        events_.fetch_add(1, std::memory_order_relaxed);
+        sink_(ev);
+      });
+    }
+  } else {
+    streaming_ = std::make_unique<core::StreamingDigester>(
+        kb_, dict_, options_.digest, options_.idle_close_ms,
+        options_.max_group_age_ms);
+    if (reg_ != nullptr) streaming_->BindMetrics(reg_);
+  }
+}
+
+void Engine::Emit(std::vector<core::DigestEvent> events) {
+  events_.fetch_add(events.size(), std::memory_order_relaxed);
+  for (core::DigestEvent& ev : events) {
+    if (sink_) {
+      sink_(ev);
+    } else {
+      collected_.push_back(std::move(ev));
+    }
+  }
+}
+
+void Engine::Feed(const syslog::SyslogRecord& rec) {
+  EnsureStream();
+  if (pipeline_ != nullptr) {
+    pipeline_->Push(rec);
+  } else {
+    Emit(streaming_->Push(rec));
+  }
+}
+
+bool Engine::IngestDatagram(std::string_view datagram) {
+  return collector_.IngestDatagram(datagram);
+}
+
+bool Engine::IngestRecord(const syslog::SyslogRecord& rec) {
+  return collector_.IngestRecord(rec);
+}
+
+std::size_t Engine::Pump() {
+  for (auto& rec : collector_.Drain()) Feed(rec);
+  return events_.load(std::memory_order_relaxed);
+}
+
+std::vector<core::DigestEvent> Engine::Finish() {
+  if (finished_) return {};
+  finished_ = true;
+  for (auto& rec : collector_.Flush()) Feed(rec);
+  std::vector<core::DigestEvent> remaining;
+  if (pipeline_ != nullptr) {
+    core::DigestResult result = pipeline_->Finish();
+    // With a sink every event was already delivered on the merge thread;
+    // without one the pipeline collected them (score order).
+    if (!sink_) {
+      events_.fetch_add(result.events.size(), std::memory_order_relaxed);
+      remaining = std::move(result.events);
+    }
+  } else if (streaming_ != nullptr) {
+    Emit(streaming_->Flush());
+    remaining = std::move(collected_);
+    collected_.clear();
+  }
+  return remaining;
+}
+
+core::DigestResult Engine::Digest(
+    std::span<const syslog::SyslogRecord> records) {
+  if (options_.shards > 1) {
+    pipeline::PipelineOptions opts;
+    opts.digest = options_.digest;
+    opts.shards = options_.shards;
+    opts.metrics = reg_;
+    pipeline::ShardedPipeline p(kb_, dict_, opts);
+    for (const auto& rec : records) p.Push(rec);
+    return p.Finish();
+  }
+  core::Digester digester(kb_, dict_);
+  if (reg_ != nullptr) digester.BindMetrics(reg_);
+  return digester.Digest(records, options_.digest);
+}
+
+}  // namespace sld::engine

@@ -1,0 +1,159 @@
+// Engine: one tenant's complete serving stack behind a single object.
+//
+// The paper's SyslogDigest is described as a per-network deployment, but a
+// production process serves many independent networks at once.  An Engine
+// owns everything that is *per-network* state — the KnowledgeBase, the
+// LocationDict, the Collector front (reorder/dedup/loss accounting), the
+// digest stage (StreamingDigester at shards<=1, ShardedPipeline above),
+// and the event sink — while everything *shared* (the thread pool, the
+// one obs Registry, the UDP sockets) lives in EngineHost.
+//
+// The CLI's digest/stream/serve commands are thin drivers over this
+// class; the per-tenant event stream is bit-identical to a dedicated
+// single-tenant process at any shard count because the engine reuses the
+// exact collector -> stage wiring those processes ran (the equivalence
+// suite in tests/engine/engine_test.cc holds them against each other).
+//
+// Metrics: when `EngineOptions.metrics` is set and the tenant name is
+// non-empty, the engine registers every cell through a
+// Registry::ScopedView carrying {"tenant", name}, so one shared registry
+// snapshots all tenants with every series labeled.  An empty tenant name
+// registers unlabeled (the legacy single-network CLI modes).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/digest.h"
+#include "core/stream.h"
+#include "net/config_parser.h"
+#include "pipeline/pipeline.h"
+#include "syslog/collector.h"
+
+namespace sld::engine {
+
+struct EngineOptions {
+  // Label value for every obs series this engine registers; empty means
+  // no tenant label (single-tenant legacy modes keep their series names).
+  std::string tenant;
+  core::DigestOptions digest;
+  // 1 = in-place StreamingDigester; N>1 = ShardedPipeline with N shard
+  // workers.  The event partition is identical either way.
+  std::size_t shards = 1;
+  // Collector front knobs (see syslog::Collector).
+  TimeMs hold_ms = 5 * kMsPerSecond;
+  int year = 2009;
+  bool suppress_duplicates = false;
+  // Group lifecycle (see core::StreamingDigester).
+  TimeMs idle_close_ms = 0;
+  TimeMs max_group_age_ms = 24 * kMsPerHour;
+  // Root registry (may be null).  The engine scopes it by tenant; must
+  // outlive the engine.
+  obs::Registry* metrics = nullptr;
+};
+
+// Loads every *.cfg under `dir` in sorted path order, skipping files
+// that fail to parse with a stderr note (the CLI's historical shape).
+std::vector<net::ParsedConfig> LoadConfigDir(const std::string& dir);
+
+class Engine {
+ public:
+  using EventSink = std::function<void(const core::DigestEvent&)>;
+
+  // Borrowing form: `kb` and `dict` must outlive the engine; `kb` may
+  // gain catch-all templates.
+  Engine(core::KnowledgeBase* kb, const core::LocationDict* dict,
+         EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Owning form: builds the LocationDict from `configs_dir` and
+  // deserializes the KnowledgeBase from `kb_path`.  Returns null and
+  // fills `error` when the KB cannot be read.
+  static std::unique_ptr<Engine> Load(const std::string& configs_dir,
+                                      const std::string& kb_path,
+                                      EngineOptions options,
+                                      std::string* error);
+
+  // Install before the first record; events are delivered as they close
+  // (on the merge thread when shards > 1).  Without a sink, closed
+  // events accumulate and Finish() returns them.
+  void SetEventSink(EventSink sink);
+
+  // Live path: records route through the collector (reorder window,
+  // duplicate suppression, loss accounting) exactly like a dedicated
+  // single-tenant process.  Returns false when the record was rejected
+  // (malformed or late).
+  bool IngestDatagram(std::string_view datagram);
+  bool IngestRecord(const syslog::SyslogRecord& rec);
+
+  // Releases every collector record whose hold has expired into the
+  // digest stage; closed events reach the sink.  Returns the events
+  // emitted so far (cumulative).
+  std::size_t Pump();
+
+  // End of stream: flushes the collector, closes every open group, and
+  // joins pipeline threads.  Events that closed here go to the sink, or
+  // are returned (in close order at shards<=1, score order above) when
+  // no sink is installed.  Idempotent.
+  std::vector<core::DigestEvent> Finish();
+
+  // Batch path: digests a closed, time-sorted stream without a collector
+  // front (the `sldigest digest` shape).  Independent of the live path.
+  core::DigestResult Digest(std::span<const syslog::SyslogRecord> records);
+
+  const std::string& tenant() const noexcept { return options_.tenant; }
+  std::size_t shard_count() const noexcept { return options_.shards; }
+  // Cumulative events delivered through the live path (exact once
+  // Finish() returns; a lower bound mid-stream when shards > 1, where
+  // the merge thread emits concurrently).
+  std::size_t event_count() const noexcept {
+    return events_.load(std::memory_order_relaxed);
+  }
+  syslog::Collector& collector() noexcept { return collector_; }
+  const syslog::Collector& collector() const noexcept { return collector_; }
+  core::KnowledgeBase& kb() noexcept { return *kb_; }
+  const core::LocationDict& dict() const noexcept { return *dict_; }
+  // The tenant-scoped registry view (the root itself when the tenant
+  // name is empty; null when metrics are off).
+  obs::Registry* metrics() noexcept { return reg_; }
+
+ private:
+  void EnsureStream();
+  void Feed(const syslog::SyslogRecord& rec);
+  void Emit(std::vector<core::DigestEvent> events);
+
+  EngineOptions options_;
+
+  // Owning-form storage (null in the borrowing form).
+  std::unique_ptr<core::KnowledgeBase> owned_kb_;
+  std::unique_ptr<core::LocationDict> owned_dict_;
+  core::KnowledgeBase* kb_;
+  const core::LocationDict* dict_;
+
+  // Tenant-scoped registry view; reg_ points at it, at the root, or is
+  // null.
+  std::unique_ptr<obs::Registry> scope_;
+  obs::Registry* reg_ = nullptr;
+
+  syslog::Collector collector_;
+
+  // Live digest stage, built lazily on the first released record so a
+  // batch-only engine never spawns pipeline threads.
+  std::unique_ptr<core::StreamingDigester> streaming_;
+  std::unique_ptr<pipeline::ShardedPipeline> pipeline_;
+
+  EventSink sink_;
+  std::vector<core::DigestEvent> collected_;  // sink-less mode
+  std::atomic<std::size_t> events_{0};
+  bool finished_ = false;
+};
+
+}  // namespace sld::engine

@@ -1,0 +1,211 @@
+#include "engine/host.h"
+
+#include <poll.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+namespace sld::engine {
+
+bool ParseTenantSpec(const std::string& text, TenantSpec* spec,
+                     std::string* error) {
+  // NAME:CONFIGS:KB[:PORT] — paths containing ':' are not supported by
+  // this syntax.
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ':') {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (parts.size() < 3 || parts.size() > 4) {
+    if (error != nullptr) {
+      *error = "tenant spec '" + text + "' is not NAME:CONFIGS:KB[:PORT]";
+    }
+    return false;
+  }
+  if (parts[0].empty() || parts[1].empty() || parts[2].empty()) {
+    if (error != nullptr) {
+      *error = "tenant spec '" + text + "' has an empty field";
+    }
+    return false;
+  }
+  spec->name = parts[0];
+  spec->configs_dir = parts[1];
+  spec->kb_path = parts[2];
+  spec->port = 0;
+  if (parts.size() == 4 && !parts[3].empty()) {
+    for (const char c : parts[3]) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        if (error != nullptr) {
+          *error = "tenant spec '" + text + "': port '" + parts[3] +
+                   "' is not a number";
+        }
+        return false;
+      }
+    }
+    const long port = std::strtol(parts[3].c_str(), nullptr, 10);
+    if (port < 0 || port > 65535) {
+      if (error != nullptr) {
+        *error = "tenant spec '" + text + "': port out of range";
+      }
+      return false;
+    }
+    spec->port = static_cast<std::uint16_t>(port);
+  }
+  return true;
+}
+
+EngineHost::EngineHost(HostOptions options)
+    : options_(options), pool_(options.pool_threads) {}
+
+EngineHost::~EngineHost() = default;
+
+bool EngineHost::LoadTenants(std::vector<TenantSpec> specs,
+                             std::string* error) {
+  // Name discipline up front: every tenant label must be unambiguous.
+  // A single unnamed tenant is allowed (the legacy one-network modes).
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].name.empty() && specs.size() > 1) {
+      if (error != nullptr) *error = "multi-tenant specs need a name";
+      return false;
+    }
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      if (specs[i].name == specs[j].name) {
+        if (error != nullptr) {
+          *error = "duplicate tenant name '" + specs[i].name + "'";
+        }
+        return false;
+      }
+    }
+  }
+  // Each tenant's config parse + KB deserialize is independent CPU-bound
+  // work: fan it out on the shared pool.
+  std::vector<std::unique_ptr<Engine>> loaded(specs.size());
+  std::vector<std::string> errors(specs.size());
+  ParallelFor(&pool_, specs.size(), [&](std::size_t i, std::size_t) {
+    EngineOptions opts = specs[i].options;
+    opts.tenant = specs[i].name;
+    opts.metrics = options_.metrics;
+    loaded[i] = Engine::Load(specs[i].configs_dir, specs[i].kb_path,
+                             std::move(opts), &errors[i]);
+  });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (loaded[i] == nullptr) {
+      if (error != nullptr) *error = errors[i];
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    engines_.push_back(std::move(loaded[i]));
+    ports_.push_back(specs[i].port);
+  }
+  return true;
+}
+
+Engine* EngineHost::AddEngine(std::unique_ptr<Engine> engine,
+                              std::uint16_t port) {
+  engines_.push_back(std::move(engine));
+  ports_.push_back(port);
+  return engines_.back().get();
+}
+
+Engine* EngineHost::Find(const std::string& tenant) noexcept {
+  for (auto& engine : engines_) {
+    if (engine->tenant() == tenant) return engine.get();
+  }
+  return nullptr;
+}
+
+void EngineHost::PumpAll() {
+  // Each index is one engine; an engine's pump is strictly serial, and
+  // the ParallelFor barrier is the only cross-thread synchronization the
+  // engines need (ingest happens between pumps, never during).
+  ParallelFor(&pool_, engines_.size(),
+              [&](std::size_t i, std::size_t) { engines_[i]->Pump(); },
+              /*chunk=*/1);
+}
+
+void EngineHost::FinishAll(
+    std::vector<std::vector<core::DigestEvent>>* leftovers) {
+  std::vector<std::vector<core::DigestEvent>> remaining(engines_.size());
+  ParallelFor(&pool_, engines_.size(), [&](std::size_t i, std::size_t) {
+    remaining[i] = engines_[i]->Finish();
+  },
+              /*chunk=*/1);
+  if (leftovers != nullptr) *leftovers = std::move(remaining);
+}
+
+bool EngineHost::BindAll(std::string* error) {
+  receivers_.clear();
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    auto receiver = syslog::UdpReceiver::Bind(ports_[i]);
+    if (!receiver) {
+      if (error != nullptr) {
+        *error = "cannot bind UDP port " + std::to_string(ports_[i]) +
+                 (engines_[i]->tenant().empty()
+                      ? ""
+                      : " for tenant " + engines_[i]->tenant());
+      }
+      receivers_.clear();
+      return false;
+    }
+    ports_[i] = receiver->port();
+    receivers_.push_back(std::move(*receiver));
+  }
+  return true;
+}
+
+std::uint16_t EngineHost::port_of(std::size_t i) const noexcept {
+  return i < ports_.size() ? ports_[i] : 0;
+}
+
+std::size_t EngineHost::Serve(const ServeOptions& options) {
+  if (receivers_.empty()) return 0;
+  std::vector<pollfd> fds(receivers_.size());
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    fds[i] = {receivers_[i].fd(), POLLIN, 0};
+  }
+  const bool limited = options.max_datagrams > 0;
+  const auto limit = static_cast<std::size_t>(options.max_datagrams);
+  std::size_t seen = 0;
+  long quiet_polls = 0;
+  while (!limited || seen < limit) {
+    for (pollfd& fd : fds) fd.revents = 0;
+    const int ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 1000);
+    if (options.on_tick) options.on_tick();
+    bool any = false;
+    if (ready > 0) {
+      for (std::size_t i = 0; i < receivers_.size(); ++i) {
+        if ((fds[i].revents & POLLIN) == 0) continue;
+        // Drain the socket: one poll wakeup ingests the whole backlog
+        // before the engines pump, so bursts cannot outrun the 1-per-
+        // wakeup cadence of the old single-tenant loop.
+        while (!limited || seen < limit) {
+          auto datagram = receivers_[i].Receive(0);
+          if (!datagram) break;
+          engines_[i]->IngestDatagram(*datagram);
+          ++seen;
+          any = true;
+        }
+      }
+    }
+    if (any) {
+      quiet_polls = 0;
+      PumpAll();
+      continue;
+    }
+    ++quiet_polls;
+    if (options.idle_exit_s > 0 && seen > 0 &&
+        quiet_polls >= options.idle_exit_s) {
+      break;
+    }
+  }
+  FinishAll();
+  return seen;
+}
+
+}  // namespace sld::engine

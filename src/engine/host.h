@@ -1,0 +1,121 @@
+// EngineHost: multiplexes N per-tenant Engines over shared resources.
+//
+// Shared between tenants:
+//   - one sld::ThreadPool, used to load tenants concurrently and to pump
+//     every tenant's collector in parallel (each engine's own work stays
+//     strictly serial — the pool's fork/join barrier is the only
+//     synchronization the engines need, so per-tenant output is
+//     bit-identical to a dedicated process);
+//   - one obs::Registry, every engine registering through a
+//     {"tenant", NAME} scoped view so all series stay distinguishable;
+//   - the UDP front: one socket per tenant, datagrams routed to the
+//     owning engine by ingest port, all sockets polled together.
+//
+// Everything else — knowledge base, collector, pipeline, group state,
+// event sink — is private to each Engine.  A tenant flooding its own
+// port with garbage only moves its own malformed counters; the
+// isolation tests in tests/engine/engine_test.cc pin that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "syslog/udp.h"
+
+namespace sld::engine {
+
+// One tenant's bootstrap description (the `--tenant NAME:CONFIGS:KB:PORT`
+// CLI syntax).
+struct TenantSpec {
+  std::string name;
+  std::string configs_dir;
+  std::string kb_path;
+  std::uint16_t port = 0;  // serve ingest port; 0 picks ephemeral
+  EngineOptions options;   // tenant/metrics are overwritten by the host
+};
+
+// Parses "NAME:CONFIGS:KB[:PORT]".  Returns false and fills `error` on a
+// malformed spec (missing fields, empty name, non-numeric port).
+bool ParseTenantSpec(const std::string& text, TenantSpec* spec,
+                     std::string* error);
+
+struct HostOptions {
+  // Shared pool width (0 = one thread per core).  The pool is also what
+  // bounds multi-tenant CPU use: N tenants never run more than
+  // `pool_threads` collector pumps at once.
+  int pool_threads = 0;
+  // Root registry shared by every tenant (may be null).
+  obs::Registry* metrics = nullptr;
+};
+
+class EngineHost {
+ public:
+  explicit EngineHost(HostOptions options = {});
+  ~EngineHost();
+
+  EngineHost(const EngineHost&) = delete;
+  EngineHost& operator=(const EngineHost&) = delete;
+
+  // Loads every tenant concurrently on the shared pool (config parse +
+  // KB deserialize per tenant).  Engines appear in spec order.  Tenant
+  // names must be unique and non-empty; on any failure fills `error`
+  // with the first (in spec order) and returns false.
+  bool LoadTenants(std::vector<TenantSpec> specs, std::string* error);
+
+  // Adopts an already-built engine (tests and embedders).  The engine's
+  // declared tenant name is used for Find().
+  Engine* AddEngine(std::unique_ptr<Engine> engine, std::uint16_t port = 0);
+
+  std::size_t tenant_count() const noexcept { return engines_.size(); }
+  Engine* engine(std::size_t i) noexcept { return engines_[i].get(); }
+  Engine* Find(const std::string& tenant) noexcept;
+
+  ThreadPool& pool() noexcept { return pool_; }
+  obs::Registry* metrics() noexcept { return options_.metrics; }
+
+  // Pumps every engine once, in parallel on the shared pool.  Returns
+  // after the barrier, so callers may touch collectors again.
+  void PumpAll();
+
+  // Finishes every engine in parallel (collector flush + group close +
+  // pipeline join).  Engines with a sink have delivered everything by
+  // return; sink-less remainders land in `leftovers[i]`.
+  void FinishAll(std::vector<std::vector<core::DigestEvent>>* leftovers =
+                     nullptr);
+
+  // Binds one UDP socket per tenant at each spec's port (0 = ephemeral;
+  // read back with port_of).  Returns false and fills `error` on the
+  // first port that cannot be bound.
+  bool BindAll(std::string* error);
+  std::uint16_t port_of(std::size_t i) const noexcept;
+
+  struct ServeOptions {
+    // Stop after this many datagrams across all tenants (0 = no limit).
+    long max_datagrams = 0;
+    // After traffic has been seen, a quiet stretch of this many seconds
+    // ends the loop (0 = run forever).
+    long idle_exit_s = 0;
+    // Called once per poll wakeup (periodic metrics snapshots).
+    std::function<void()> on_tick;
+  };
+
+  // The serve loop: polls every tenant socket, routes datagrams to the
+  // owning engine's collector by port, and pumps all engines between
+  // ingest rounds.  Requires BindAll() first.  Finishes every engine on
+  // exit.  Returns the total datagram count.
+  std::size_t Serve(const ServeOptions& options);
+
+ private:
+  HostOptions options_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::uint16_t> ports_;  // requested; 0 until BindAll
+  std::vector<syslog::UdpReceiver> receivers_;
+};
+
+}  // namespace sld::engine

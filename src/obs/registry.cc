@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <map>
 
 namespace sld::obs {
@@ -43,6 +44,48 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// Prometheus text-format escaping for label values: backslash, double
+// quote, and newline must be escaped inside the quoted value.  Label
+// values are not always under our control — tenant names arrive from the
+// command line — so rendering them verbatim would corrupt the exposition
+// (a `"` ends the value early; a newline splits the sample line).
+std::string PromEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// HELP text allows `\\` and `\n` escapes (no quotes involved).
+std::string PromEscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string PromLabels(const Labels& labels, const char* extra_key = nullptr,
                        const std::string& extra_val = "") {
   if (labels.empty() && extra_key == nullptr) return "";
@@ -53,14 +96,14 @@ std::string PromLabels(const Labels& labels, const char* extra_key = nullptr,
     first = false;
     out += k;
     out += "=\"";
-    out += v;
+    out += PromEscape(v);
     out += '"';
   }
   if (extra_key != nullptr) {
     if (!first) out += ',';
     out += extra_key;
     out += "=\"";
-    out += extra_val;
+    out += PromEscape(extra_val);
     out += '"';
   }
   out += '}';
@@ -81,14 +124,36 @@ const char* KindName(MetricKind kind) {
 
 }  // namespace
 
+namespace {
+
+// Scope labels render (and aggregate) before the cell's own: a tenant
+// qualifies a shard, not the other way around.
+Labels Prepend(const Labels& base, Labels labels) {
+  if (base.empty()) return labels;
+  Labels full = base;
+  full.insert(full.end(), std::make_move_iterator(labels.begin()),
+              std::make_move_iterator(labels.end()));
+  return full;
+}
+
+}  // namespace
+
 Counter* Registry::AddCounter(std::string name, std::string help,
                               Labels labels) {
+  if (root_ != nullptr) {
+    return root_->AddCounter(std::move(name), std::move(help),
+                             Prepend(base_, std::move(labels)));
+  }
   std::lock_guard lock(mutex_);
   counters_.emplace_back(std::move(name), std::move(help), std::move(labels));
   return &counters_.back().metric;
 }
 
 Gauge* Registry::AddGauge(std::string name, std::string help, Labels labels) {
+  if (root_ != nullptr) {
+    return root_->AddGauge(std::move(name), std::move(help),
+                           Prepend(base_, std::move(labels)));
+  }
   std::lock_guard lock(mutex_);
   gauges_.emplace_back(std::move(name), std::move(help), std::move(labels));
   return &gauges_.back().metric;
@@ -97,13 +162,27 @@ Gauge* Registry::AddGauge(std::string name, std::string help, Labels labels) {
 Histogram* Registry::AddHistogram(std::string name, std::string help,
                                   std::vector<double> upper_bounds,
                                   Labels labels) {
+  if (root_ != nullptr) {
+    return root_->AddHistogram(std::move(name), std::move(help),
+                               std::move(upper_bounds),
+                               Prepend(base_, std::move(labels)));
+  }
   std::lock_guard lock(mutex_);
   histograms_.emplace_back(std::move(name), std::move(help),
                            std::move(labels), upper_bounds);
   return &histograms_.back().metric;
 }
 
+std::unique_ptr<Registry> Registry::ScopedView(Labels base) {
+  Registry* root = root_ != nullptr ? root_ : this;
+  // Compose through intermediate views: the new view binds directly to
+  // the root with the accumulated label prefix.
+  return std::unique_ptr<Registry>(
+      new Registry(root, Prepend(base_, std::move(base))));
+}
+
 MetricsSnapshot Registry::Collect() const {
+  if (root_ != nullptr) return root_->Collect();
   std::lock_guard lock(mutex_);
   // std::map keys give a stable, name-sorted snapshot order.
   std::map<std::string, SeriesSnapshot> agg;
@@ -193,7 +272,7 @@ std::string MetricsSnapshot::RenderPrometheus() const {
   std::string last_name;
   for (const SeriesSnapshot& s : series) {
     if (s.name != last_name) {
-      out += "# HELP " + s.name + ' ' + s.help + '\n';
+      out += "# HELP " + s.name + ' ' + PromEscapeHelp(s.help) + '\n';
       out += "# TYPE " + s.name + ' ' + KindName(s.kind) + '\n';
       last_name = s.name;
     }

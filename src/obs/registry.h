@@ -15,10 +15,18 @@
 //
 // Cell addresses are stable for the registry's lifetime (deque storage);
 // the registry must outlive every component holding cells.
+//
+// Multi-tenant form: `ScopedView(labels)` returns a lightweight Registry
+// facade whose registrations forward to the root with `labels` prepended
+// to every cell — the engine layer scopes each tenant's components with
+// {"tenant", NAME} so one process-wide registry holds every tenant's
+// series, each unambiguously labeled, and `Collect()` on the root (or on
+// any view) snapshots them all.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -80,7 +88,16 @@ class Registry {
 
   MetricsSnapshot Collect() const;
 
+  // A scoped facade over this registry: every registration made through
+  // the view lands in the root with `base` prepended to the cell's
+  // labels, and Collect() forwards to the root.  The view owns no cells
+  // and must not outlive the root; views of views compose (labels
+  // accumulate outermost-first).
+  std::unique_ptr<Registry> ScopedView(Labels base);
+
  private:
+  Registry(Registry* root, Labels base)
+      : root_(root), base_(std::move(base)) {}
   template <typename T>
   struct Cell {
     std::string name;
@@ -94,6 +111,10 @@ class Registry {
           labels(std::move(l)),
           metric(std::forward<Args>(args)...) {}
   };
+
+  // Null for a root registry; a scoped view forwards everything here.
+  Registry* root_ = nullptr;
+  Labels base_;
 
   mutable std::mutex mutex_;
   std::deque<Cell<Counter>> counters_;

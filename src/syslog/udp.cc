@@ -69,6 +69,11 @@ bool UdpSender::Send(std::string_view datagram) {
 std::optional<UdpReceiver> UdpReceiver::Bind(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) return std::nullopt;
+  // Best-effort deep receive buffer: syslog bursts arrive faster than a
+  // digest pump can drain, and UDP has no flow control — a few MiB of
+  // kernel buffer is what stands between a burst and silent loss.
+  const int rcvbuf = 4 * 1024 * 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);

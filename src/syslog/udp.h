@@ -54,8 +54,15 @@ class UdpReceiver {
 
   std::uint16_t port() const noexcept { return port_; }
 
+  // The underlying socket, for callers multiplexing several receivers
+  // through one poll() loop (the engine host's UDP front); -1 when
+  // moved-from.
+  int fd() const noexcept { return fd_; }
+
   // Waits up to `timeout_ms` for one datagram; nullopt on timeout or
   // error.  Datagrams longer than 64 KiB are truncated (UDP limit).
+  // `timeout_ms` 0 polls: an already-queued datagram is returned
+  // immediately, an empty socket is a nullopt.
   std::optional<std::string> Receive(int timeout_ms);
 
   std::size_t received_count() const noexcept { return received_; }

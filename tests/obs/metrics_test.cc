@@ -136,5 +136,103 @@ TEST(MetricsTest, RenderJsonAndPrometheus) {
             prom.rfind("# TYPE a_total counter"));
 }
 
+// Label values are not under our control (tenant names arrive from the
+// command line), so the Prometheus renderer must escape backslash,
+// double quote, and newline inside quoted values — a raw `"` would end
+// the value early and a raw newline would split the sample line.  The
+// seed renderer emitted values verbatim; this pins the fix.
+TEST(MetricsTest, PrometheusEscapesLabelValues) {
+  Registry reg;
+  reg.AddCounter("weird_total", "counts \\ weird\nthings",
+                 {{"path", "C:\\logs\n\"live\""}})
+      ->Inc();
+  const std::string prom = reg.Collect().RenderPrometheus();
+  EXPECT_NE(prom.find("weird_total{path=\"C:\\\\logs\\n\\\"live\\\"\"} 1"),
+            std::string::npos)
+      << prom;
+  // HELP text escapes backslash and newline too (quotes are fine there).
+  EXPECT_NE(prom.find("# HELP weird_total counts \\\\ weird\\nthings"),
+            std::string::npos)
+      << prom;
+  // No raw newline survives mid-value: every line starts with '#' or the
+  // series name.
+  std::size_t start = 0;
+  while (start < prom.size()) {
+    std::size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    const std::string line = prom.substr(start, end - start);
+    EXPECT_TRUE(line.empty() || line[0] == '#' ||
+                line.compare(0, 5, "weird") == 0)
+        << line;
+    start = end + 1;
+  }
+}
+
+TEST(MetricsTest, ScopedViewLabelsEverySeries) {
+  Registry root;
+  const auto alpha = root.ScopedView({{"tenant", "alpha"}});
+  const auto beta = root.ScopedView({{"tenant", "beta"}});
+  alpha->AddCounter("events_total", "events")->Inc(3);
+  beta->AddCounter("events_total", "events")->Inc(4);
+  alpha->AddGauge("depth", "depth")->Set(7);
+  beta->AddHistogram("lat_seconds", "latency", {1.0})->Observe(0.5);
+
+  const MetricsSnapshot snap = root.Collect();
+  ASSERT_EQ(snap.series.size(), 4u);
+  for (const SeriesSnapshot& s : snap.series) {
+    ASSERT_FALSE(s.labels.empty()) << s.name;
+    EXPECT_EQ(s.labels[0].first, "tenant") << s.name;
+  }
+  // Same metric name under different tenants stays distinct series...
+  int events_series = 0;
+  std::int64_t events_sum = 0;
+  for (const SeriesSnapshot& s : snap.series) {
+    if (s.name != "events_total") continue;
+    ++events_series;
+    events_sum += s.ivalue;
+  }
+  EXPECT_EQ(events_series, 2);
+  // ...and Value() still sums across tenants.
+  EXPECT_EQ(events_sum, 7);
+  EXPECT_EQ(snap.Value("events_total"), 7);
+  // Collect() through a view sees the whole root.
+  EXPECT_EQ(alpha->Collect().series.size(), snap.series.size());
+}
+
+// Cells registered through a view aggregate with each other exactly like
+// root cells: two "shard" cells of one tenant sum into one series, and
+// the scope label renders before the cell's own labels.
+TEST(MetricsTest, ScopedViewAggregatesAndOrdersLabels) {
+  Registry root;
+  const auto view = root.ScopedView({{"tenant", "alpha"}});
+  view->AddCounter("msgs_total", "m", {{"shard", "0"}})->Inc(5);
+  view->AddCounter("msgs_total", "m", {{"shard", "0"}})->Inc(6);
+  const MetricsSnapshot snap = root.Collect();
+  ASSERT_EQ(snap.series.size(), 1u);
+  EXPECT_EQ(snap.series[0].ivalue, 11);
+  ASSERT_EQ(snap.series[0].labels.size(), 2u);
+  EXPECT_EQ(snap.series[0].labels[0].first, "tenant");
+  EXPECT_EQ(snap.series[0].labels[1].first, "shard");
+  const std::string prom = snap.RenderPrometheus();
+  EXPECT_NE(prom.find("msgs_total{tenant=\"alpha\",shard=\"0\"} 11"),
+            std::string::npos)
+      << prom;
+}
+
+// Views of views accumulate labels outermost-first.
+TEST(MetricsTest, ScopedViewsCompose) {
+  Registry root;
+  const auto region = root.ScopedView({{"region", "east"}});
+  const auto tenant = region->ScopedView({{"tenant", "alpha"}});
+  tenant->AddCounter("events_total", "events")->Inc();
+  const MetricsSnapshot snap = root.Collect();
+  ASSERT_EQ(snap.series.size(), 1u);
+  ASSERT_EQ(snap.series[0].labels.size(), 2u);
+  EXPECT_EQ(snap.series[0].labels[0],
+            (std::pair<std::string, std::string>{"region", "east"}));
+  EXPECT_EQ(snap.series[0].labels[1],
+            (std::pair<std::string, std::string>{"tenant", "alpha"}));
+}
+
 }  // namespace
 }  // namespace sld::obs

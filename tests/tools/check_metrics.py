@@ -2,6 +2,7 @@
 """Verify collector reconciliation invariants on a metrics snapshot.
 
 Usage: check_metrics.py SNAPSHOT.json EXPECTED_INGESTED
+       check_metrics.py --per-tenant SNAPSHOT.json NAME=EXPECTED [...]
 
 Reads the JSON snapshot written by `sldigest --metrics-out` and checks
 the collector accounting identities documented in DESIGN.md section 9:
@@ -10,33 +11,54 @@ the collector accounting identities documented in DESIGN.md section 9:
   accepted + late + malformed + duplicates == EXPECTED_INGESTED
 
 EXPECTED_INGESTED is the number of records offered to the collector
-(for `sldigest stream` runs, the archive size).  Exits non-zero with a
-diagnostic on any violation.
+(for `sldigest stream` runs, the archive size).
+
+In --per-tenant mode the snapshot comes from a multi-tenant
+`sldigest serve` run: every collector series must carry a tenant label,
+the identities must hold within each named tenant separately, and the
+per-tenant totals must also reconcile when summed (the whole-process
+view a dashboard aggregates to).  Exits non-zero with a diagnostic on
+any violation.
 """
 
 import json
 import sys
 
+COLLECTOR_SERIES = (
+    "collector_accepted_total",
+    "collector_released_total",
+    "collector_reorder_buffer_depth",
+    "collector_late_total",
+    "collector_malformed_total",
+    "collector_duplicate_total",
+)
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    path = sys.argv[1]
-    expected = int(sys.argv[2])
 
+def load_totals(path, by_tenant):
+    """name -> value, or (tenant, name) -> value when by_tenant."""
     with open(path, encoding="utf-8") as f:
         snapshot = json.load(f)
-
-    totals: dict[str, int] = {}
+    totals = {}
+    unlabeled = []
     for series in snapshot["series"]:
         if series["type"] == "histogram":
             continue
-        totals[series["name"]] = totals.get(series["name"], 0) + series["value"]
+        name = series["name"]
+        if by_tenant:
+            tenant = series.get("labels", {}).get("tenant")
+            if tenant is None:
+                if name in COLLECTOR_SERIES:
+                    unlabeled.append(name)
+                continue
+            key = (tenant, name)
+        else:
+            key = name
+        totals[key] = totals.get(key, 0) + series["value"]
+    return totals, unlabeled
 
-    def get(name: str) -> int:
-        return totals.get(name, 0)
 
+def reconcile(get, expected, failures, who=""):
+    tag = f"[{who}] " if who else ""
     accepted = get("collector_accepted_total")
     released = get("collector_released_total")
     buffered = get("collector_reorder_buffer_depth")
@@ -44,30 +66,76 @@ def main() -> int:
     malformed = get("collector_malformed_total")
     duplicates = get("collector_duplicate_total")
 
-    failures = []
     if accepted != released + buffered:
         failures.append(
-            f"accepted ({accepted}) != released ({released}) "
+            f"{tag}accepted ({accepted}) != released ({released}) "
             f"+ buffered ({buffered})"
         )
     ingested = accepted + late + malformed + duplicates
-    if ingested != expected:
+    if expected is not None and ingested != expected:
         failures.append(
-            f"accepted ({accepted}) + late ({late}) + malformed ({malformed})"
-            f" + duplicates ({duplicates}) = {ingested}, expected {expected}"
+            f"{tag}accepted ({accepted}) + late ({late}) "
+            f"+ malformed ({malformed}) + duplicates ({duplicates}) "
+            f"= {ingested}, expected {expected}"
         )
-    if accepted == 0:
-        failures.append("accepted is 0 -- metrics were not wired through")
+    if accepted == 0 and malformed == 0:
+        failures.append(f"{tag}no traffic counted -- metrics not wired through")
+    return (
+        f"{tag}accepted={accepted} released={released} buffered={buffered} "
+        f"late={late} malformed={malformed} duplicates={duplicates}"
+    )
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    per_tenant = bool(args) and args[0] == "--per-tenant"
+    if per_tenant:
+        args = args[1:]
+    if len(args) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = args[0]
+    failures = []
+    lines = []
+
+    if not per_tenant:
+        totals, _ = load_totals(path, by_tenant=False)
+        lines.append(
+            reconcile(lambda n: totals.get(n, 0), int(args[1]), failures)
+        )
+    else:
+        totals, unlabeled = load_totals(path, by_tenant=True)
+        for name in unlabeled:
+            failures.append(f"collector series without tenant label: {name}")
+        summed = {}
+        total_expected = 0
+        for spec in args[1:]:
+            tenant, _, count = spec.partition("=")
+            expected = int(count)
+            total_expected += expected
+            lines.append(
+                reconcile(
+                    lambda n, t=tenant: totals.get((t, n), 0),
+                    expected,
+                    failures,
+                    who=tenant,
+                )
+            )
+        for (tenant, name), value in totals.items():
+            summed[name] = summed.get(name, 0) + value
+        lines.append(
+            reconcile(
+                lambda n: summed.get(n, 0), total_expected, failures,
+                who="sum",
+            )
+        )
 
     if failures:
         for f in failures:
             print(f"RECONCILE FAIL: {f}", file=sys.stderr)
         return 1
-    print(
-        f"reconciled: accepted={accepted} released={released} "
-        f"buffered={buffered} late={late} malformed={malformed} "
-        f"duplicates={duplicates}"
-    )
+    for line in lines:
+        print(f"reconciled: {line}")
     return 0
 
 

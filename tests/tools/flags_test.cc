@@ -100,6 +100,22 @@ TEST(FlagsTest, LastOccurrenceWins) {
   Argv a({"sldigest", "digest", "--top", "3", "--top", "8"});
   Flags flags(a.argc(), a.argv(), 2);
   EXPECT_EQ(flags.GetInt("top", 0), 8);
+  EXPECT_EQ(flags.Get("top"), "8");
+}
+
+// Repeatable flags (serve --tenant) keep every occurrence in order.
+TEST(FlagsTest, GetAllKeepsEveryOccurrenceInOrder) {
+  Argv a({"sldigest", "serve", "--tenant", "a:cfg:kb:1", "--shards", "4",
+          "--tenant=b:cfg:kb:2", "--tenant", "c:cfg:kb:3"});
+  Flags flags(a.argc(), a.argv(), 2);
+  EXPECT_TRUE(flags.ok());
+  const std::vector<std::string> expected = {"a:cfg:kb:1", "b:cfg:kb:2",
+                                             "c:cfg:kb:3"};
+  EXPECT_EQ(flags.GetAll("tenant"), expected);
+  // Scalar accessors on a repeated flag see the last value.
+  EXPECT_EQ(flags.Get("tenant"), "c:cfg:kb:3");
+  // Absent flags yield an empty list, not an error.
+  EXPECT_TRUE(flags.GetAll("port").empty());
 }
 
 }  // namespace

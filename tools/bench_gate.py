@@ -3,13 +3,22 @@
 
 Usage: bench_gate.py FRESH.json BASELINE.json [--max-regress PCT]
                      [--min-speedup X] [--speedup-threads N]
+                     [--float-tol REL]
 
 Dispatches on the "benchmark" field of FRESH.json:
 
   match       - cached_msgs_per_sec must not regress by more than the
                 noise margin, and allocs_per_message must stay zero.
   throughput  - sharded-pipeline rate at threads=1 must not regress by
-                more than the noise margin.
+                more than the noise margin; when the run carries an
+                "engine" block, the Engine-layer rate must stay within
+                the noise margin of driving the ShardedPipeline
+                directly (a same-process relative measure, asserted on
+                any host -- the refactored CLI path must cost nothing).
+  ablation    - the run is deterministic (fixed seeds, no timing), so
+                fresh must deep-equal the baseline: same structure,
+                integers and strings exact, floats within --float-tol
+                relative tolerance (absorbs cross-libm jitter only).
   learn       - "identical" must be true (the parallel learner's
                 knowledge base is bit-identical to serial), the serial
                 learning rate must not regress by more than the noise
@@ -125,6 +134,65 @@ def gate_throughput(gate, fresh, baseline, args):
                     reps_of(fresh_base, "msgs_per_sec", "reps"),
                     reps_of(baseline_base, "msgs_per_sec", "reps"))
 
+    # Engine-vs-driver: both rep lists come from the same fresh process
+    # with interleaved runs, so the comparison is immune to host speed
+    # and holds on single-core runners too.  "Baseline" here is the
+    # driver reps, not the committed file.
+    engine = fresh.get("engine")
+    if engine is None:
+        if baseline.get("engine") is not None:
+            gate.fail("baseline has an engine-vs-driver block but the "
+                      "fresh run does not; the Engine measurement was "
+                      "dropped")
+        return
+    threads = int(engine.get("threads", 0))
+    gate.check_rate(f"engine_msgs_per_sec[threads={threads}] vs driver",
+                    [float(v) for v in engine["reps"]],
+                    [float(v) for v in engine["driver_reps"]])
+
+
+def deep_compare(gate, path, fresh, baseline, float_tol):
+    """Structural equality with relative float tolerance."""
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            gate.fail(f"{path}: expected object, got {type(fresh).__name__}")
+            return
+        for key in sorted(set(baseline) | set(fresh)):
+            if key not in fresh:
+                gate.fail(f"{path}.{key}: missing from fresh run")
+            elif key not in baseline:
+                gate.fail(f"{path}.{key}: not in baseline (new field -- "
+                          "regenerate the baseline)")
+            else:
+                deep_compare(gate, f"{path}.{key}", fresh[key],
+                             baseline[key], float_tol)
+    elif isinstance(baseline, list):
+        if not isinstance(fresh, list):
+            gate.fail(f"{path}: expected array, got {type(fresh).__name__}")
+        elif len(fresh) != len(baseline):
+            gate.fail(f"{path}: {len(fresh)} entries, baseline has "
+                      f"{len(baseline)}")
+        else:
+            for i, (f, b) in enumerate(zip(fresh, baseline)):
+                deep_compare(gate, f"{path}[{i}]", f, b, float_tol)
+    elif isinstance(baseline, bool) or isinstance(fresh, bool):
+        if fresh is not baseline:
+            gate.fail(f"{path}: {fresh} != baseline {baseline}")
+    elif isinstance(baseline, float) or isinstance(fresh, float):
+        f, b = float(fresh), float(baseline)
+        if abs(f - b) > float_tol * max(abs(f), abs(b), 1.0):
+            gate.fail(f"{path}: {f!r} differs from baseline {b!r} beyond "
+                      f"relative tolerance {float_tol}")
+    elif fresh != baseline:
+        gate.fail(f"{path}: {fresh!r} != baseline {baseline!r}")
+
+
+def gate_ablation(gate, fresh, baseline, args):
+    name = fresh.get("name", "?")
+    print(f"ablation '{name}': deterministic deep compare "
+          f"(float tol {args.float_tol})")
+    deep_compare(gate, name, fresh, baseline, args.float_tol)
+
 
 def gate_learn(gate, fresh, baseline, args):
     if not fresh.get("identical", False):
@@ -205,6 +273,7 @@ GATES = {
     "throughput": gate_throughput,
     "learn": gate_learn,
     "ingest": gate_ingest,
+    "ablation": gate_ablation,
 }
 
 
@@ -222,6 +291,9 @@ def main() -> int:
     parser.add_argument("--speedup-threads", type=int, default=4,
                         help="learn/ingest: sweep point the speedup/scaling "
                              "assertion reads")
+    parser.add_argument("--float-tol", type=float, default=1e-6,
+                        help="ablation: relative tolerance for float "
+                             "fields (integers compare exactly)")
     args = parser.parse_args()
 
     with open(args.fresh, encoding="utf-8") as f:

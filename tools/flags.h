@@ -14,6 +14,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace sld::tools {
 
@@ -30,41 +31,49 @@ class Flags {
       arg = arg.substr(2);
       const std::size_t eq = arg.find('=');
       if (eq != std::string::npos) {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        values_[arg.substr(0, eq)].push_back(arg.substr(eq + 1));
       } else if (i + 1 < argc && !LooksLikeFlag(argv[i + 1])) {
-        values_[arg] = argv[++i];
+        values_[arg].push_back(argv[++i]);
       } else {
-        values_[arg] = "";
+        values_[arg].push_back("");
       }
     }
   }
 
   bool ok() const { return ok_; }
   bool Has(const std::string& name) const { return values_.count(name); }
+  // A repeated flag keeps every value (GetAll); the scalar accessors see
+  // the last occurrence, the usual CLI override convention.
   std::string Get(const std::string& name,
                   const std::string& fallback = "") const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback : it->second;
+    return it == values_.end() ? fallback : it->second.back();
+  }
+  const std::vector<std::string>& GetAll(const std::string& name) const {
+    static const std::vector<std::string> kEmpty;
+    const auto it = values_.find(name);
+    return it == values_.end() ? kEmpty : it->second;
   }
   long GetInt(const std::string& name, long fallback) const {
     const auto it = values_.find(name);
-    if (it == values_.end() || it->second.empty()) return fallback;
+    if (it == values_.end() || it->second.back().empty()) return fallback;
+    const std::string& text = it->second.back();
     char* end = nullptr;
-    const long value = std::strtol(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0') {
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
       std::fprintf(stderr, "flag --%s: not a number: %s\n", name.c_str(),
-                   it->second.c_str());
+                   text.c_str());
       return fallback;
     }
     return value;
   }
   std::string Require(const std::string& name) {
-    if (!Has(name) || values_.at(name).empty()) {
+    if (!Has(name) || values_.at(name).back().empty()) {
       std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
       ok_ = false;
       return "";
     }
-    return values_.at(name);
+    return values_.at(name).back();
   }
 
  private:
@@ -74,7 +83,7 @@ class Flags {
            !std::isdigit(static_cast<unsigned char>(s[2]));
   }
 
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
   bool ok_ = true;
 };
 

@@ -16,25 +16,36 @@
 //       Online digesting: prints digest lines (or a full report) and can
 //       export CSV.
 //
+//   sldigest serve   --configs DIR --kb kb.txt [--port N]
+//   sldigest serve   --tenant NAME:CONFIGS:KB:PORT [--tenant ...]
+//       Live UDP mode.  With repeated --tenant specs one process serves
+//       several networks at once: per-tenant engines over a shared pool
+//       (see src/engine/).
+//
 //   sldigest inspect --kb kb.txt [--configs DIR]
 //       Dumps the learned domain knowledge in human-readable form.
+//
+// The digest/stream/serve commands are thin drivers over engine::Engine;
+// all collector -> digester wiring lives there.
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/learn.h"
 #include "core/priority/report.h"
-#include "core/stream.h"
+#include "engine/engine.h"
+#include "engine/host.h"
 #include "flags.h"
-#include "net/config_parser.h"
 #include "obs/registry.h"
-#include "pipeline/pipeline.h"
 #include "sim/generator.h"
 #include "syslog/archive.h"
 #include "syslog/collector.h"
@@ -45,26 +56,6 @@ namespace {
 
 using namespace sld;
 using tools::Flags;
-
-std::vector<net::ParsedConfig> LoadConfigs(const std::string& dir) {
-  std::vector<net::ParsedConfig> parsed;
-  std::vector<std::filesystem::path> paths;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (entry.path().extension() == ".cfg") paths.push_back(entry.path());
-  }
-  std::sort(paths.begin(), paths.end());
-  for (const auto& path : paths) {
-    std::ifstream in(path);
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    try {
-      parsed.push_back(net::ParseConfig(buffer.str()));
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "skipping %s: %s\n", path.c_str(), e.what());
-    }
-  }
-  return parsed;
-}
 
 // Shared --metrics-out handling: when the flag is set, snapshots of `reg`
 // are written to PATH (JSON) and PATH.prom (Prometheus text).  Periodic()
@@ -165,7 +156,7 @@ int CmdLearn(Flags& flags) {
   const std::string kb_path = flags.Require("kb");
   if (!flags.ok()) return 2;
   const core::LocationDict dict = core::LocationDict::Build(
-      LoadConfigs(configs));
+      engine::LoadConfigDir(configs));
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
   std::size_t malformed = 0;
@@ -205,39 +196,26 @@ int CmdDigest(Flags& flags) {
   const std::string kb_path = flags.Require("kb");
   const std::string in_path = flags.Require("in");
   if (!flags.ok()) return 2;
-  const core::LocationDict dict = core::LocationDict::Build(
-      LoadConfigs(configs));
-  std::ifstream kb_in(kb_path);
-  std::stringstream kb_text;
-  kb_text << kb_in.rdbuf();
-  if (!kb_in && kb_text.str().empty()) {
-    std::fprintf(stderr, "cannot read %s\n", kb_path.c_str());
-    return 1;
-  }
-  core::KnowledgeBase kb = core::KnowledgeBase::Deserialize(kb_text.str());
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
+  engine::EngineOptions opts;
+  opts.shards =
+      static_cast<std::size_t>(std::max(1L, flags.GetInt("threads", 1)));
+  opts.metrics = metrics_out.enabled() ? &metrics : nullptr;
+  std::string error;
+  const auto eng = engine::Engine::Load(configs, kb_path, opts, &error);
+  if (eng == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
   bool ok = true;
   const auto records = ReadRecordsCli(
       flags, in_path, metrics_out.enabled() ? &metrics : nullptr, ok);
   if (!ok) return 1;
-  const long threads = flags.GetInt("threads", 1);
-  core::DigestResult result;
-  if (threads > 1) {
-    pipeline::PipelineOptions opts;
-    opts.shards = static_cast<std::size_t>(threads);
-    opts.metrics = metrics_out.enabled() ? &metrics : nullptr;
-    pipeline::ShardedPipeline p(&kb, &dict, opts);
-    for (const auto& rec : records) p.Push(rec);
-    result = p.Finish();
-  } else {
-    core::Digester digester(&kb, &dict);
-    if (metrics_out.enabled()) digester.BindMetrics(&metrics);
-    result = digester.Digest(records);
-  }
+  const core::DigestResult result = eng->Digest(records);
   metrics_out.Final();
   if (flags.Has("report")) {
-    std::fputs(core::RenderReport(result, dict).c_str(), stdout);
+    std::fputs(core::RenderReport(result, eng->dict()).c_str(), stdout);
   } else {
     const std::size_t top = static_cast<std::size_t>(
         flags.GetInt("top", static_cast<long>(result.events.size())));
@@ -252,156 +230,150 @@ int CmdDigest(Flags& flags) {
   return 0;
 }
 
-// Shared: load configs + knowledge base for the online modes.
-bool LoadOnlineState(Flags& flags, core::LocationDict& dict,
-                     core::KnowledgeBase& kb) {
-  const std::string configs = flags.Require("configs");
-  const std::string kb_path = flags.Require("kb");
-  if (!flags.ok()) return false;
-  dict = core::LocationDict::Build(LoadConfigs(configs));
-  std::ifstream kb_in(kb_path);
-  std::stringstream kb_text;
-  kb_text << kb_in.rdbuf();
-  if (kb_text.str().empty()) {
-    std::fprintf(stderr, "cannot read %s\n", kb_path.c_str());
-    return false;
-  }
-  kb = core::KnowledgeBase::Deserialize(kb_text.str());
-  return true;
-}
-
 // Streaming mode over an archive file: events print the moment they
-// close.  Records route through a Collector first — the same
+// close.  Records route through the engine's Collector first — the same
 // reorder/dedup/loss-accounting front the live UDP mode uses — so the
 // run is a faithful end-to-end simulation and the collector_* metrics
 // reconcile: accepted = released + buffered, and ingested
 // (accepted + late + malformed + duplicates) equals the archive size.
 int CmdStream(Flags& flags) {
-  core::LocationDict dict;
-  core::KnowledgeBase kb;
-  if (!LoadOnlineState(flags, dict, kb)) return 2;
+  const std::string configs = flags.Require("configs");
+  const std::string kb_path = flags.Require("kb");
   const std::string in_path = flags.Require("in");
   if (!flags.ok()) return 2;
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
   const bool want_metrics = metrics_out.enabled() || flags.Has("stats");
+  engine::EngineOptions opts;
+  opts.shards =
+      static_cast<std::size_t>(std::max(1L, flags.GetInt("threads", 1)));
+  opts.hold_ms = flags.GetInt("hold-ms", 5000);
+  opts.idle_close_ms = flags.GetInt("idle-close-s", 1800) * kMsPerSecond;
+  opts.metrics = want_metrics ? &metrics : nullptr;
+  std::string error;
+  const auto eng = engine::Engine::Load(configs, kb_path, opts, &error);
+  if (eng == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
   bool ok = true;
   const auto records = ReadRecordsCli(
       flags, in_path, want_metrics ? &metrics : nullptr, ok);
   if (!ok) return 1;
-  const TimeMs idle_close =
-      flags.GetInt("idle-close-s", 1800) * kMsPerSecond;
-  const long threads = flags.GetInt("threads", 1);
-
-  syslog::Collector collector(flags.GetInt("hold-ms", 5000));
-  if (want_metrics) collector.BindMetrics(&metrics);
-
-  std::size_t events = 0;
-  if (threads > 1) {
-    pipeline::PipelineOptions opts;
-    opts.shards = static_cast<std::size_t>(threads);
-    opts.idle_close_ms = idle_close;
-    opts.metrics = want_metrics ? &metrics : nullptr;
-    pipeline::ShardedPipeline p(&kb, &dict, opts);
-    p.SetEventSink([&events](core::DigestEvent ev) {
-      std::printf("%s\n", ev.Format().c_str());
-      ++events;
-    });
-    for (const auto& rec : records) {
-      collector.IngestRecord(rec);
-      for (auto& released : collector.Drain()) p.Push(released);
-      metrics_out.Periodic();
-    }
-    for (auto& released : collector.Flush()) p.Push(released);
-    p.Finish();
-  } else {
-    core::StreamingDigester digester(&kb, &dict, core::DigestOptions{},
-                                     idle_close);
-    if (want_metrics) digester.BindMetrics(&metrics);
-    const auto emit = [&events](const std::vector<core::DigestEvent>& evs) {
-      for (const auto& ev : evs) {
-        std::printf("%s\n", ev.Format().c_str());
-        ++events;
-      }
-    };
-    for (const auto& rec : records) {
-      collector.IngestRecord(rec);
-      for (auto& released : collector.Drain()) emit(digester.Push(released));
-      metrics_out.Periodic();
-    }
-    for (auto& released : collector.Flush()) emit(digester.Push(released));
-    emit(digester.Flush());
+  eng->SetEventSink([](const core::DigestEvent& ev) {
+    std::printf("%s\n", ev.Format().c_str());
+  });
+  for (const auto& rec : records) {
+    eng->IngestRecord(rec);
+    eng->Pump();
+    metrics_out.Periodic();
   }
+  eng->Finish();
   metrics_out.Final();
   if (flags.Has("stats")) {
     std::fputs(metrics.Collect().RenderPrometheus().c_str(), stderr);
   }
   std::fprintf(stderr, "%zu records -> %zu events\n", records.size(),
-               events);
+               eng->event_count());
   return 0;
 }
 
 // Live collector mode: listen for RFC 3164 datagrams on UDP and print
-// events as they close.  Exits after --max-datagrams (for scripting) or
-// runs until killed.
+// events as they close.  One network with --configs/--kb/--port, or many
+// with repeated --tenant NAME:CONFIGS:KB[:PORT] specs — each tenant gets
+// its own engine (KB, collector, digest state) and its own socket, all
+// multiplexed by one EngineHost over a shared thread pool and registry.
+// Exits after --max-datagrams across all tenants (for scripting) or runs
+// until killed.
 int CmdServe(Flags& flags) {
-  core::LocationDict dict;
-  core::KnowledgeBase kb;
-  if (!LoadOnlineState(flags, dict, kb)) return 2;
-  const auto port =
-      static_cast<std::uint16_t>(flags.GetInt("port", 5514));
-  auto receiver = syslog::UdpReceiver::Bind(port);
-  if (!receiver) {
-    std::fprintf(stderr, "cannot bind UDP port %u\n", port);
-    return 1;
-  }
-  std::fprintf(stderr, "listening on 127.0.0.1:%u\n", receiver->port());
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
-  syslog::Collector collector(
-      flags.GetInt("hold-ms", 5000),
-      static_cast<int>(flags.GetInt("year", 2009)));
-  core::StreamingDigester digester(
-      &kb, &dict, core::DigestOptions{},
-      flags.GetInt("idle-close-s", 1800) * kMsPerSecond);
-  if (metrics_out.enabled()) {
-    collector.BindMetrics(&metrics);
-    digester.BindMetrics(&metrics);
+  engine::EngineOptions base;
+  base.shards =
+      static_cast<std::size_t>(std::max(1L, flags.GetInt("shards", 1)));
+  base.hold_ms = flags.GetInt("hold-ms", 5000);
+  base.year = static_cast<int>(flags.GetInt("year", 2009));
+  base.idle_close_ms = flags.GetInt("idle-close-s", 1800) * kMsPerSecond;
+
+  std::vector<engine::TenantSpec> specs;
+  const bool multi = flags.Has("tenant");
+  if (multi) {
+    for (const std::string& text : flags.GetAll("tenant")) {
+      engine::TenantSpec spec;
+      std::string error;
+      if (!engine::ParseTenantSpec(text, &spec, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+      spec.options = base;
+      specs.push_back(std::move(spec));
+    }
+  } else {
+    engine::TenantSpec spec;
+    spec.configs_dir = flags.Require("configs");
+    spec.kb_path = flags.Require("kb");
+    if (!flags.ok()) return 2;
+    spec.port = static_cast<std::uint16_t>(flags.GetInt("port", 5514));
+    spec.options = base;
+    specs.push_back(std::move(spec));
   }
-  const long max_datagrams = flags.GetInt("max-datagrams", 0);
+
+  engine::HostOptions host_opts;
+  host_opts.pool_threads =
+      static_cast<int>(flags.GetInt("pump-threads", 0));
+  host_opts.metrics = metrics_out.enabled() ? &metrics : nullptr;
+  engine::EngineHost host(host_opts);
+  std::string error;
+  if (!host.LoadTenants(std::move(specs), &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  if (!host.BindAll(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  // One mutex serializes event lines across tenants; each tenant's own
+  // subsequence stays its deterministic close order.  Multi-tenant lines
+  // are prefixed "NAME|"; single-tenant output is byte-identical to the
+  // historical serve mode.
+  std::mutex out_mutex;
+  for (std::size_t i = 0; i < host.tenant_count(); ++i) {
+    engine::Engine* eng = host.engine(i);
+    const std::string prefix = multi ? eng->tenant() + "|" : "";
+    eng->SetEventSink([prefix, &out_mutex](const core::DigestEvent& ev) {
+      const std::lock_guard<std::mutex> lock(out_mutex);
+      std::printf("%s%s\n", prefix.c_str(), ev.Format().c_str());
+      std::fflush(stdout);
+    });
+    if (multi) {
+      std::fprintf(stderr, "tenant %s listening on 127.0.0.1:%u\n",
+                   eng->tenant().c_str(), host.port_of(i));
+    } else {
+      std::fprintf(stderr, "listening on 127.0.0.1:%u\n", host.port_of(i));
+    }
+  }
+  engine::EngineHost::ServeOptions serve;
+  serve.max_datagrams = flags.GetInt("max-datagrams", 0);
   // After traffic has been seen, an idle stretch of this many seconds
   // ends the server (0 = run forever); makes scripted runs robust to UDP
   // loss under bursts.
-  const long idle_exit_s = flags.GetInt("idle-exit-s", 0);
-  long seen = 0;
-  long quiet_polls = 0;
-  while (max_datagrams == 0 || seen < max_datagrams) {
-    const auto datagram = receiver->Receive(1000);
-    metrics_out.Periodic();
-    if (!datagram) {
-      ++quiet_polls;
-      if (idle_exit_s > 0 && seen > 0 && quiet_polls >= idle_exit_s) break;
-      continue;
-    }
-    quiet_polls = 0;
-    ++seen;
-    collector.IngestDatagram(*datagram);
-    for (auto& rec : collector.Drain()) {
-      for (const auto& ev : digester.Push(rec)) {
-        std::printf("%s\n", ev.Format().c_str());
-        std::fflush(stdout);
-      }
-    }
-  }
-  for (auto& rec : collector.Flush()) digester.Push(rec);
-  for (const auto& ev : digester.Flush()) {
-    std::printf("%s\n", ev.Format().c_str());
-  }
+  serve.idle_exit_s = flags.GetInt("idle-exit-s", 0);
+  serve.on_tick = [&metrics_out] { metrics_out.Periodic(); };
+  host.Serve(serve);
   metrics_out.Final();
-  std::fprintf(stderr,
-               "done: %zu datagrams (%zu malformed)\n",
-               collector.accepted_count() + collector.malformed_count(),
-               collector.malformed_count());
+  for (std::size_t i = 0; i < host.tenant_count(); ++i) {
+    const syslog::Collector& c = host.engine(i)->collector();
+    if (multi) {
+      std::fprintf(stderr, "tenant %s done: %zu datagrams (%zu malformed)\n",
+                   host.engine(i)->tenant().c_str(),
+                   c.accepted_count() + c.malformed_count(),
+                   c.malformed_count());
+    } else {
+      std::fprintf(stderr, "done: %zu datagrams (%zu malformed)\n",
+                   c.accepted_count() + c.malformed_count(),
+                   c.malformed_count());
+    }
+  }
   return 0;
 }
 
@@ -478,22 +450,36 @@ void Usage() {
       "--configs DIR\n"
       "  learn   --configs DIR --history FILE --kb FILE [--window-s N] "
       "[--sweep]\n"
-      "          [--learn-threads N] [--metrics-out FILE]  (N=0: one thread "
-      "per core; same KB at any N)\n"
+      "          [--learn-threads N]  (N=0: one thread per core; same KB "
+      "at any N)\n"
       "  digest  --configs DIR --kb FILE --in FILE [--report] [--csv FILE] "
-      "[--top N] [--threads N] [--metrics-out FILE]\n"
+      "[--top N]\n"
+      "          [--threads N]\n"
       "  stream  --configs DIR --kb FILE --in FILE [--idle-close-s N] "
-      "[--threads N] [--hold-ms N]\n"
-      "          [--metrics-out FILE] [--metrics-interval-s N] [--stats]\n"
-      "  serve   --configs DIR --kb FILE [--port N] [--max-datagrams N] "
-      "[--idle-exit-s N] [--metrics-out FILE]\n"
-      "  (--metrics-out FILE writes a metrics snapshot as FILE (JSON) and "
-      "FILE.prom (Prometheus text))\n"
-      "  (learn/digest/stream/replay: --ingest-threads N reads archives "
-      "with N parse workers;\n"
-      "   N=0: one per core; records are identical at any N)\n"
-      "  replay  --in FILE [--host IP] [--port N]\n"
-      "  inspect --kb FILE\n",
+      "[--threads N]\n"
+      "          [--hold-ms N] [--stats]\n"
+      "  serve   --configs DIR --kb FILE [--port N] [--year N]\n"
+      "          or repeatable --tenant NAME:CONFIGS:KB[:PORT] to serve "
+      "several\n"
+      "          networks in one process (events print as \"NAME|event\"; "
+      "every\n"
+      "          metric series carries a tenant label)\n"
+      "          [--shards N] [--pump-threads N] [--hold-ms N] "
+      "[--idle-close-s N]\n"
+      "          [--max-datagrams N] [--idle-exit-s N]\n"
+      "  replay  --in FILE [--host IP] [--port N] [--pace-us N]\n"
+      "  inspect --kb FILE\n"
+      "common flags:\n"
+      "  --metrics-out FILE writes metric snapshots as FILE (JSON) and "
+      "FILE.prom\n"
+      "    (Prometheus text); --metrics-interval-s N rewrites them at most "
+      "every\n"
+      "    N seconds (learn/digest/stream/serve)\n"
+      "  --ingest-threads N reads archives with N parse workers "
+      "(learn/digest/\n"
+      "    stream/replay; N=0: one per core; same records at any N)\n"
+      "  --threads / --shards N digests with N shard workers (same events "
+      "at any N)\n",
       stderr);
 }
 
