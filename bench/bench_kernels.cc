@@ -1,0 +1,410 @@
+// Byte-kernel microbench: GB/s per kernel per SIMD dispatch level
+// (common/simd.h), with in-process scalar agreement verified on the full
+// corpus every run and a steady-state allocation audit.  Written to
+// BENCH_kernels.json and gated in CI by tools/bench_gate.py (kind
+// "kernels"): agreement and the zero-alloc audit always; avx2-vs-scalar
+// speedup floors only when the running host reports AVX2.
+//
+//   bench_kernels                     # defaults: ~8 MiB corpus, 5 reps
+//   bench_kernels --mb 2 --reps 3     # CI smoke
+//   bench_kernels --json=FILE         # output path (default
+//                                     # BENCH_kernels.json)
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "common/hash.h"
+#include "common/simd.h"
+
+using namespace sld;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+std::string JsonArray(const std::vector<double>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ", ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v[i]);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+// Deterministic syslog-shaped corpus: newline-terminated lines of short
+// space/tab-separated tokens (the byte distribution the kernels actually
+// see), plus focused inputs for the fixed-width kernels.
+struct Corpus {
+  std::string lines;                       // find_newline input
+  std::vector<std::string> details;        // split/hash input
+  std::size_t detail_bytes = 0;
+  std::vector<std::string> digit_fields;   // validate_digits input
+  std::size_t digit_bytes = 0;
+  std::vector<std::array<char, 16>> dates; // equal_date10 pairs (i, i+1)
+  std::vector<std::array<char, 8>> clocks; // parse_clock8 input
+};
+
+Corpus BuildCorpus(std::size_t target_bytes) {
+  Corpus c;
+  std::mt19937_64 rng(bench::kOfflineSeed);
+  static constexpr char kToken[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEF0123456789./:-";
+  c.lines.reserve(target_bytes + 160);
+  std::string detail;
+  while (c.lines.size() < target_bytes) {
+    detail.clear();
+    const int tokens = 4 + static_cast<int>(rng() % 10);
+    for (int t = 0; t < tokens; ++t) {
+      if (t != 0) detail += (rng() % 16 == 0) ? '\t' : ' ';
+      const int len = 2 + static_cast<int>(rng() % 11);
+      for (int i = 0; i < len; ++i) {
+        detail += kToken[rng() % (sizeof(kToken) - 1)];
+      }
+    }
+    c.lines += detail;
+    c.lines += '\n';
+    c.detail_bytes += detail.size();
+    c.details.push_back(detail);
+  }
+  // Digit fields: mostly pure digits (lengths 1..19), every 8th with one
+  // corrupt byte so the early-exit path is timed too.
+  for (int i = 0; i < 4096; ++i) {
+    std::string field;
+    const int len = 1 + static_cast<int>(rng() % 19);
+    for (int j = 0; j < len; ++j) {
+      field += static_cast<char>('0' + rng() % 10);
+    }
+    if (i % 8 == 0) field[rng() % field.size()] = 'x';
+    c.digit_bytes += field.size();
+    c.digit_fields.push_back(std::move(field));
+  }
+  // Date pairs: compare (i, i+1); runs of equal dates with a mismatch
+  // roughly every 16 entries (the archive-scan hit pattern).
+  std::array<char, 16> date{};
+  std::memcpy(date.data(), "2010-01-10\0\0\0\0\0\0", 16);
+  for (int i = 0; i < 4096; ++i) {
+    if (rng() % 16 == 0) date[8] = static_cast<char>('0' + rng() % 10);
+    c.dates.push_back(date);
+  }
+  // Clocks: valid shapes with a malformed byte every 32nd entry.
+  for (int i = 0; i < 4096; ++i) {
+    char buf[9];
+    std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d",
+                  static_cast<int>(rng() % 24), static_cast<int>(rng() % 60),
+                  static_cast<int>(rng() % 60));
+    std::array<char, 8> clock;
+    std::memcpy(clock.data(), buf, 8);
+    if (i % 32 == 0) clock[rng() % 8] = 'x';
+    c.clocks.push_back(clock);
+  }
+  return c;
+}
+
+// One timed pass per kernel.  Each returns a checksum (defeats dead-code
+// elimination) and sets `bytes` to the volume processed.
+std::uint64_t RunFindNewline(const simd::KernelTable& t, const Corpus& c,
+                             std::size_t& bytes) {
+  const char* data = c.lines.data();
+  const std::size_t n = c.lines.size();
+  std::uint64_t sum = 0;
+  std::size_t pos = 0;
+  while (pos < n) {
+    const std::size_t nl = t.find_byte(data, n, pos, '\n');
+    sum += nl;
+    pos = nl + 1;
+  }
+  bytes = n;
+  return sum;
+}
+
+std::uint64_t RunSplitWhitespace(const simd::KernelTable& t, const Corpus& c,
+                                 std::vector<std::string_view>& scratch,
+                                 std::size_t& bytes) {
+  std::uint64_t sum = 0;
+  for (const std::string& d : c.details) {
+    t.split_whitespace(d, &scratch);
+    sum += scratch.size();
+    if (!scratch.empty()) sum += scratch.back().size();
+  }
+  bytes = c.detail_bytes;
+  return sum;
+}
+
+std::uint64_t RunHashBytes(const simd::KernelTable& t, const Corpus& c,
+                           std::size_t& bytes) {
+  std::uint64_t sum = 0;
+  for (const std::string& d : c.details) {
+    sum ^= t.hash_bytes(d.data(), d.size(), kFnv1aOffset);
+  }
+  bytes = c.detail_bytes;
+  return sum;
+}
+
+std::uint64_t RunValidateDigits(const simd::KernelTable& t, const Corpus& c,
+                                std::size_t& bytes) {
+  std::uint64_t sum = 0;
+  for (const std::string& f : c.digit_fields) {
+    sum += t.validate_digits(f.data(), f.size()) ? 1 : 0;
+  }
+  bytes = c.digit_bytes;
+  return sum;
+}
+
+std::uint64_t RunEqualDate10(const simd::KernelTable& t, const Corpus& c,
+                             std::size_t& bytes) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i + 1 < c.dates.size(); ++i) {
+    sum += t.equal_date10(c.dates[i].data(), c.dates[i + 1].data()) ? 1 : 0;
+  }
+  bytes = (c.dates.size() - 1) * 10;
+  return sum;
+}
+
+std::uint64_t RunParseClock8(const simd::KernelTable& t, const Corpus& c,
+                             std::size_t& bytes) {
+  std::uint64_t sum = 0;
+  for (const std::array<char, 8>& clock : c.clocks) {
+    sum += static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(t.parse_clock8(clock.data())));
+  }
+  bytes = c.clocks.size() * 8;
+  return sum;
+}
+
+struct LevelResult {
+  simd::Level level;
+  double gb_per_sec = 0;
+  std::vector<double> reps;
+};
+
+struct KernelResult {
+  const char* name;
+  std::vector<LevelResult> levels;
+};
+
+std::vector<simd::Level> HostLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::Supported(simd::Level::kSse2)) {
+    levels.push_back(simd::Level::kSse2);
+  }
+  if (simd::Supported(simd::Level::kAvx2)) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  std::size_t mb = 8;
+  std::string json = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mb") == 0 && i + 1 < argc) {
+      mb = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = argv[i] + 7;
+    }
+  }
+  if (reps < 1) reps = 1;
+  if (mb < 1) mb = 1;
+
+  bench::Header("kernels", "SIMD byte-kernel throughput",
+                "per-kernel GB/s at each dispatch level; every level "
+                "byte-identical to the scalar oracle");
+
+  const Corpus corpus = BuildCorpus(mb << 20);
+  std::printf("corpus: %zu lines bytes, %zu details, %zu digit fields\n",
+              corpus.lines.size(), corpus.details.size(),
+              corpus.digit_fields.size());
+
+  const std::vector<simd::Level> levels = HostLevels();
+  const simd::Level best = levels.back();
+
+  // Agreement: every kernel at every level must reproduce the scalar
+  // oracle's results on the full corpus (checksums compare everything the
+  // runners observe: positions, token counts/spans, hashes, verdicts).
+  bool identical = true;
+  std::vector<std::string_view> scratch;
+  {
+    const simd::KernelTable& oracle = simd::TableFor(simd::Level::kScalar);
+    std::size_t bytes = 0;
+    const std::uint64_t want_nl = RunFindNewline(oracle, corpus, bytes);
+    const std::uint64_t want_split =
+        RunSplitWhitespace(oracle, corpus, scratch, bytes);
+    const std::uint64_t want_hash = RunHashBytes(oracle, corpus, bytes);
+    const std::uint64_t want_digits =
+        RunValidateDigits(oracle, corpus, bytes);
+    const std::uint64_t want_dates = RunEqualDate10(oracle, corpus, bytes);
+    const std::uint64_t want_clocks = RunParseClock8(oracle, corpus, bytes);
+    for (const simd::Level level : levels) {
+      const simd::KernelTable& t = simd::TableFor(level);
+      const bool ok =
+          RunFindNewline(t, corpus, bytes) == want_nl &&
+          RunSplitWhitespace(t, corpus, scratch, bytes) == want_split &&
+          RunHashBytes(t, corpus, bytes) == want_hash &&
+          RunValidateDigits(t, corpus, bytes) == want_digits &&
+          RunEqualDate10(t, corpus, bytes) == want_dates &&
+          RunParseClock8(t, corpus, bytes) == want_clocks;
+      if (!ok) {
+        identical = false;
+        std::fprintf(stderr, "FAIL: %s kernels disagree with scalar\n",
+                     simd::LevelName(level));
+      }
+    }
+  }
+
+  // Steady-state allocation audit: with the scratch vector warmed, a full
+  // pass over every kernel at the best level must allocate nothing.
+  std::uint64_t steady_allocs = 0;
+  {
+    const simd::KernelTable& t = simd::TableFor(best);
+    std::size_t bytes = 0;
+    RunSplitWhitespace(t, corpus, scratch, bytes);  // warm scratch
+    const std::uint64_t before = bench::AllocationCount();
+    RunFindNewline(t, corpus, bytes);
+    RunSplitWhitespace(t, corpus, scratch, bytes);
+    RunHashBytes(t, corpus, bytes);
+    RunValidateDigits(t, corpus, bytes);
+    RunEqualDate10(t, corpus, bytes);
+    RunParseClock8(t, corpus, bytes);
+    steady_allocs = bench::AllocationCount() - before;
+    std::printf("steady-state allocations over all kernels: %llu\n",
+                static_cast<unsigned long long>(steady_allocs));
+  }
+
+  using Runner = std::uint64_t (*)(const simd::KernelTable&, const Corpus&,
+                                   std::vector<std::string_view>&,
+                                   std::size_t&);
+  struct Spec {
+    const char* name;
+    Runner run;
+  };
+  // Uniform runner signature (the scratch is unused by most kernels).
+  static const Spec kSpecs[] = {
+      {"find_newline",
+       [](const simd::KernelTable& t, const Corpus& c,
+          std::vector<std::string_view>&, std::size_t& b) {
+         return RunFindNewline(t, c, b);
+       }},
+      {"split_whitespace",
+       [](const simd::KernelTable& t, const Corpus& c,
+          std::vector<std::string_view>& s, std::size_t& b) {
+         return RunSplitWhitespace(t, c, s, b);
+       }},
+      {"hash_bytes",
+       [](const simd::KernelTable& t, const Corpus& c,
+          std::vector<std::string_view>&, std::size_t& b) {
+         return RunHashBytes(t, c, b);
+       }},
+      {"validate_digits",
+       [](const simd::KernelTable& t, const Corpus& c,
+          std::vector<std::string_view>&, std::size_t& b) {
+         return RunValidateDigits(t, c, b);
+       }},
+      {"equal_date10",
+       [](const simd::KernelTable& t, const Corpus& c,
+          std::vector<std::string_view>&, std::size_t& b) {
+         return RunEqualDate10(t, c, b);
+       }},
+      {"parse_clock8",
+       [](const simd::KernelTable& t, const Corpus& c,
+          std::vector<std::string_view>&, std::size_t& b) {
+         return RunParseClock8(t, c, b);
+       }},
+  };
+
+  std::uint64_t sink = 0;
+  std::vector<KernelResult> results;
+  for (const Spec& spec : kSpecs) {
+    KernelResult result;
+    result.name = spec.name;
+    for (const simd::Level level : levels) {
+      const simd::KernelTable& t = simd::TableFor(level);
+      LevelResult lr;
+      lr.level = level;
+      std::size_t bytes = 0;
+      sink ^= spec.run(t, corpus, scratch, bytes);  // warm
+      // Inner repeats so the short fixed-width corpora measure above
+      // timer granularity.
+      const int inner =
+          std::max<int>(1, static_cast<int>((mb << 20) / (bytes + 1)));
+      for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int k = 0; k < inner; ++k) {
+          sink ^= spec.run(t, corpus, scratch, bytes);
+        }
+        const double s = Seconds(start);
+        lr.reps.push_back(static_cast<double>(bytes) * inner / s / 1e9);
+      }
+      lr.gb_per_sec = Median(lr.reps);
+      result.levels.push_back(std::move(lr));
+    }
+    const LevelResult& scalar = result.levels.front();
+    std::printf("%-17s", spec.name);
+    for (const LevelResult& lr : result.levels) {
+      std::printf("  %s %6.2f GB/s (%4.2fx)", simd::LevelName(lr.level),
+                  lr.gb_per_sec, lr.gb_per_sec / scalar.gb_per_sec);
+    }
+    std::printf("\n");
+    results.push_back(std::move(result));
+  }
+
+  std::ofstream out(json);
+  out << "{\n  \"benchmark\": \"kernels\",\n"
+      << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"best_level\": \"" << simd::LevelName(best) << "\",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"corpus_mb\": " << mb << ",\n"
+      << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"steady_allocs\": " << steady_allocs << ",\n"
+      << "  \"checksum\": " << (sink & 0xFFFF) << ",\n"
+      << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& result = results[i];
+    out << "    {\"name\": \"" << result.name << "\", \"levels\": [";
+    for (std::size_t j = 0; j < result.levels.size(); ++j) {
+      const LevelResult& lr = result.levels[j];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"level\": \"%s\", \"gb_per_sec\": %.6g, "
+                    "\"reps\": %s}",
+                    j == 0 ? "" : ", ", simd::LevelName(lr.level),
+                    lr.gb_per_sec, JsonArray(lr.reps).c_str());
+      out << buf;
+    }
+    out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", json.c_str());
+
+  const bool alloc_ok = steady_allocs == 0;
+  if (!alloc_ok) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state kernel pass allocated %llu times\n",
+                 static_cast<unsigned long long>(steady_allocs));
+  }
+  return identical && alloc_ok ? 0 : 1;
+}

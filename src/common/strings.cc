@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "common/simd.h"
+
 namespace sld {
 namespace {
 
@@ -17,14 +19,12 @@ std::vector<std::string_view> SplitWhitespace(std::string_view text) {
 
 void SplitWhitespace(std::string_view text,
                      std::vector<std::string_view>* out) {
-  out->clear();
-  std::size_t i = 0;
-  while (i < text.size()) {
-    while (i < text.size() && IsSpace(text[i])) ++i;
-    const std::size_t start = i;
-    while (i < text.size() && !IsSpace(text[i])) ++i;
-    if (i > start) out->push_back(text.substr(start, i - start));
-  }
+  simd::SplitWhitespace(text, out);
+}
+
+std::vector<std::string_view>& TlsTokenScratch() {
+  thread_local std::vector<std::string_view> scratch;
+  return scratch;
 }
 
 std::vector<std::string_view> SplitChar(std::string_view text, char delim) {
@@ -100,11 +100,7 @@ std::optional<std::int64_t> ParseInt(std::string_view text) noexcept {
 }
 
 bool IsAllDigits(std::string_view text) noexcept {
-  if (text.empty()) return false;
-  for (const char c : text) {
-    if (c < '0' || c > '9') return false;
-  }
-  return true;
+  return simd::IsAllDigits(text);
 }
 
 bool LooksLikeIpv4(std::string_view text) noexcept {

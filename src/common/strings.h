@@ -22,6 +22,13 @@ std::vector<std::string_view> SplitWhitespace(std::string_view text);
 void SplitWhitespace(std::string_view text,
                      std::vector<std::string_view>* out);
 
+// Per-thread scratch vector for SplitWhitespace on hot paths that have no
+// natural place to carry one (extractor/learner/template lookups).  The
+// views it holds alias the caller's text and are clobbered by the next
+// use on the same thread — consume the tokens before calling anything
+// that tokenizes again.
+std::vector<std::string_view>& TlsTokenScratch();
+
 // Splits on every occurrence of `delim`; empty fields are preserved
 // ("a||b" -> {"a", "", "b"}).  The views alias `text`.
 std::vector<std::string_view> SplitChar(std::string_view text, char delim);

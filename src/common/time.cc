@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/simd.h"
+
 namespace sld {
 namespace {
 
@@ -127,9 +129,10 @@ std::optional<TimeMs> ParseTimestamp(std::string_view text) noexcept {
 std::optional<TimeMs> ParseTimestampFast(std::string_view text,
                                          TimestampMemo& memo) noexcept {
   if (text.size() != 19 && text.size() != 23) return std::nullopt;
+  // text.size() >= 19 and memo.date is padded to 16 bytes, so both sides
+  // satisfy EqualDate10's 16-readable-bytes contract.
   TimeMs base;
-  if (memo.valid &&
-      std::memcmp(text.data(), memo.date.data(), memo.date.size()) == 0) {
+  if (memo.valid && simd::EqualDate10(text.data(), memo.date.data())) {
     base = memo.day_base;
   } else {
     int year, month, day;
@@ -141,16 +144,17 @@ std::optional<TimeMs> ParseTimestampFast(std::string_view text,
     if (month < 1 || month > 12) return std::nullopt;
     if (day < 1 || day > DaysInMonth(year, month)) return std::nullopt;
     base = DaysFromCivil(year, month, day) * kMsPerDay;
-    std::memcpy(memo.date.data(), text.data(), memo.date.size());
+    std::memcpy(memo.date.data(), text.data(), TimestampMemo::kDateLen);
     memo.day_base = base;
     memo.valid = true;
   }
-  int hour, minute, second, millisecond = 0;
-  if (text[10] != ' ' || !ParseFixedInt(text, 11, 2, hour) ||
-      text[13] != ':' || !ParseFixedInt(text, 14, 2, minute) ||
-      text[16] != ':' || !ParseFixedInt(text, 17, 2, second)) {
-    return std::nullopt;
-  }
+  if (text[10] != ' ') return std::nullopt;
+  const int clock = simd::ParseClock8(text.data() + 11);
+  if (clock < 0) return std::nullopt;
+  const int hour = (clock >> 16) & 0xFF;
+  const int minute = (clock >> 8) & 0xFF;
+  const int second = clock & 0xFF;
+  int millisecond = 0;
   if (text.size() == 23 &&
       (text[19] != '.' || !ParseFixedInt(text, 20, 3, millisecond))) {
     return std::nullopt;

@@ -62,9 +62,12 @@ std::optional<TimeMs> ParseTimestamp(std::string_view text) noexcept;
 // Memo for ParseTimestampFast: caches the last successfully validated
 // "YYYY-MM-DD" prefix and its midnight on the millisecond axis.  Only
 // validated dates enter the memo, so a 10-byte prefix match is proof the
-// date part is well-formed and in range.
+// date part is well-formed and in range.  The array is padded to 16 bytes
+// (only the first kDateLen are meaningful, the rest stay zero) so the
+// prefix check can be one 16-byte vector compare — see simd::EqualDate10.
 struct TimestampMemo {
-  std::array<char, 10> date{};
+  static constexpr std::size_t kDateLen = 10;
+  std::array<char, 16> date{};
   TimeMs day_base = 0;
   bool valid = false;
 };

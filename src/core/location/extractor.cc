@@ -19,7 +19,10 @@ std::vector<LocationId> LocationExtractor::Extract(
   };
   add(dict_->RouterLocation(*rid));
 
-  const std::vector<std::string_view> tokens = SplitWhitespace(detail);
+  // Extract() is const and runs concurrently on pool workers, so the
+  // tokenization scratch is per-thread rather than a member.
+  std::vector<std::string_view>& tokens = TlsTokenScratch();
+  SplitWhitespace(detail, &tokens);
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const std::string_view s = StripPunct(tokens[i]);
     if (s.empty()) continue;

@@ -35,7 +35,8 @@ std::string DrainLearner::LeafKey(
 
 void DrainLearner::Add(std::string_view code, std::string_view detail) {
   ++messages_;
-  const std::vector<std::string_view> tokens = SplitWhitespace(detail);
+  std::vector<std::string_view>& tokens = TlsTokenScratch();
+  SplitWhitespace(detail, &tokens);
   std::vector<Cluster>& leaf = leaves_[LeafKey(code, tokens)];
 
   // Most similar cluster: fraction of positions with equal tokens (an

@@ -10,8 +10,11 @@
 namespace sld::core {
 
 void TemplateLearner::Add(std::string_view code, std::string_view detail) {
+  std::vector<std::string_view>& tokens = TlsTokenScratch();
+  SplitWhitespace(detail, &tokens);
   std::vector<TokenId> ids;
-  for (const std::string_view tok : SplitWhitespace(detail)) {
+  ids.reserve(tokens.size());
+  for (const std::string_view tok : tokens) {
     ids.push_back(interner_.Intern(tok));
   }
   types_[std::string(code)].messages.push_back(std::move(ids));

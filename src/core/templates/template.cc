@@ -66,7 +66,8 @@ TemplateId TemplateSet::AddUnchecked(std::string code,
 
 std::optional<TemplateId> TemplateSet::Match(std::string_view code,
                                              std::string_view detail) const {
-  const auto tokens = SplitWhitespace(detail);
+  std::vector<std::string_view>& tokens = TlsTokenScratch();
+  SplitWhitespace(detail, &tokens);
   return Match(code, tokens);
 }
 

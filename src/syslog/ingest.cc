@@ -10,6 +10,7 @@
 #include <fstream>
 #include <utility>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "obs/registry.h"
 
@@ -90,12 +91,8 @@ std::vector<std::pair<std::size_t, std::size_t>> SplitBlocks(
     if (end >= data.size()) {
       end = data.size();
     } else {
-      const void* nl =
-          std::memchr(data.data() + end, '\n', data.size() - end);
-      end = nl != nullptr ? static_cast<std::size_t>(
-                                static_cast<const char*>(nl) - data.data()) +
-                                1
-                          : data.size();
+      const std::size_t nl = simd::FindNewlineFrom(data, end);
+      end = nl < data.size() ? nl + 1 : data.size();
     }
     blocks.emplace_back(begin, end);
     begin = end;
@@ -114,13 +111,7 @@ void ParseBlock(std::string_view block, std::vector<SyslogRecord>& out,
   out.reserve(block.size() / 64 + 1);
   std::size_t pos = 0;
   while (pos < block.size()) {
-    const void* nl =
-        std::memchr(block.data() + pos, '\n', block.size() - pos);
-    const std::size_t end =
-        nl != nullptr
-            ? static_cast<std::size_t>(static_cast<const char*>(nl) -
-                                       block.data())
-            : block.size();
+    const std::size_t end = simd::FindNewlineFrom(block, pos);
     const std::string_view line = block.substr(pos, end - pos);
     pos = end + 1;
     if (line.empty() || line.front() == '#') continue;

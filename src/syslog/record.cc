@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "common/simd.h"
 #include "common/strings.h"
 
 namespace sld::syslog {
@@ -39,13 +40,13 @@ bool ParseRecordInto(std::string_view line, SyslogRecord& rec,
   // leading whitespace skipped — and the tail can never be all spaces,
   // which is why the code-emptiness check below still suffices.
   std::string_view rest = TrimLeft(line.substr(19));
-  const std::size_t router_end = rest.find(' ');
-  if (router_end == std::string_view::npos) return false;
+  const std::size_t router_end = simd::FindByteFrom(rest, 0, ' ');
+  if (router_end == rest.size()) return false;
   rec.time = *time;
   rec.router.assign(rest.data(), router_end);
   rest = TrimLeft(rest.substr(router_end));
-  const std::size_t code_end = rest.find(' ');
-  if (code_end == std::string_view::npos) {
+  const std::size_t code_end = simd::FindByteFrom(rest, 0, ' ');
+  if (code_end == rest.size()) {
     rec.code.assign(rest.data(), rest.size());
     rec.detail.clear();
   } else {

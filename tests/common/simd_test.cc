@@ -1,0 +1,331 @@
+// Differential tests for the SIMD kernel layer (common/simd.h).
+//
+// Every vector kernel must agree byte-for-byte with the scalar oracle for
+// every input: the sweeps below cover lengths 0..257 at all 64 alignments
+// of an oversized page, adversarial byte placements (NUL, newline, space,
+// tab, high bytes at every position), guard-page spans that fault on any
+// overread, and a seeded random fuzz rep — all run per dispatch level the
+// host actually supports.  HashBytes additionally must return the *same
+// value* at every level (memo-cache keys are serialized into bench
+// identities), and flipping the active level must be invisible through
+// the public sld:: wrappers.
+
+#include "common/simd.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "common/time.h"
+
+namespace sld::simd {
+namespace {
+
+std::vector<Level> HostLevels() {
+  std::vector<Level> levels = {Level::kScalar};
+  if (Supported(Level::kSse2)) levels.push_back(Level::kSse2);
+  if (Supported(Level::kAvx2)) levels.push_back(Level::kAvx2);
+  return levels;
+}
+
+// Fills `n` bytes with a palette rich in the bytes the kernels classify.
+void Fill(std::mt19937_64& rng, char* p, std::size_t n) {
+  static constexpr char kPalette[] = {
+      'a',  'z',  'A',  '0',  '5',  '9',  ' ',  '\t', '\n', ':',
+      '-',  '.',  '/',  '\0', '\r', '#',  '<',  '*',  '>',
+      static_cast<char>(0x80), static_cast<char>(0xC3),
+      static_cast<char>(0xFF)};
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = kPalette[rng() % sizeof(kPalette)];
+  }
+}
+
+// Runs every span-shaped kernel at `level` against the scalar table on
+// [data, data+n) and asserts full agreement.
+void ExpectSpanAgreement(Level level, const char* data, std::size_t n) {
+  const KernelTable& oracle = TableFor(Level::kScalar);
+  const KernelTable& table = TableFor(level);
+  const std::string_view text(data, n);
+
+  for (const char needle : {'\n', ' ', '\0'}) {
+    for (const std::size_t from : {std::size_t{0}, n / 2, n}) {
+      ASSERT_EQ(table.find_byte(data, n, from, needle),
+                oracle.find_byte(data, n, from, needle))
+          << "level=" << LevelName(level) << " n=" << n << " from=" << from
+          << " needle=" << static_cast<int>(needle);
+    }
+  }
+
+  std::vector<std::string_view> got, want;
+  table.split_whitespace(text, &got);
+  oracle.split_whitespace(text, &want);
+  ASSERT_EQ(got.size(), want.size())
+      << "level=" << LevelName(level) << " n=" << n;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(static_cast<const void*>(got[i].data()),
+              static_cast<const void*>(want[i].data()))
+        << "level=" << LevelName(level) << " n=" << n << " token=" << i;
+    ASSERT_EQ(got[i].size(), want[i].size())
+        << "level=" << LevelName(level) << " n=" << n << " token=" << i;
+  }
+
+  for (const std::uint64_t seed : {kFnv1aOffset, std::uint64_t{0},
+                                   std::uint64_t{0x1234abcd5678ef00ull}}) {
+    ASSERT_EQ(table.hash_bytes(data, n, seed),
+              oracle.hash_bytes(data, n, seed))
+        << "level=" << LevelName(level) << " n=" << n << " seed=" << seed;
+  }
+
+  ASSERT_EQ(table.validate_digits(data, n), oracle.validate_digits(data, n))
+      << "level=" << LevelName(level) << " n=" << n;
+}
+
+TEST(SimdKernels, LengthAlignmentSweep) {
+  std::mt19937_64 rng(12345);
+  alignas(64) static char page[4096];
+  for (std::size_t len = 0; len <= 257; ++len) {
+    for (std::size_t align = 0; align < 64; ++align) {
+      char* p = page + align;
+      Fill(rng, p, len);
+      // Variant 2: plant newlines at the edges and middle; variant 3:
+      // all digits (validate_digits true path).
+      for (int variant = 0; variant < 3; ++variant) {
+        if (variant == 1 && len > 0) {
+          p[0] = '\n';
+          p[len - 1] = '\n';
+          p[len / 2] = '\n';
+        }
+        if (variant == 2) {
+          for (std::size_t i = 0; i < len; ++i) {
+            p[i] = static_cast<char>('0' + (rng() % 10));
+          }
+        }
+        for (const Level level : HostLevels()) {
+          ExpectSpanAgreement(level, p, len);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, AdversarialBytePlacements) {
+  static constexpr unsigned char kSpecials[] = {0x00, 0x0A, 0x20, 0x09,
+                                                0x80, 0xFF};
+  alignas(64) static char page[4096];
+  for (const std::size_t align : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{15}, std::size_t{31},
+                                  std::size_t{33}, std::size_t{63}}) {
+    char* p = page + align;
+    constexpr std::size_t kLen = 130;  // spans 4 AVX2 chunks + tail
+    for (const unsigned char special : kSpecials) {
+      std::memset(p, 'a', kLen);
+      for (std::size_t pos = 0; pos < kLen; ++pos) {
+        p[pos] = static_cast<char>(special);
+        for (const Level level : HostLevels()) {
+          ExpectSpanAgreement(level, p, kLen);
+        }
+        p[pos] = 'a';
+      }
+    }
+  }
+}
+
+// Spans placed flush against a PROT_NONE page: any read past the span
+// faults.  (EqualDate10/ParseClock8 are exercised at their contract
+// widths — 16 and 8 readable bytes — likewise flush to the boundary.)
+TEST(SimdKernels, NoOverreadAtGuardPage) {
+  const std::size_t page = 4096;
+  void* raw = mmap(nullptr, 3 * page, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(raw, MAP_FAILED);
+  char* base = static_cast<char*>(raw);
+  ASSERT_EQ(mprotect(base + 2 * page, page, PROT_NONE), 0);
+  char* boundary = base + 2 * page;
+  std::mt19937_64 rng(777);
+  std::vector<std::string_view> scratch;
+  for (std::size_t len = 0; len <= 257; ++len) {
+    char* p = boundary - len;
+    Fill(rng, p, len);
+    for (const Level level : HostLevels()) {
+      const KernelTable& table = TableFor(level);
+      (void)table.find_byte(p, len, 0, '\n');
+      table.split_whitespace(std::string_view(p, len), &scratch);
+      (void)table.hash_bytes(p, len, kFnv1aOffset);
+      (void)table.validate_digits(p, len);
+    }
+  }
+  std::memcpy(boundary - 16, "2010-01-10 extra", 16);
+  std::memcpy(boundary - 32, "2010-01-10 other", 16);
+  for (const Level level : HostLevels()) {
+    EXPECT_TRUE(TableFor(level).equal_date10(boundary - 16, boundary - 32));
+  }
+  std::memcpy(boundary - 8, "12:34:56", 8);
+  for (const Level level : HostLevels()) {
+    EXPECT_EQ(TableFor(level).parse_clock8(boundary - 8),
+              (12 << 16) | (34 << 8) | 56);
+  }
+  munmap(base, 3 * page);
+}
+
+// Only the first 10 bytes participate in the compare; the 6 padding bytes
+// may differ arbitrarily at every level.
+TEST(SimdKernels, EqualDate10IgnoresPadding) {
+  char a[16];
+  char b[16];
+  std::memcpy(a, "2010-01-10 12:34", 16);
+  for (std::size_t diff = 0; diff < 16; ++diff) {
+    std::memcpy(b, a, 16);
+    b[diff] = '!';
+    const bool want = std::memcmp(a, b, 10) == 0;
+    for (const Level level : HostLevels()) {
+      EXPECT_EQ(TableFor(level).equal_date10(a, b), want)
+          << "level=" << LevelName(level) << " diff=" << diff;
+    }
+  }
+}
+
+TEST(SimdKernels, ParseClock8Sweep) {
+  const KernelTable& oracle = TableFor(Level::kScalar);
+  static constexpr char kReplacements[] = {
+      '0', '5', '9', ':', '/', '.', ' ', 'a', '\0', '\n',
+      static_cast<char>('0' - 1), static_cast<char>('9' + 1),
+      static_cast<char>(0x80), static_cast<char>(0xFF)};
+  char buf[8];
+  for (std::size_t pos = 0; pos < 8; ++pos) {
+    for (const char replacement : kReplacements) {
+      std::memcpy(buf, "12:34:56", 8);
+      buf[pos] = replacement;
+      for (const Level level : HostLevels()) {
+        ASSERT_EQ(TableFor(level).parse_clock8(buf), oracle.parse_clock8(buf))
+            << "level=" << LevelName(level) << " pos=" << pos
+            << " byte=" << static_cast<int>(replacement);
+      }
+    }
+  }
+  // All two-digit fields, varied one at a time (and packing spot checks).
+  for (int v = 0; v < 100; ++v) {
+    char hh[9], mm[9], ss[9];
+    std::snprintf(hh, sizeof(hh), "%02d:11:22", v);
+    std::snprintf(mm, sizeof(mm), "03:%02d:22", v);
+    std::snprintf(ss, sizeof(ss), "03:11:%02d", v);
+    for (const Level level : HostLevels()) {
+      const KernelTable& table = TableFor(level);
+      EXPECT_EQ(table.parse_clock8(hh), (v << 16) | (11 << 8) | 22);
+      EXPECT_EQ(table.parse_clock8(mm), (3 << 16) | (v << 8) | 22);
+      EXPECT_EQ(table.parse_clock8(ss), (3 << 16) | (11 << 8) | v);
+    }
+  }
+}
+
+// The memo-key identity: same 64-bit value at every level, including the
+// chained two-hash pattern the match memo uses.
+TEST(SimdKernels, HashBytesValueStableAcrossLevels) {
+  std::mt19937_64 rng(42);
+  for (std::size_t len = 0; len <= 300; ++len) {
+    std::string s(len, '\0');
+    Fill(rng, s.data(), len);
+    const std::uint64_t want = HashBytesScalar(s);
+    for (const Level level : HostLevels()) {
+      const KernelTable& table = TableFor(level);
+      EXPECT_EQ(table.hash_bytes(s.data(), s.size(), kFnv1aOffset), want);
+      const std::uint64_t chained = table.hash_bytes(
+          s.data(), s.size(), want ^ 0x9ae16a3b2f90404full);
+      EXPECT_EQ(chained, HashBytesScalar(s, want ^ 0x9ae16a3b2f90404full));
+    }
+  }
+}
+
+TEST(SimdKernels, SeededRandomFuzz) {
+  std::mt19937_64 rng(20260809);
+  alignas(64) static char page[4096];
+  for (int rep = 0; rep < 20000; ++rep) {
+    const std::size_t len = rng() % 512;
+    const std::size_t align = rng() % 64;
+    char* p = page + align;
+    Fill(rng, p, len);
+    for (const Level level : HostLevels()) {
+      ExpectSpanAgreement(level, p, len);
+    }
+  }
+}
+
+TEST(SimdDispatch, LevelNamesRoundTrip) {
+  EXPECT_EQ(LevelFromName("scalar"), Level::kScalar);
+  EXPECT_EQ(LevelFromName("sse2"), Level::kSse2);
+  EXPECT_EQ(LevelFromName("avx2"), Level::kAvx2);
+  EXPECT_FALSE(LevelFromName("avx512").has_value());
+  EXPECT_FALSE(LevelFromName("").has_value());
+  EXPECT_FALSE(LevelFromName("native").has_value());
+  for (const Level level : HostLevels()) {
+    EXPECT_EQ(LevelFromName(LevelName(level)), level);
+  }
+}
+
+TEST(SimdDispatch, SetLevelClampsToHost) {
+  const Level before = ActiveLevel();
+  const Level got = SetLevel(Level::kAvx2);
+  EXPECT_EQ(got, MaxSupported() >= Level::kAvx2 ? Level::kAvx2
+                                                : MaxSupported());
+  EXPECT_EQ(ActiveLevel(), got);
+  EXPECT_EQ(SetLevel(Level::kScalar), Level::kScalar);
+  EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  SetLevel(before);
+  EXPECT_EQ(ActiveLevel(), before);
+}
+
+// Flipping the level must be invisible through the public wrappers the
+// library actually calls: tokenization, digit checks, hashing, and the
+// fast timestamp parse (vs its independent slow oracle).
+TEST(SimdDispatch, PublicWrappersIdenticalAtEveryLevel) {
+  const Level before = ActiveLevel();
+  const std::vector<std::string> samples = {
+      "",
+      " ",
+      "\t\t",
+      "one",
+      "  leading and trailing  ",
+      "Interface TenGigE0/1/0/3 changed state to down",
+      "neighbor 10.0.0.1 (AS 65001) down \t BGP-5-ADJCHANGE",
+      std::string(300, ' '),
+      std::string(127, 'x') + " " + std::string(129, 'y'),
+  };
+  const std::vector<std::string> stamps = {
+      "2010-01-10 00:00:15",        "2010-01-10 23:59:59",
+      "2010-01-10 24:00:00",        "2010-02-29 10:00:00",
+      "2012-02-29 10:00:00",        "2010-01-10 12:34:56.789",
+      "2010-01-10 12:3x:56",        "garbage",
+      "2010-01-1  12:34:56",
+  };
+  for (const Level level : HostLevels()) {
+    ASSERT_EQ(SetLevel(level), level);
+    for (const std::string& s : samples) {
+      EXPECT_EQ(sld::SplitWhitespace(s), [&] {
+        std::vector<std::string_view> out;
+        TableFor(Level::kScalar).split_whitespace(s, &out);
+        return out;
+      }());
+      EXPECT_EQ(sld::IsAllDigits(s),
+                !s.empty() &&
+                    TableFor(Level::kScalar)
+                        .validate_digits(s.data(), s.size()));
+      EXPECT_EQ(sld::HashBytes(s), HashBytesScalar(s));
+    }
+    TimestampMemo memo;
+    for (const std::string& s : stamps) {
+      EXPECT_EQ(ParseTimestampFast(s, memo), ParseTimestamp(s)) << s;
+      // Twice: once cold, once through the memo's date-compare kernel.
+      EXPECT_EQ(ParseTimestampFast(s, memo), ParseTimestamp(s)) << s;
+    }
+  }
+  SetLevel(before);
+}
+
+}  // namespace
+}  // namespace sld::simd

@@ -103,6 +103,13 @@ def main() -> int:
         lines.append(
             reconcile(lambda n: totals.get(n, 0), int(args[1]), failures)
         )
+        # The simd_level gauge (when the run records one) must be a known
+        # dispatch level: 0=scalar 1=sse2 2=avx2.
+        if "simd_level" in totals and totals["simd_level"] not in (0, 1, 2):
+            failures.append(
+                f"simd_level gauge is {totals['simd_level']}, "
+                "not a known dispatch level (0..2)"
+            )
     else:
         totals, unlabeled = load_totals(path, by_tenant=True)
         for name in unlabeled:

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Threshold gate for bench smoke runs (match, throughput, learn).
+"""Threshold gate for bench smoke runs (match, throughput, learn, ...).
 
 Usage: bench_gate.py FRESH.json BASELINE.json [--max-regress PCT]
                      [--min-speedup X] [--speedup-threads N]
@@ -36,6 +36,16 @@ Dispatches on the "benchmark" field of FRESH.json:
                 host), and -- on multi-core hosts only -- the sweep
                 point at --speedup-threads must scale >= 2x over
                 threads=1.
+  kernels     - "identical" must be true (every SIMD level produced the
+                same checksums as the scalar oracle) and steady_allocs
+                must be zero on every host.  When the fresh run reports
+                best_level == "avx2", the vectorizable kernels must
+                also beat their own scalar run by a per-kernel floor
+                (an in-process relative measure, so it holds on any
+                AVX2 host regardless of absolute speed); hash_bytes,
+                equal_date10 and parse_clock8 are agreement-only --
+                hash_bytes is value-stable by a serial combine, and the
+                two fixed-width parsers are too small to gate reliably.
 
 Noise model: when a metric carries a per-rep array ("reps",
 "serial_reps"), the compared statistic is the median of the reps, and
@@ -268,11 +278,65 @@ def gate_ingest(gate, fresh, baseline, args):
                   f"threads is below the 2.00x floor on a {cpus}-cpu host")
 
 
+# avx2-over-scalar floors for the kernels whose hot loop actually
+# vectorizes.  Measured headroom on the reference AVX2 host: find_newline
+# 2.8x, split_whitespace 1.8x, validate_digits 2.5x -- the floors sit
+# well below so runner noise cannot flake the gate, while still catching
+# a dispatch wiring bug (which would pin every ratio to ~1.0x).
+KERNEL_SPEEDUP_FLOORS = {
+    "find_newline": 1.4,
+    "split_whitespace": 1.15,
+    "validate_digits": 1.4,
+}
+
+
+def kernel_level_reps(entry, level):
+    for lv in entry.get("levels", []):
+        if lv.get("level") == level:
+            return reps_of(lv, "gb_per_sec", "reps")
+    return None
+
+
+def gate_kernels(gate, fresh, baseline, args):
+    if not fresh.get("identical", False):
+        gate.fail("kernels bench reports identical=false: a SIMD level "
+                  "diverged from the scalar oracle")
+    allocs = int(fresh.get("steady_allocs", -1))
+    print(f"steady_allocs: {allocs}")
+    if allocs != 0:
+        gate.fail(f"steady_allocs is {allocs}; the kernel hot loops must "
+                  "stay allocation-free after warm-up")
+
+    best = fresh.get("best_level", "scalar")
+    if best != "avx2":
+        print(f"speedup floors skipped: fresh host dispatches at "
+              f"'{best}' (floors are asserted only under avx2)")
+        return
+    for entry in fresh.get("kernels", []):
+        name = entry.get("name", "?")
+        floor = KERNEL_SPEEDUP_FLOORS.get(name)
+        if floor is None:
+            continue
+        scalar = kernel_level_reps(entry, "scalar")
+        avx2 = kernel_level_reps(entry, "avx2")
+        if not scalar or not avx2:
+            gate.fail(f"kernel '{name}' is missing a scalar or avx2 level "
+                      "for the speedup assertion")
+            continue
+        speedup = median(avx2) / median(scalar)
+        print(f"kernel {name}: avx2/scalar {speedup:.2f}x "
+              f"(need >= {floor:.2f}x)")
+        if speedup < floor:
+            gate.fail(f"kernel '{name}' avx2 speedup {speedup:.2f}x is "
+                      f"below the {floor:.2f}x floor on an avx2 host")
+
+
 GATES = {
     "match": gate_match,
     "throughput": gate_throughput,
     "learn": gate_learn,
     "ingest": gate_ingest,
+    "kernels": gate_kernels,
     "ablation": gate_ablation,
 }
 

@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/learn.h"
 #include "core/priority/report.h"
 #include "engine/engine.h"
@@ -56,6 +57,46 @@ namespace {
 
 using namespace sld;
 using tools::Flags;
+
+// --simd LEVEL pins the kernel dispatch level before any command runs
+// (the SLD_SIMD env var was already applied at static init; the flag
+// wins).  Unknown names are fatal, unlike the env var, because a typo'd
+// flag is an operator error; a level above the host's capability clamps
+// down with a warning so scripts can ask for avx2 unconditionally.
+int ApplySimdFlag(const Flags& flags) {
+  if (!flags.Has("simd")) return 0;
+  const std::string name = flags.Get("simd");
+  if (name == "native" || name == "auto") {
+    simd::SetLevel(simd::MaxSupported());
+    return 0;
+  }
+  const auto want = simd::LevelFromName(name);
+  if (!want) {
+    std::fprintf(stderr, "--simd %s: want scalar|sse2|avx2|native\n",
+                 name.c_str());
+    return 2;
+  }
+  const simd::Level got = simd::SetLevel(*want);
+  if (got != *want) {
+    std::fprintf(stderr, "--simd %s not supported on this cpu; using %s\n",
+                 name.c_str(), simd::LevelName(got));
+  }
+  return 0;
+}
+
+// Records the active dispatch level in metrics snapshots (gauge value is
+// the numeric simd::Level: 0=scalar 1=sse2 2=avx2).
+void RecordSimdLevel(obs::Registry* reg) {
+  if (reg == nullptr) return;
+  reg->AddGauge("simd_level",
+                "Active SIMD dispatch level (0=scalar 1=sse2 2=avx2)")
+      ->Set(static_cast<std::int64_t>(simd::ActiveLevel()));
+}
+
+// One startup line so serve/stream logs record what actually ran.
+void LogSimdLevel() {
+  std::fprintf(stderr, "simd: %s\n", simd::LevelName(simd::ActiveLevel()));
+}
 
 // Shared --metrics-out handling: when the flag is set, snapshots of `reg`
 // are written to PATH (JSON) and PATH.prom (Prometheus text).  Periodic()
@@ -159,6 +200,7 @@ int CmdLearn(Flags& flags) {
       engine::LoadConfigDir(configs));
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
+  RecordSimdLevel(metrics_out.enabled() ? &metrics : nullptr);
   std::size_t malformed = 0;
   bool ok = true;
   const auto records = ReadRecordsCli(
@@ -198,6 +240,7 @@ int CmdDigest(Flags& flags) {
   if (!flags.ok()) return 2;
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
+  RecordSimdLevel(metrics_out.enabled() ? &metrics : nullptr);
   engine::EngineOptions opts;
   opts.shards =
       static_cast<std::size_t>(std::max(1L, flags.GetInt("threads", 1)));
@@ -244,6 +287,8 @@ int CmdStream(Flags& flags) {
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
   const bool want_metrics = metrics_out.enabled() || flags.Has("stats");
+  LogSimdLevel();
+  RecordSimdLevel(want_metrics ? &metrics : nullptr);
   engine::EngineOptions opts;
   opts.shards =
       static_cast<std::size_t>(std::max(1L, flags.GetInt("threads", 1)));
@@ -288,6 +333,8 @@ int CmdStream(Flags& flags) {
 int CmdServe(Flags& flags) {
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
+  LogSimdLevel();
+  RecordSimdLevel(metrics_out.enabled() ? &metrics : nullptr);
   engine::EngineOptions base;
   base.shards =
       static_cast<std::size_t>(std::max(1L, flags.GetInt("shards", 1)));
@@ -479,7 +526,11 @@ void Usage() {
       "(learn/digest/\n"
       "    stream/replay; N=0: one per core; same records at any N)\n"
       "  --threads / --shards N digests with N shard workers (same events "
-      "at any N)\n",
+      "at any N)\n"
+      "  --simd scalar|sse2|avx2|native pins the byte-kernel dispatch "
+      "level\n"
+      "    (default: autodetect; env SLD_SIMD sets the default; output is\n"
+      "    identical at every level)\n",
       stderr);
 }
 
@@ -492,6 +543,7 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   Flags flags(argc, argv, 2);
+  if (const int rc = ApplySimdFlag(flags); rc != 0) return rc;
   if (cmd == "gen") return CmdGen(flags);
   if (cmd == "learn") return CmdLearn(flags);
   if (cmd == "digest") return CmdDigest(flags);
