@@ -1,0 +1,42 @@
+// Serialization of core::DigestEvent for the durable event log.
+// Header-only so the engine and the tools can encode/decode without a
+// ckpt -> core link edge.
+#pragma once
+
+#include <cstdint>
+
+#include "ckpt/codec.h"
+#include "core/digest.h"
+
+namespace sld::ckpt {
+
+inline void WriteEvent(const core::DigestEvent& ev, Writer* w) {
+  w->U64(ev.messages.size());
+  for (const std::size_t m : ev.messages) w->U64(m);
+  w->I64(ev.start);
+  w->I64(ev.end);
+  w->F64(ev.score);
+  w->Str(ev.label);
+  w->Str(ev.location_text);
+  w->U64(ev.templates.size());
+  for (const core::TemplateId t : ev.templates) w->U32(t);
+  w->U64(ev.router_keys.size());
+  for (const std::uint32_t r : ev.router_keys) w->U32(r);
+}
+
+inline bool ReadEvent(Reader* r, core::DigestEvent* ev) {
+  ev->messages.resize(r->Count(8));
+  for (std::size_t& m : ev->messages) m = r->U64();
+  ev->start = r->I64();
+  ev->end = r->I64();
+  ev->score = r->F64();
+  ev->label = r->Str();
+  ev->location_text = r->Str();
+  ev->templates.resize(r->Count(4));
+  for (core::TemplateId& t : ev->templates) t = r->U32();
+  ev->router_keys.resize(r->Count(4));
+  for (std::uint32_t& k : ev->router_keys) k = r->U32();
+  return r->ok();
+}
+
+}  // namespace sld::ckpt

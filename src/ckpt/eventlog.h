@@ -1,0 +1,71 @@
+// Append-only durable event log (DESIGN.md §14).
+//
+// Every emitted DigestEvent is framed, appended, and fsynced *before*
+// it is delivered to the sink, so after any crash the log is a prefix
+// of the true emission stream.  Records are
+//
+//   [4] u32 payload length
+//   [4] u32 CRC-32 over (seq bytes ++ payload)
+//   [8] u64 sequence number
+//   [..] payload
+//
+// Sequence numbers are dense from 0: record i has seq i.  On open the
+// log is scanned; a torn or CRC-bad tail (the one record a crash can
+// tear, since appends are sequential) is truncated away, and the next
+// expected sequence number is recovered.  A *mid-log* corruption is a
+// hard error — that is bitrot, not a crash artifact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace sld::ckpt {
+
+class EventLog {
+ public:
+  struct OpenStats {
+    std::uint64_t records = 0;    // valid records found on open
+    bool truncated_tail = false;  // a torn tail was cut away
+  };
+
+  // Opens (creating if absent) the log at `path`, scans it, truncates
+  // any torn tail, and positions for appending.  Returns nullptr and
+  // fills *error on unrecoverable problems (I/O failure, mid-log
+  // corruption, non-dense sequence numbers).
+  static std::unique_ptr<EventLog> Open(const std::string& path,
+                                        OpenStats* stats, std::string* error);
+
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  // Appends one record and fsyncs.  `seq` must equal next_seq().
+  // Reports the fsync duration in seconds through *fsync_seconds when
+  // non-null (for the eventlog_fsync_seconds histogram).
+  bool Append(std::uint64_t seq, std::string_view payload,
+              double* fsync_seconds, std::string* error);
+
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  // Streams every valid record of the log at `path` (no instance
+  // needed — used by `sldigest events` and the crash tests).  Stops at
+  // a torn tail without error; returns false only on I/O failure or
+  // mid-log corruption.
+  static bool ForEach(
+      const std::string& path,
+      const std::function<void(std::uint64_t seq, std::string_view payload)>&
+          fn,
+      std::string* error);
+
+ private:
+  EventLog(int fd, std::uint64_t next_seq)
+      : fd_(fd), next_seq_(next_seq) {}
+
+  int fd_;
+  std::uint64_t next_seq_;
+};
+
+}  // namespace sld::ckpt

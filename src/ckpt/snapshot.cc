@@ -1,0 +1,160 @@
+#include "ckpt/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include "ckpt/codec.h"
+
+namespace sld::ckpt {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'L', 'D', 'S', 'N', 'A', 'P', '\0'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
+
+std::string Errno(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+void PutU32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+}
+
+void PutU64(char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+}
+
+std::uint32_t GetU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+bool WriteAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+bool SyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool WriteSnapshotFile(const std::string& path, std::string_view body,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error) *error = Errno("cannot create", tmp);
+    return false;
+  }
+
+  char header[kHeaderSize];
+  std::memcpy(header, kMagic, 8);
+  PutU32(header + 8, kSnapshotVersion);
+  PutU64(header + 12, body.size());
+  PutU32(header + 20, Crc32(body));
+
+  bool ok = WriteAll(fd, header, kHeaderSize) &&
+            WriteAll(fd, body.data(), body.size()) && ::fsync(fd) == 0;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
+    if (error) *error = Errno("cannot write", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = Errno("cannot rename", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (!SyncParentDir(path)) {
+    if (error) *error = Errno("cannot fsync parent of", path);
+    return false;
+  }
+  return true;
+}
+
+SnapshotStatus ReadSnapshotFile(const std::string& path, std::string* body,
+                                std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return SnapshotStatus::kAbsent;
+    if (error) *error = Errno("cannot open", path);
+    return SnapshotStatus::kCorrupt;
+  }
+
+  std::string raw;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = Errno("cannot read", path);
+      ::close(fd);
+      return SnapshotStatus::kCorrupt;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (raw.size() < kHeaderSize || std::memcmp(raw.data(), kMagic, 8) != 0) {
+    if (error) *error = "snapshot " + path + ": bad magic or truncated header";
+    return SnapshotStatus::kCorrupt;
+  }
+  const std::uint32_t version = GetU32(raw.data() + 8);
+  if (version > kSnapshotVersion) {
+    if (error) {
+      *error = "snapshot " + path + ": format version " +
+               std::to_string(version) + " is newer than this binary (" +
+               std::to_string(kSnapshotVersion) + ")";
+    }
+    return SnapshotStatus::kVersionMismatch;
+  }
+  const std::uint64_t body_len = GetU64(raw.data() + 12);
+  if (raw.size() - kHeaderSize != body_len) {
+    if (error) *error = "snapshot " + path + ": truncated body";
+    return SnapshotStatus::kCorrupt;
+  }
+  const std::string_view payload(raw.data() + kHeaderSize, body_len);
+  if (Crc32(payload) != GetU32(raw.data() + 20)) {
+    if (error) *error = "snapshot " + path + ": CRC mismatch";
+    return SnapshotStatus::kCorrupt;
+  }
+  body->assign(payload);
+  return SnapshotStatus::kOk;
+}
+
+}  // namespace sld::ckpt

@@ -1,0 +1,44 @@
+// Crash-consistent snapshot files (DESIGN.md §14).
+//
+// A snapshot is a single file written with the classic
+// temp + fsync + atomic-rename + directory-fsync protocol, so at every
+// instant the path either holds the previous complete snapshot or the
+// new complete snapshot — never a torn mix.  The on-disk layout is
+//
+//   [8]  magic  "SLDSNAP\0"
+//   [4]  u32    format version (kSnapshotVersion)
+//   [8]  u64    body length
+//   [4]  u32    CRC-32 of the body
+//   [..] body  (codec-encoded engine state)
+//
+// Readers refuse — rather than guess at — anything torn, truncated,
+// CRC-corrupt, or written by a *newer* format version.  An absent file
+// is not an error: it is simply a fresh start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sld::ckpt {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+enum class SnapshotStatus {
+  kOk,       // *body holds the snapshot body
+  kAbsent,   // no snapshot at this path (fresh start)
+  kCorrupt,  // torn, truncated, bad magic, or CRC mismatch
+  kVersionMismatch,  // written by a newer format than this binary knows
+};
+
+// Atomically replaces `path` with a snapshot holding `body`.  On
+// failure returns false and describes the error.
+bool WriteSnapshotFile(const std::string& path, std::string_view body,
+                       std::string* error);
+
+// Reads and validates the snapshot at `path`.  kOk fills *body; every
+// other status leaves it untouched and (except kAbsent) fills *error.
+SnapshotStatus ReadSnapshotFile(const std::string& path, std::string* body,
+                                std::string* error);
+
+}  // namespace sld::ckpt

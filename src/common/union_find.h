@@ -58,6 +58,17 @@ class UnionFind {
 
   std::size_t element_count() const noexcept { return parent_.size(); }
 
+  // Raw forest state, for checkpointing.  `Rebuild` restores a forest
+  // previously captured via parents()/sizes(); the vectors must be the
+  // same length.
+  const std::vector<std::size_t>& parents() const noexcept { return parent_; }
+  const std::vector<std::size_t>& sizes() const noexcept { return size_; }
+  void Rebuild(std::vector<std::size_t> parents,
+               std::vector<std::size_t> sizes) {
+    parent_ = std::move(parents);
+    size_ = std::move(sizes);
+  }
+
   // Number of disjoint sets.
   std::size_t SetCount() noexcept {
     std::size_t count = 0;

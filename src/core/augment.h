@@ -72,6 +72,15 @@ class RouterResolver {
     return key;
   }
 
+  // Checkpointing (DESIGN.md §14): the interned names in first-sight
+  // order.  Restoring means re-Resolve()ing each name in that order,
+  // which recomputes the identical dense keys — the snapshot never has
+  // to store them.
+  std::size_t interned_count() const noexcept { return names_.size(); }
+  std::string_view interned_name(std::uint32_t id) const {
+    return names_.Get(id);
+  }
+
  private:
   const LocationDict* dict_;
   StringInterner names_;
@@ -109,6 +118,10 @@ class Augmenter {
       ThreadPool* pool = nullptr);
 
   const LocationDict& dict() const noexcept { return *dict_; }
+
+  // The resolver whose intern order the checkpoint persists.
+  RouterResolver& resolver() noexcept { return resolver_; }
+  const RouterResolver& resolver() const noexcept { return resolver_; }
 
  private:
   TemplateSet* templates_;

@@ -1,6 +1,7 @@
 #include "core/stream.h"
 
 #include "obs/registry.h"
+#include "pipeline/state_io.h"
 
 namespace sld::core {
 
@@ -66,6 +67,41 @@ std::vector<DigestEvent> StreamingDigester::Flush() {
   std::vector<DigestEvent> events = tracker_.Flush();
   if (events_cell_ != nullptr) events_cell_->Inc(events.size());
   return events;
+}
+
+void StreamingDigester::SaveState(ckpt::Writer* w) {
+  w->U64(tracker_.processed_count());
+  pipeline::SaveResolverState(augmenter_.resolver(), w);
+  std::vector<pipeline::TemporalStage::ChainSnapshot> chains;
+  temporal_.ExportState(&chains);
+  pipeline::SaveTemporalChains(std::move(chains), w);
+  std::vector<pipeline::RuleStage::WindowSnapshot> windows;
+  rules_.ExportState(&windows);
+  pipeline::SaveRuleWindows(std::move(windows), w);
+  std::vector<pipeline::CrossRouterStage::EntrySnapshot> cross_entries;
+  cross_.ExportState(&cross_entries);
+  pipeline::SaveCrossEntries(cross_entries, w);
+  tracker_.SaveState(w);
+}
+
+bool StreamingDigester::LoadState(ckpt::Reader* r) {
+  r->U64();  // pushed-record count; the tracker restores processed_.
+  bool ok = pipeline::LoadResolverState(&augmenter_.resolver(), r);
+  ok = ok && pipeline::LoadTemporalChains(
+                 r, [this](const pipeline::TemporalStage::ChainSnapshot& c) {
+                   temporal_.ImportChain(c);
+                 });
+  ok = ok && pipeline::LoadRuleWindows(
+                 r, [this](const pipeline::RuleStage::WindowSnapshot& win) {
+                   rules_.ImportWindow(win);
+                 });
+  ok = ok &&
+       pipeline::LoadCrossEntries(
+           r, [this](const pipeline::CrossRouterStage::EntrySnapshot& e) {
+             cross_.ImportEntry(e);
+           });
+  ok = ok && tracker_.LoadState(r);
+  return ok;
 }
 
 }  // namespace sld::core

@@ -25,6 +25,11 @@ namespace sld::obs {
 class Registry;
 }  // namespace sld::obs
 
+namespace sld::ckpt {
+class Writer;
+class Reader;
+}  // namespace sld::ckpt
+
 namespace sld::core {
 
 class StreamingDigester {
@@ -52,6 +57,13 @@ class StreamingDigester {
   // with `reg`, which must outlive the digester.  Call before the first
   // Push.
   void BindMetrics(obs::Registry* reg);
+
+  // Checkpointing (DESIGN.md §14).  Writes the canonical stage-graph
+  // state (pipeline/state_io.h) — byte-identical to a ShardedPipeline
+  // snapshot of the same stream, so either driver restores the other's.
+  // LoadState must run before the first Push on a fresh digester.
+  void SaveState(ckpt::Writer* w);
+  bool LoadState(ckpt::Reader* r);
 
   std::size_t open_group_count() const noexcept {
     return tracker_.open_group_count();

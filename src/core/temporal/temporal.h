@@ -48,6 +48,33 @@ class TemporalGrouper {
 
   std::size_t group_count() const noexcept { return next_group_; }
 
+  // Checkpointing (DESIGN.md §14): one live (template, router) chain.
+  // Exported group ids identify chains within one export; on import
+  // each chain gets a freshly allocated id, so snapshots are portable
+  // across instances (and shard counts) — only chain identity matters.
+  struct ChainState {
+    std::uint64_t key_a = 0;
+    std::uint32_t key_b = 0;
+    TimeMs last_time = 0;
+    double shat = 0.0;
+    std::size_t group = 0;
+  };
+  void ExportChains(std::vector<ChainState>* out) const {
+    out->reserve(out->size() + states_.size());
+    for (const auto& [key, st] : states_) {
+      out->push_back({key.a, key.b, st.last_time, st.shat, st.group});
+    }
+  }
+  // Restores one chain under a new group id and returns that id.
+  std::size_t ImportChain(const ChainState& chain) {
+    KeyState st;
+    st.last_time = chain.last_time;
+    st.shat = chain.shat;
+    st.group = next_group_++;
+    states_[Key{chain.key_a, chain.key_b}] = st;
+    return st.group;
+  }
+
  private:
   struct KeyState {
     TimeMs last_time = 0;

@@ -7,14 +7,29 @@
 #include <sstream>
 #include <utility>
 
+#include "ckpt/codec.h"
+#include "ckpt/event_codec.h"
+#include "ckpt/snapshot.h"
+#include "obs/registry.h"
+
 namespace sld::engine {
 
-std::vector<net::ParsedConfig> LoadConfigDir(const std::string& dir) {
+std::vector<net::ParsedConfig> LoadConfigDir(const std::string& dir,
+                                             std::string* error) {
   std::vector<net::ParsedConfig> parsed;
   std::vector<std::filesystem::path> paths;
   std::error_code ec;
+  // The error_code overload reports "cannot open the directory" through
+  // `ec` instead of throwing; ignoring it used to make a missing or
+  // unreadable --configs dir look like a dir with zero configs.
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     if (entry.path().extension() == ".cfg") paths.push_back(entry.path());
+  }
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot read config dir " + dir + ": " + ec.message();
+    }
+    return parsed;
   }
   std::sort(paths.begin(), paths.end());
   for (const auto& path : paths) {
@@ -65,8 +80,14 @@ std::unique_ptr<Engine> Engine::Load(const std::string& configs_dir,
     if (error != nullptr) *error = "cannot read " + kb_path;
     return nullptr;
   }
+  std::string cfg_error;
+  auto configs = LoadConfigDir(configs_dir, &cfg_error);
+  if (!cfg_error.empty()) {
+    if (error != nullptr) *error = cfg_error;
+    return nullptr;
+  }
   auto dict = std::make_unique<core::LocationDict>(
-      core::LocationDict::Build(LoadConfigDir(configs_dir)));
+      core::LocationDict::Build(configs));
   auto kb = std::make_unique<core::KnowledgeBase>(
       core::KnowledgeBase::Deserialize(kb_text.str()));
   auto engine =
@@ -91,13 +112,13 @@ void Engine::EnsureStream() {
     opts.max_group_age_ms = options_.max_group_age_ms;
     opts.metrics = reg_;
     pipeline_ = std::make_unique<pipeline::ShardedPipeline>(kb_, dict_, opts);
-    if (sink_) {
+    if (sink_ || durable()) {
       // The pipeline invokes this on its merge thread; per-tenant event
-      // order is the deterministic close order either way.
-      pipeline_->SetEventSink([this](core::DigestEvent ev) {
-        events_.fetch_add(1, std::memory_order_relaxed);
-        sink_(ev);
-      });
+      // order is the deterministic close order either way.  A durable
+      // engine installs the sink even without a consumer so every event
+      // reaches the log as it closes.
+      pipeline_->SetEventSink(
+          [this](core::DigestEvent ev) { DeliverEvent(std::move(ev)); });
     }
   } else {
     streaming_ = std::make_unique<core::StreamingDigester>(
@@ -108,13 +129,35 @@ void Engine::EnsureStream() {
 }
 
 void Engine::Emit(std::vector<core::DigestEvent> events) {
-  events_.fetch_add(events.size(), std::memory_order_relaxed);
-  for (core::DigestEvent& ev : events) {
-    if (sink_) {
-      sink_(ev);
-    } else {
-      collected_.push_back(std::move(ev));
+  for (core::DigestEvent& ev : events) DeliverEvent(std::move(ev));
+}
+
+void Engine::DeliverEvent(core::DigestEvent ev) {
+  const auto seq = static_cast<std::uint64_t>(
+      events_.fetch_add(1, std::memory_order_relaxed));
+  if (seq < replay_cursor_) {
+    // Regenerated during post-restore resend and already durably logged
+    // before the crash: the log owns it, never emit it twice.
+    ++replay_suppressed_;
+    if (ckpt_cells_.suppressed != nullptr) ckpt_cells_.suppressed->Inc();
+    return;
+  }
+  if (event_log_ != nullptr) {
+    ckpt::Writer payload;
+    ckpt::WriteEvent(ev, &payload);
+    double fsync_s = 0.0;
+    std::string err;
+    if (!event_log_->Append(seq, payload.data(), &fsync_s, &err)) {
+      std::fprintf(stderr, "tenant %s: event log append failed: %s\n",
+                   options_.tenant.c_str(), err.c_str());
+    } else if (ckpt_cells_.fsync_seconds != nullptr) {
+      ckpt_cells_.fsync_seconds->Observe(fsync_s);
     }
+  }
+  if (sink_) {
+    sink_(ev);
+  } else {
+    collected_.push_back(std::move(ev));
   }
 }
 
@@ -147,9 +190,13 @@ std::vector<core::DigestEvent> Engine::Finish() {
   std::vector<core::DigestEvent> remaining;
   if (pipeline_ != nullptr) {
     core::DigestResult result = pipeline_->Finish();
-    // With a sink every event was already delivered on the merge thread;
-    // without one the pipeline collected them (score order).
-    if (!sink_) {
+    if (sink_ || durable()) {
+      // Every event was already delivered through DeliverEvent on the
+      // merge thread; a sink-less durable engine accumulated them.
+      remaining = std::move(collected_);
+      collected_.clear();
+    } else {
+      // Without a sink the pipeline collected them (score order).
       events_.fetch_add(result.events.size(), std::memory_order_relaxed);
       remaining = std::move(result.events);
     }
@@ -159,6 +206,185 @@ std::vector<core::DigestEvent> Engine::Finish() {
     collected_.clear();
   }
   return remaining;
+}
+
+bool Engine::OpenDurable(const std::string& dir, std::string* error) {
+  if (durable()) {
+    if (error != nullptr) *error = "checkpoint dir already attached";
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create checkpoint dir " + dir + ": " + ec.message();
+    }
+    return false;
+  }
+  if (reg_ != nullptr && ckpt_cells_.saves == nullptr) {
+    ckpt_cells_.saves =
+        reg_->AddCounter("ckpt_saves_total", "successful checkpoints");
+    ckpt_cells_.save_failures =
+        reg_->AddCounter("ckpt_save_failures_total", "failed checkpoints");
+    ckpt_cells_.restores = reg_->AddCounter(
+        "ckpt_restores_total", "snapshots restored at open");
+    ckpt_cells_.fresh_starts = reg_->AddCounter(
+        "ckpt_fresh_starts_total", "opens that found no snapshot");
+    ckpt_cells_.suppressed = reg_->AddCounter(
+        "ckpt_replay_suppressed_total",
+        "events regenerated after restore and suppressed by the replay "
+        "cursor");
+    ckpt_cells_.snapshot_bytes =
+        reg_->AddGauge("ckpt_snapshot_bytes", "body size of the last snapshot");
+    ckpt_cells_.age_s =
+        reg_->AddGauge("ckpt_age_seconds", "seconds since the last checkpoint");
+    ckpt_cells_.save_seconds =
+        reg_->AddHistogram("ckpt_save_seconds", "checkpoint write latency",
+                           obs::LatencyBucketsSeconds());
+    ckpt_cells_.fsync_seconds = reg_->AddHistogram(
+        "ckpt_eventlog_fsync_seconds", "event-log append fsync latency",
+        obs::LatencyBucketsSeconds());
+  }
+  // Attach the dir before restoring so EnsureStream (called while the
+  // snapshot is being applied) wires the durable event path.
+  ckpt_dir_ = dir;
+  std::string body;
+  std::string snap_error;
+  const ckpt::SnapshotStatus status =
+      ckpt::ReadSnapshotFile(dir + "/snapshot", &body, &snap_error);
+  switch (status) {
+    case ckpt::SnapshotStatus::kOk:
+      if (!RestoreFromBody(body, error)) {
+        ckpt_dir_.clear();
+        return false;
+      }
+      if (ckpt_cells_.restores != nullptr) ckpt_cells_.restores->Inc();
+      break;
+    case ckpt::SnapshotStatus::kAbsent:
+      if (ckpt_cells_.fresh_starts != nullptr) ckpt_cells_.fresh_starts->Inc();
+      break;
+    case ckpt::SnapshotStatus::kCorrupt:
+    case ckpt::SnapshotStatus::kVersionMismatch:
+      // Refusing beats silently starting over: a fresh start would
+      // re-emit events the log already owns.
+      if (error != nullptr) *error = "refusing to restore: " + snap_error;
+      ckpt_dir_.clear();
+      return false;
+  }
+  ckpt::EventLog::OpenStats stats;
+  std::string log_error;
+  auto log = ckpt::EventLog::Open(dir + "/events.log", &stats, &log_error);
+  if (log == nullptr) {
+    if (error != nullptr) *error = log_error;
+    ckpt_dir_.clear();
+    return false;
+  }
+  if (log->next_seq() < events_.load(std::memory_order_relaxed)) {
+    // The log must always be at least as far along as any snapshot
+    // (appends fsync before delivery; the snapshot counts deliveries).
+    if (error != nullptr) {
+      *error = "event log " + dir + "/events.log is behind the snapshot";
+    }
+    ckpt_dir_.clear();
+    return false;
+  }
+  replay_cursor_ = log->next_seq();
+  event_log_ = std::move(log);
+  return true;
+}
+
+bool Engine::RestoreFromBody(std::string_view body, std::string* error) {
+  ckpt::Reader r(body);
+  const std::string tenant = r.Str();
+  if (!r.ok() || tenant != options_.tenant) {
+    if (error != nullptr) {
+      *error = "snapshot is for tenant '" + tenant + "', not '" +
+               options_.tenant + "'";
+    }
+    return false;
+  }
+  const std::uint64_t emitted = r.U64();
+  if (!collector_.LoadState(&r)) {
+    if (error != nullptr) *error = "corrupt collector state in snapshot";
+    return false;
+  }
+  if (r.U8() != 0) {
+    // Templates first (runtime catch-alls grow the set), so the stage
+    // built by EnsureStream matches the snapshot's template ids.
+    const std::string templates = r.Str();
+    if (!r.ok()) {
+      if (error != nullptr) *error = "corrupt template state in snapshot";
+      return false;
+    }
+    kb_->templates = core::TemplateSet::Deserialize(templates);
+    EnsureStream();
+    const bool ok = pipeline_ != nullptr ? pipeline_->LoadState(&r)
+                                         : streaming_->LoadState(&r);
+    if (!ok) {
+      if (error != nullptr) *error = "corrupt stage state in snapshot";
+      return false;
+    }
+  }
+  if (!r.AtEnd()) {
+    if (error != nullptr) *error = "trailing bytes in snapshot body";
+    return false;
+  }
+  events_.store(emitted, std::memory_order_relaxed);
+  return true;
+}
+
+bool Engine::Checkpoint(std::string* error) {
+  if (!durable()) {
+    if (error != nullptr) *error = "no checkpoint dir attached";
+    return false;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  if (pipeline_ != nullptr) pipeline_->Quiesce();
+  ckpt::Writer body;
+  body.Str(options_.tenant);
+  body.U64(events_.load(std::memory_order_relaxed));
+  collector_.SaveState(&body);
+  const bool has_stage = streaming_ != nullptr || pipeline_ != nullptr;
+  body.U8(has_stage ? 1 : 0);
+  if (has_stage) {
+    body.Str(kb_->templates.Serialize());
+    if (pipeline_ != nullptr) {
+      pipeline_->SaveState(&body);
+    } else {
+      streaming_->SaveState(&body);
+    }
+  }
+  if (!ckpt::WriteSnapshotFile(ckpt_dir_ + "/snapshot", body.data(), error)) {
+    if (ckpt_cells_.save_failures != nullptr) ckpt_cells_.save_failures->Inc();
+    return false;
+  }
+  last_ckpt_ = std::chrono::steady_clock::now();
+  if (ckpt_cells_.saves != nullptr) {
+    ckpt_cells_.saves->Inc();
+    ckpt_cells_.snapshot_bytes->Set(
+        static_cast<std::int64_t>(body.data().size()));
+    ckpt_cells_.age_s->Set(0);
+    ckpt_cells_.save_seconds->Observe(
+        std::chrono::duration<double>(last_ckpt_ - start).count());
+  }
+  return true;
+}
+
+double Engine::SecondsSinceCheckpoint() noexcept {
+  if (last_ckpt_ == std::chrono::steady_clock::time_point{}) return 0.0;
+  const double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - last_ckpt_)
+                       .count();
+  if (ckpt_cells_.age_s != nullptr) {
+    ckpt_cells_.age_s->Set(static_cast<std::int64_t>(s));
+  }
+  return s;
+}
+
+std::size_t Engine::open_group_count() const noexcept {
+  if (pipeline_ != nullptr) return pipeline_->open_group_count();
+  if (streaming_ != nullptr) return streaming_->open_group_count();
+  return 0;
 }
 
 core::DigestResult Engine::Digest(

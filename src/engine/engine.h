@@ -22,6 +22,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -29,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ckpt/eventlog.h"
 #include "core/digest.h"
 #include "core/stream.h"
 #include "net/config_parser.h"
@@ -59,7 +62,10 @@ struct EngineOptions {
 
 // Loads every *.cfg under `dir` in sorted path order, skipping files
 // that fail to parse with a stderr note (the CLI's historical shape).
-std::vector<net::ParsedConfig> LoadConfigDir(const std::string& dir);
+// A missing or unreadable directory fills `error` and returns empty —
+// callers must distinguish that from a directory with no configs.
+std::vector<net::ParsedConfig> LoadConfigDir(const std::string& dir,
+                                             std::string* error = nullptr);
 
 class Engine {
  public:
@@ -105,6 +111,36 @@ class Engine {
   // no sink is installed.  Idempotent.
   std::vector<core::DigestEvent> Finish();
 
+  // Durability (DESIGN.md §14).  Attaches `dir` as the checkpoint
+  // directory: restores from `dir/snapshot` when one exists (a missing
+  // snapshot is a fresh start; a torn/corrupt/newer-version one refuses
+  // with `error`), then opens the durable event log `dir/events.log` and
+  // positions the replay cursor so events that were logged before the
+  // crash are suppressed instead of re-emitted when the sender resends.
+  // Call before the first record.  Crash-consistent resend equivalence
+  // additionally needs suppress_duplicates (`--dedup`) on.
+  bool OpenDurable(const std::string& dir, std::string* error);
+
+  // Writes a crash-consistent snapshot of the collector + digest stage
+  // (quiescing the pipeline when shards > 1) to `dir/snapshot` via
+  // write-to-temp + fsync + atomic rename.  Requires OpenDurable.
+  bool Checkpoint(std::string* error);
+
+  bool durable() const noexcept { return !ckpt_dir_.empty(); }
+  std::uint64_t replay_cursor() const noexcept { return replay_cursor_; }
+  // Events suppressed by the replay cursor since restore.
+  std::uint64_t replay_suppressed() const noexcept {
+    return replay_suppressed_;
+  }
+  // Seconds since the last successful Checkpoint (0 before the first);
+  // also refreshes the checkpoint-age gauge, so the host's periodic tick
+  // keeps the series current between checkpoints.
+  double SecondsSinceCheckpoint() noexcept;
+
+  // Open groups in the live digest stage (exact when quiescent — the
+  // serve loop between pumps, or after Finish).
+  std::size_t open_group_count() const noexcept;
+
   // Batch path: digests a closed, time-sorted stream without a collector
   // front (the `sldigest digest` shape).  Independent of the live path.
   core::DigestResult Digest(std::span<const syslog::SyslogRecord> records);
@@ -129,6 +165,12 @@ class Engine {
   void EnsureStream();
   void Feed(const syslog::SyslogRecord& rec);
   void Emit(std::vector<core::DigestEvent> events);
+  // Every closed event funnels through here (merge thread when shards>1):
+  // assigns the dense event sequence number, suppresses already-logged
+  // events after a restore, appends + fsyncs to the durable log, then
+  // hands the event to the sink (or the collected_ buffer).
+  void DeliverEvent(core::DigestEvent ev);
+  bool RestoreFromBody(std::string_view body, std::string* error);
 
   EngineOptions options_;
 
@@ -154,6 +196,24 @@ class Engine {
   std::vector<core::DigestEvent> collected_;  // sink-less mode
   std::atomic<std::size_t> events_{0};
   bool finished_ = false;
+
+  // Durability state (empty/null when OpenDurable was never called).
+  std::string ckpt_dir_;
+  std::unique_ptr<ckpt::EventLog> event_log_;
+  std::uint64_t replay_cursor_ = 0;
+  std::uint64_t replay_suppressed_ = 0;
+  std::chrono::steady_clock::time_point last_ckpt_{};
+  struct CkptCells {
+    obs::Counter* saves = nullptr;
+    obs::Counter* save_failures = nullptr;
+    obs::Counter* restores = nullptr;        // successful restores
+    obs::Counter* fresh_starts = nullptr;    // absent snapshot on open
+    obs::Counter* suppressed = nullptr;      // replay-cursor suppressions
+    obs::Gauge* snapshot_bytes = nullptr;
+    obs::Gauge* age_s = nullptr;             // seconds since last save
+    obs::Histogram* save_seconds = nullptr;
+    obs::Histogram* fsync_seconds = nullptr;  // event-log appends
+  } ckpt_cells_;
 };
 
 }  // namespace sld::engine

@@ -3,7 +3,11 @@
 #include <poll.h>
 
 #include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 namespace sld::engine {
@@ -162,6 +166,18 @@ std::uint16_t EngineHost::port_of(std::size_t i) const noexcept {
   return i < ports_.size() ? ports_[i] : 0;
 }
 
+void EngineHost::CheckpointAll() {
+  ParallelFor(&pool_, engines_.size(), [&](std::size_t i, std::size_t) {
+    if (!engines_[i]->durable()) return;
+    std::string error;
+    if (!engines_[i]->Checkpoint(&error)) {
+      std::fprintf(stderr, "checkpoint failed for tenant '%s': %s\n",
+                   engines_[i]->tenant().c_str(), error.c_str());
+    }
+  },
+              /*chunk=*/1);
+}
+
 std::size_t EngineHost::Serve(const ServeOptions& options) {
   if (receivers_.empty()) return 0;
   std::vector<pollfd> fds(receivers_.size());
@@ -172,11 +188,33 @@ std::size_t EngineHost::Serve(const ServeOptions& options) {
   const auto limit = static_cast<std::size_t>(options.max_datagrams);
   std::size_t seen = 0;
   long quiet_polls = 0;
+  auto last_ckpt = std::chrono::steady_clock::now();
   while (!limited || seen < limit) {
     for (pollfd& fd : fds) fd.revents = 0;
     const int ready =
         ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 1000);
+    if (ready < 0) {
+      // A signal interrupting poll() is not a quiet second: counting it
+      // toward idle_exit_s made a pestered server exit (and FinishAll
+      // mid-stream) long before the idle horizon actually passed.
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "poll failed: %s\n", std::strerror(errno));
+      break;
+    }
     if (options.on_tick) options.on_tick();
+    if (options.checkpoint_interval_s > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_ckpt >=
+          std::chrono::seconds(options.checkpoint_interval_s)) {
+        // Between poll rounds nothing is mid-pump, so every engine is
+        // quiescent enough to snapshot consistently.
+        CheckpointAll();
+        last_ckpt = now;
+      }
+      for (auto& engine : engines_) {
+        if (engine->durable()) engine->SecondsSinceCheckpoint();
+      }
+    }
     bool any = false;
     if (ready > 0) {
       for (std::size_t i = 0; i < receivers_.size(); ++i) {
@@ -205,6 +243,8 @@ std::size_t EngineHost::Serve(const ServeOptions& options) {
     }
   }
   FinishAll();
+  // Final checkpoint so a clean shutdown restarts with nothing open.
+  if (options.checkpoint_interval_s > 0) CheckpointAll();
   return seen;
 }
 

@@ -100,9 +100,17 @@ class EngineHost {
     // After traffic has been seen, a quiet stretch of this many seconds
     // ends the loop (0 = run forever).
     long idle_exit_s = 0;
+    // Checkpoint every durable engine this often (0 = never).  A final
+    // checkpoint is also taken when the loop ends.
+    long checkpoint_interval_s = 0;
     // Called once per poll wakeup (periodic metrics snapshots).
     std::function<void()> on_tick;
   };
+
+  // Checkpoints every durable engine in parallel on the shared pool
+  // (engines without a checkpoint dir are skipped).  Failures are
+  // reported on stderr; serving continues.
+  void CheckpointAll();
 
   // The serve loop: polls every tenant socket, routes datagrams to the
   // owning engine's collector by port, and pumps all engines between

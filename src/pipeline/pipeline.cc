@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/location/extractor.h"
+#include "pipeline/state_io.h"
 
 namespace sld::pipeline {
 namespace {
@@ -27,6 +28,7 @@ ShardedPipeline::ShardedPipeline(core::KnowledgeBase* kb,
       resolver_(dict),
       tracker_(kb, dict, options.idle_close_ms, options.max_group_age_ms,
                &matcher_.mutex()),
+      cross_(dict, options.digest.cross_router_window),
       // The order queue must never be the blocking edge: size it past the
       // worst-case number of in-flight batches so back-pressure always
       // comes from the shard queues.
@@ -39,7 +41,8 @@ ShardedPipeline::ShardedPipeline(core::KnowledgeBase* kb,
   shards_.reserve(n);
   pending_in_.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
-    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity));
+    shards_.push_back(
+        std::make_unique<Shard>(options_.queue_capacity, kb_, dict_));
   }
   if (options_.metrics != nullptr) tracker_.BindMetrics(options_.metrics);
   for (std::size_t k = 0; k < n; ++k) {
@@ -89,8 +92,6 @@ void ShardedPipeline::FlushBatches() {
 
 void ShardedPipeline::RunShard(Shard& shard, std::size_t shard_id) {
   core::LocationExtractor extractor(dict_);
-  TemporalStage temporal(kb_->temporal_params, &kb_->temporal_priors);
-  RuleStage rules(&kb_->rules, kb_->rule_params.window_ms, dict_);
   // Shard-private match state: the memo cache and the token scratch make
   // the steady-state signature match lock- and allocation-free.
   ShardMatchCache match_cache;
@@ -144,9 +145,9 @@ void ShardedPipeline::RunShard(Shard& shard, std::size_t shard_id) {
                                        in.router_known, extractor, *dict_);
       o.msg.tmpl = matcher_.MatchOrFallback(in.rec.code, in.rec.detail,
                                             cache, &match_scratch);
-      temporal.Feed(o.msg, &o.edges);
+      shard.temporal.Feed(o.msg, &o.edges);
       if (options_.digest.use_rules) {
-        rules.Feed(o.msg, &o.edges, &o.fired_rules);
+        shard.rules.Feed(o.msg, &o.edges, &o.fired_rules);
       }
       out.push_back(std::move(o));
     }
@@ -172,7 +173,6 @@ void ShardedPipeline::RunShard(Shard& shard, std::size_t shard_id) {
 }
 
 void ShardedPipeline::RunMerge() {
-  CrossRouterStage cross(dict_, options_.digest.cross_router_window);
   std::vector<std::vector<ShardOutput>> current(shards_.size());
   std::vector<std::size_t> cursor(shards_.size(), 0);
   std::vector<MergeEdge> cross_edges;
@@ -224,7 +224,7 @@ void ShardedPipeline::RunMerge() {
       tracker_.NoteRules(o.fired_rules);
       if (options_.digest.use_cross_router) {
         cross_edges.clear();
-        cross.Feed(
+        cross_.Feed(
             o.msg,
             [this](std::size_t a, std::size_t b) {
               return tracker_.SameGroup(a, b);
@@ -239,8 +239,64 @@ void ShardedPipeline::RunMerge() {
       merge_seconds->Observe(SecondsSince(batch_start));
       backlog->Set(static_cast<std::int64_t>(order_.size()));
     }
+    {
+      std::lock_guard<std::mutex> lock(quiesce_mutex_);
+      merged_count_ += schedule->size();
+    }
+    quiesce_cv_.notify_all();
   }
   emit(tracker_.Flush());
+}
+
+void ShardedPipeline::Quiesce() {
+  // After Finish() the threads are joined and every record replayed;
+  // the queues are closed, so skip the flush-and-wait entirely.
+  if (finished_) return;
+  FlushBatches();
+  std::unique_lock<std::mutex> lock(quiesce_mutex_);
+  quiesce_cv_.wait(lock, [this] { return merged_count_ >= seq_; });
+}
+
+void ShardedPipeline::SaveState(ckpt::Writer* w) {
+  Quiesce();
+  w->U64(seq_);
+  SaveResolverState(resolver_, w);
+  std::vector<TemporalStage::ChainSnapshot> chains;
+  for (const auto& shard : shards_) shard->temporal.ExportState(&chains);
+  SaveTemporalChains(std::move(chains), w);
+  std::vector<RuleStage::WindowSnapshot> windows;
+  for (const auto& shard : shards_) shard->rules.ExportState(&windows);
+  SaveRuleWindows(std::move(windows), w);
+  std::vector<CrossRouterStage::EntrySnapshot> cross_entries;
+  cross_.ExportState(&cross_entries);
+  SaveCrossEntries(cross_entries, w);
+  tracker_.SaveState(w);
+}
+
+bool ShardedPipeline::LoadState(ckpt::Reader* r) {
+  seq_ = r->U64();
+  bool ok = LoadResolverState(&resolver_, r);
+  ok = ok && LoadTemporalChains(r, [this](
+                                       const TemporalStage::ChainSnapshot& c) {
+         const auto router =
+             static_cast<std::uint32_t>(c.chain.key_a & 0xFFFFFFFFu);
+         shards_[router % shards_.size()]->temporal.ImportChain(c);
+       });
+  ok = ok && LoadRuleWindows(r, [this](const RuleStage::WindowSnapshot& win) {
+         shards_[win.router_key % shards_.size()]->rules.ImportWindow(win);
+       });
+  ok = ok &&
+       LoadCrossEntries(r, [this](const CrossRouterStage::EntrySnapshot& e) {
+         cross_.ImportEntry(e);
+       });
+  ok = ok && tracker_.LoadState(r);
+  {
+    // The restored records were already replayed in the previous life;
+    // without this, the first Quiesce() would wait for seq_ forever.
+    std::lock_guard<std::mutex> lock(quiesce_mutex_);
+    merged_count_ = seq_;
+  }
+  return ok;
 }
 
 core::DigestResult ShardedPipeline::Finish() {

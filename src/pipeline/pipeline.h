@@ -19,9 +19,11 @@
 // holds all three against each other).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -32,6 +34,11 @@
 #include "pipeline/stages.h"
 #include "pipeline/tracker.h"
 #include "syslog/record.h"
+
+namespace sld::ckpt {
+class Writer;
+class Reader;
+}  // namespace sld::ckpt
 
 namespace sld::pipeline {
 
@@ -87,6 +94,27 @@ class ShardedPipeline {
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
 
+  // Blocks the calling (ingest) thread until the merge thread has
+  // replayed every record pushed so far.  The queue mutexes plus the
+  // quiesce mutex establish the happens-before needed to read every
+  // stage's state from this thread afterwards; workers sit blocked on
+  // their empty input queues meanwhile.
+  void Quiesce();
+
+  // Checkpointing (DESIGN.md §14).  SaveState quiesces, then writes the
+  // canonical stage-graph state (state_io.h): snapshots are portable
+  // across shard counts.  LoadState must run before the first Push on a
+  // fresh pipeline; it re-partitions per-router state by router_key
+  // modulo this pipeline's shard count.
+  void SaveState(ckpt::Writer* w);
+  bool LoadState(ckpt::Reader* r);
+
+  // Open-group count (merge-thread state: exact after Quiesce/Finish,
+  // approximate mid-stream).  The recovery bench sizes snapshots by it.
+  std::size_t open_group_count() const noexcept {
+    return tracker_.open_group_count();
+  }
+
  private:
   struct ShardInput {
     std::size_t seq;
@@ -100,10 +128,20 @@ class ShardedPipeline {
     std::vector<std::uint64_t> fired_rules;
   };
   struct Shard {
-    explicit Shard(std::size_t capacity) : in(capacity), out(capacity) {}
+    Shard(std::size_t capacity, const core::KnowledgeBase* kb,
+          const core::LocationDict* dict)
+        : in(capacity),
+          out(capacity),
+          temporal(kb->temporal_params, &kb->temporal_priors),
+          rules(&kb->rules, kb->rule_params.window_ms, dict) {}
     BoundedQueue<std::vector<ShardInput>> in;
     BoundedQueue<std::vector<ShardOutput>> out;
     std::thread worker;
+    // Per-router stage state, owned by the worker thread while running;
+    // checkpointing reads it only after Quiesce() (the worker is then
+    // parked on the empty input queue).
+    TemporalStage temporal;
+    RuleStage rules;
   };
 
   void RunShard(Shard& shard, std::size_t shard_id);
@@ -116,6 +154,8 @@ class ShardedPipeline {
   ConcurrentTemplateMatcher matcher_;
   core::RouterResolver resolver_;
   GroupTracker tracker_;
+  // Merge-thread stage (hoisted so checkpoints can reach it).
+  CrossRouterStage cross_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   // Shard id of every sequence number, in batches, in ingest order: the
@@ -127,6 +167,12 @@ class ShardedPipeline {
   std::vector<std::vector<ShardInput>> pending_in_;
   std::vector<std::uint32_t> pending_order_;
   std::size_t seq_ = 0;
+
+  // Quiesce rendezvous: the merge thread publishes how many records it
+  // has replayed; Quiesce() waits for it to catch up with seq_.
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
+  std::size_t merged_count_ = 0;
 
   // Merge-thread state, read by Finish() only after the join.
   std::vector<core::DigestEvent> collected_;

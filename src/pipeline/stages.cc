@@ -42,4 +42,44 @@ void RuleStage::Feed(const core::Augmented& msg, std::vector<MergeEdge>* out,
   window.push_back({msg.raw_index, msg.time, msg.tmpl, msg.locs});
 }
 
+void TemporalStage::ExportState(std::vector<ChainSnapshot>* out) const {
+  std::vector<core::TemporalGrouper::ChainState> chains;
+  grouper_.ExportChains(&chains);
+  out->reserve(out->size() + chains.size());
+  for (const core::TemporalGrouper::ChainState& chain : chains) {
+    // Every live chain has a tail: Feed records one the moment the
+    // grouper returns a group id.
+    ChainSnapshot snap;
+    snap.chain = chain;
+    snap.tail_seq = tail_.at(chain.group);
+    out->push_back(std::move(snap));
+  }
+}
+
+void TemporalStage::ImportChain(const ChainSnapshot& snap) {
+  const std::size_t group = grouper_.ImportChain(snap.chain);
+  tail_.emplace(group, static_cast<std::size_t>(snap.tail_seq));
+}
+
+void RuleStage::ExportState(std::vector<WindowSnapshot>* out) const {
+  for (const auto& [router_key, window] : windows_) {
+    if (window.empty()) continue;  // fully evicted: no behavioral state
+    WindowSnapshot snap;
+    snap.router_key = router_key;
+    snap.entries.reserve(window.size());
+    for (const Entry& e : window) {
+      snap.entries.push_back({e.seq, e.time, e.tmpl, e.locs});
+    }
+    out->push_back(std::move(snap));
+  }
+}
+
+void RuleStage::ImportWindow(const WindowSnapshot& snap) {
+  std::deque<Entry>& window = windows_[snap.router_key];
+  for (const EntrySnapshot& e : snap.entries) {
+    window.push_back(
+        {static_cast<std::size_t>(e.seq), e.time, e.tmpl, e.locs});
+  }
+}
+
 }  // namespace sld::pipeline

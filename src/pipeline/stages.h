@@ -56,6 +56,16 @@ class TemporalStage {
   // the tracker under a short idle horizon; the edge applier skips those.
   void Feed(const core::Augmented& msg, std::vector<MergeEdge>* out);
 
+  // Checkpointing (DESIGN.md §14): every live chain with the sequence
+  // number of its latest message.  Exports are unordered; the caller
+  // sorts by key for a canonical, shard-count-independent layout.
+  struct ChainSnapshot {
+    core::TemporalGrouper::ChainState chain;
+    std::uint64_t tail_seq = 0;
+  };
+  void ExportState(std::vector<ChainSnapshot>* out) const;
+  void ImportChain(const ChainSnapshot& snap);
+
  private:
   core::TemporalGrouper grouper_;
   // temporal group id -> sequence number of the chain's latest message.
@@ -74,6 +84,20 @@ class RuleStage {
   // Appends an edge per rule hit and the fired rule's pair key.
   void Feed(const core::Augmented& msg, std::vector<MergeEdge>* out,
             std::vector<std::uint64_t>* fired_rules);
+
+  // Checkpointing: one router's sliding window, entries oldest-first.
+  struct EntrySnapshot {
+    std::uint64_t seq = 0;
+    TimeMs time = 0;
+    core::TemplateId tmpl = 0;
+    std::vector<core::LocationId> locs;
+  };
+  struct WindowSnapshot {
+    std::uint32_t router_key = 0;
+    std::vector<EntrySnapshot> entries;
+  };
+  void ExportState(std::vector<WindowSnapshot>* out) const;
+  void ImportWindow(const WindowSnapshot& snap);
 
  private:
   struct Entry {
@@ -126,6 +150,27 @@ class CrossRouterStage {
     }
     window_.push_back(
         {msg.raw_index, msg.time, msg.tmpl, msg.router_key, msg.locs});
+  }
+
+  // Checkpointing: the cross-router window in deque (= global time)
+  // order.  This stage lives on the one merge thread, so its snapshot is
+  // already canonical.
+  struct EntrySnapshot {
+    std::uint64_t seq = 0;
+    TimeMs time = 0;
+    core::TemplateId tmpl = 0;
+    std::uint32_t router_key = 0;
+    std::vector<core::LocationId> locs;
+  };
+  void ExportState(std::vector<EntrySnapshot>* out) const {
+    out->reserve(out->size() + window_.size());
+    for (const Entry& e : window_) {
+      out->push_back({e.seq, e.time, e.tmpl, e.router_key, e.locs});
+    }
+  }
+  void ImportEntry(const EntrySnapshot& snap) {
+    window_.push_back({static_cast<std::size_t>(snap.seq), snap.time,
+                       snap.tmpl, snap.router_key, snap.locs});
   }
 
  private:

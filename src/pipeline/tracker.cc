@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "ckpt/codec.h"
 #include "obs/registry.h"
 
 namespace sld::pipeline {
@@ -173,9 +174,14 @@ std::vector<core::DigestEvent> GroupTracker::CloseIdle(TimeMs now,
     groups_.erase(root);
   }
   SyncGauges();
+  // Start-time ties are broken by the first member's stream index — a
+  // total order over groups that survives checkpoint/restore, where the
+  // groups_ map is rebuilt and its iteration order (the old implicit
+  // tiebreak) changes.
   std::sort(events.begin(), events.end(),
             [](const core::DigestEvent& a, const core::DigestEvent& b) {
-              return a.start < b.start;
+              if (a.start != b.start) return a.start < b.start;
+              return a.messages.front() < b.messages.front();
             });
   return events;
 }
@@ -224,6 +230,108 @@ void GroupTracker::CompactArena() {
   for (std::size_t i = 0; i < arena_.size(); ++i) {
     slot_[arena_[i].raw_index] = i;
   }
+}
+
+namespace {
+
+void SaveAugmented(const core::Augmented& msg, ckpt::Writer* w) {
+  w->I64(msg.time);
+  w->U64(msg.raw_index);
+  w->U32(msg.tmpl);
+  w->U32(msg.router_key);
+  w->U8(msg.router_known ? 1 : 0);
+  w->U64(msg.locs.size());
+  for (const core::LocationId loc : msg.locs) w->U32(loc);
+  w->U32(msg.primary);
+}
+
+core::Augmented LoadAugmented(ckpt::Reader* r) {
+  core::Augmented msg;
+  msg.time = r->I64();
+  msg.raw_index = r->U64();
+  msg.tmpl = r->U32();
+  msg.router_key = r->U32();
+  msg.router_known = r->U8() != 0;
+  msg.locs.resize(r->Count(4));
+  for (core::LocationId& loc : msg.locs) loc = r->U32();
+  msg.primary = r->U32();
+  return msg;
+}
+
+}  // namespace
+
+void GroupTracker::SaveState(ckpt::Writer* w) {
+  // After compaction the arena holds exactly the open messages in
+  // sequence order, closed_ is all-false, and slot_ is the identity —
+  // none of those need bytes in the snapshot.
+  CompactArena();
+  w->U64(arena_.size());
+  for (const core::Augmented& msg : arena_) SaveAugmented(msg, w);
+  for (const std::size_t p : uf_.parents()) w->U64(p);
+  for (const std::size_t s : uf_.sizes()) w->U64(s);
+  w->U64(groups_.size());
+  // Group metadata sorted by root for a canonical byte stream.
+  std::vector<std::pair<std::size_t, GroupMeta>> metas(groups_.begin(),
+                                                       groups_.end());
+  std::sort(metas.begin(), metas.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [root, meta] : metas) {
+    w->U64(root);
+    w->I64(meta.first_time);
+    w->I64(meta.last_time);
+  }
+  std::vector<std::uint64_t> rules(active_rules_.begin(),
+                                   active_rules_.end());
+  std::sort(rules.begin(), rules.end());
+  w->U64(rules.size());
+  for (const std::uint64_t key : rules) w->U64(key);
+  w->U64(processed_);
+  w->I64(clock_);
+}
+
+bool GroupTracker::LoadState(ckpt::Reader* r) {
+  const std::uint64_t n = r->Count(8);
+  arena_.clear();
+  arena_.reserve(n);
+  slot_.clear();
+  for (std::uint64_t i = 0; i < n && r->ok(); ++i) {
+    arena_.push_back(LoadAugmented(r));
+    slot_[arena_.back().raw_index] = i;
+  }
+  closed_.assign(arena_.size(), false);
+  std::vector<std::size_t> parents(arena_.size());
+  for (std::size_t& p : parents) p = r->U64();
+  std::vector<std::size_t> sizes(arena_.size());
+  for (std::size_t& s : sizes) s = r->U64();
+  uf_.Rebuild(std::move(parents), std::move(sizes));
+  groups_.clear();
+  const std::uint64_t n_groups = r->Count(24);
+  for (std::uint64_t i = 0; i < n_groups && r->ok(); ++i) {
+    const std::size_t root = r->U64();
+    GroupMeta meta;
+    meta.first_time = r->I64();
+    meta.last_time = r->I64();
+    groups_[root] = meta;
+  }
+  active_rules_.clear();
+  const std::uint64_t n_rules = r->Count(8);
+  for (std::uint64_t i = 0; i < n_rules && r->ok(); ++i) {
+    active_rules_.insert(r->U64());
+  }
+  open_messages_ = arena_.size();
+  processed_ = r->U64();
+  clock_ = r->I64();
+  if (!r->ok()) return false;
+  // Sanity: every union-find index must be in range and every group root
+  // must exist; refuse rather than corrupt downstream state.
+  for (const std::size_t p : uf_.parents()) {
+    if (p >= arena_.size()) return false;
+  }
+  for (const auto& entry : groups_) {
+    if (entry.first >= arena_.size()) return false;
+  }
+  SyncGauges();
+  return true;
 }
 
 }  // namespace sld::pipeline

@@ -30,6 +30,11 @@ namespace sld::obs {
 class Registry;
 }  // namespace sld::obs
 
+namespace sld::ckpt {
+class Writer;
+class Reader;
+}  // namespace sld::ckpt
+
 namespace sld::pipeline {
 
 class GroupTracker {
@@ -74,6 +79,14 @@ class GroupTracker {
   // max-age force close, end-of-stream flush).  `reg` must outlive the
   // tracker; call before the first message.
   void BindMetrics(obs::Registry* reg);
+
+  // Checkpointing (DESIGN.md §14): compacts the arena (observably
+  // transparent — it already runs at arbitrary times), then serializes
+  // the open messages, union-find forest, group metadata, fired-rule
+  // set, processed count, and stream clock.  LoadState expects a fresh
+  // tracker constructed with the same kb/dict/horizons.
+  void SaveState(ckpt::Writer* w);
+  bool LoadState(ckpt::Reader* r);
 
   std::size_t open_group_count() const noexcept { return groups_.size(); }
   std::size_t open_message_count() const noexcept { return open_messages_; }

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "ckpt/codec.h"
 #include "obs/registry.h"
 
 namespace sld::syslog {
@@ -78,6 +79,18 @@ bool Collector::IngestRecord(SyslogRecord rec) {
   }
   if (suppress_duplicates_) {
     const std::size_t hash = Hash(rec);
+    // A tie with the release boundary that is byte-equal to a record
+    // already released at that second is a duplicate datagram whose
+    // twin straddled a drain — not a fresh same-second record.
+    if (rec.time == released_through_ && boundary_hashes_.count(hash) != 0) {
+      for (const SyslogRecord& released : boundary_records_) {
+        if (released == rec) {
+          ++duplicates_;
+          if (cells_.duplicates != nullptr) cells_.duplicates->Inc();
+          return false;
+        }
+      }
+    }
     if (buffered_hashes_.count(hash) != 0) {
       // Hash hit: confirm with an equality scan over same-time entries
       // before dropping (hash collisions must not lose records).
@@ -106,12 +119,21 @@ std::vector<SyslogRecord> Collector::Drain() {
   const TimeMs release_up_to = watermark_ - hold_ms_;
   auto it = buffer_.begin();
   while (it != buffer_.end() && it->first <= release_up_to) {
+    if (suppress_duplicates_ && it->first != released_through_) {
+      // The boundary advanced: older released seconds can no longer tie
+      // with an arrival, so their window entries are dead weight.
+      boundary_records_.clear();
+      boundary_hashes_.clear();
+    }
     released_through_ = it->first;
     if (suppress_duplicates_) {
-      const auto hash_it = buffered_hashes_.find(Hash(it->second));
+      const std::size_t hash = Hash(it->second);
+      const auto hash_it = buffered_hashes_.find(hash);
       if (hash_it != buffered_hashes_.end()) {
         buffered_hashes_.erase(hash_it);
       }
+      boundary_hashes_.insert(hash);
+      boundary_records_.push_back(it->second);
     }
     out.push_back(std::move(it->second));
     it = buffer_.erase(it);
@@ -128,6 +150,8 @@ std::vector<SyslogRecord> Collector::Flush() {
   for (auto& [time, rec] : buffer_) out.push_back(std::move(rec));
   buffer_.clear();
   buffered_hashes_.clear();
+  boundary_records_.clear();
+  boundary_hashes_.clear();
   released_ += out.size();
   if (cells_.released != nullptr) cells_.released->Inc(out.size());
   // End of epoch: reset the clocks so a reused collector does not reject
@@ -136,6 +160,89 @@ std::vector<SyslogRecord> Collector::Flush() {
   released_through_ = INT64_MIN;
   SyncGauges();
   return out;
+}
+
+namespace {
+
+void SaveRecord(const SyslogRecord& rec, ckpt::Writer* w) {
+  w->I64(rec.time);
+  w->Str(rec.router);
+  w->Str(rec.code);
+  w->Str(rec.detail);
+}
+
+SyslogRecord LoadRecord(ckpt::Reader* r) {
+  SyslogRecord rec;
+  rec.time = r->I64();
+  rec.router = r->Str();
+  rec.code = r->Str();
+  rec.detail = r->Str();
+  return rec;
+}
+
+// Minimum encoded size of a record: time (8) + three length prefixes.
+constexpr std::size_t kMinRecordBytes = 8 + 3 * 8;
+
+}  // namespace
+
+void Collector::SaveState(ckpt::Writer* w) const {
+  w->I64(watermark_);
+  w->I64(released_through_);
+  // The multimap iterates in release order, and equal keys preserve
+  // insertion (= arrival) order, so a restore rebuilds the identical
+  // release sequence.
+  w->U64(buffer_.size());
+  for (const auto& [time, rec] : buffer_) SaveRecord(rec, w);
+  w->U64(boundary_records_.size());
+  for (const SyslogRecord& rec : boundary_records_) SaveRecord(rec, w);
+  w->U64(malformed_);
+  w->U64(late_);
+  w->U64(accepted_);
+  w->U64(duplicates_);
+  w->U64(released_);
+}
+
+bool Collector::LoadState(ckpt::Reader* r) {
+  watermark_ = r->I64();
+  released_through_ = r->I64();
+  buffer_.clear();
+  buffered_hashes_.clear();
+  boundary_records_.clear();
+  boundary_hashes_.clear();
+  const std::uint64_t buffered = r->Count(kMinRecordBytes);
+  for (std::uint64_t i = 0; i < buffered && r->ok(); ++i) {
+    SyslogRecord rec = LoadRecord(r);
+    if (suppress_duplicates_) buffered_hashes_.insert(Hash(rec));
+    buffer_.emplace(rec.time, std::move(rec));
+  }
+  const std::uint64_t boundary = r->Count(kMinRecordBytes);
+  for (std::uint64_t i = 0; i < boundary && r->ok(); ++i) {
+    SyslogRecord rec = LoadRecord(r);
+    boundary_hashes_.insert(Hash(rec));
+    boundary_records_.push_back(std::move(rec));
+  }
+  const std::size_t malformed = r->U64();
+  const std::size_t late = r->U64();
+  const std::size_t accepted = r->U64();
+  const std::size_t duplicates = r->U64();
+  const std::size_t released = r->U64();
+  if (!r->ok()) return false;
+  // Mirror the restored totals into any bound cells (the cells were
+  // zero: LoadState expects a fresh collector).
+  if (cells_.accepted != nullptr) {
+    cells_.malformed->Inc(malformed - malformed_);
+    cells_.late->Inc(late - late_);
+    cells_.accepted->Inc(accepted - accepted_);
+    cells_.duplicates->Inc(duplicates - duplicates_);
+    cells_.released->Inc(released - released_);
+  }
+  malformed_ = malformed;
+  late_ = late;
+  accepted_ = accepted;
+  duplicates_ = duplicates;
+  released_ = released;
+  SyncGauges();
+  return true;
 }
 
 }  // namespace sld::syslog

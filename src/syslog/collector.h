@@ -12,7 +12,11 @@
 // timestamp with an already-released record is still accepted — released
 // output stays non-decreasing either way, and at syslog's 1-second
 // granularity same-second arrivals split across a Drain() are endemic
-// (dropping them would silently lose legitimate traffic).
+// (dropping them would silently lose legitimate traffic).  Under
+// suppress_duplicates, a tie that is byte-equal to a record already
+// released at the boundary second IS dropped: that is a wire duplicate
+// straddling a drain, and the same rule makes a full resend after a
+// checkpoint restore exactly idempotent (DESIGN.md §14).
 //
 // Lifecycle: Flush() ends an epoch.  It releases everything buffered and
 // RESETS the watermarks, so a collector reused after an end-of-stream
@@ -34,6 +38,11 @@
 namespace sld::obs {
 class Registry;
 }  // namespace sld::obs
+
+namespace sld::ckpt {
+class Writer;
+class Reader;
+}  // namespace sld::ckpt
 
 namespace sld::syslog {
 
@@ -89,6 +98,14 @@ class Collector {
   using HashFn = std::size_t (*)(const SyslogRecord&);
   void SetHashForTesting(HashFn fn) { hash_fn_ = fn; }
 
+  // Checkpointing (DESIGN.md §14): serializes/restores the watermarks,
+  // the reorder buffer (in release order), the released-boundary
+  // duplicate window, and the cumulative counters.  LoadState expects a
+  // freshly constructed collector (same hold_ms/year/suppress options)
+  // and returns false on a malformed snapshot section.
+  void SaveState(ckpt::Writer* w) const;
+  bool LoadState(ckpt::Reader* r);
+
  private:
   static std::size_t HashRecord(const SyslogRecord& rec) noexcept;
   std::size_t Hash(const SyslogRecord& rec) const noexcept {
@@ -105,6 +122,15 @@ class Collector {
   std::multimap<TimeMs, SyslogRecord> buffer_;
   // Hashes of buffered records (duplicate suppression window).
   std::multiset<std::size_t> buffered_hashes_;
+  // Records already released at time == released_through_ (the release
+  // boundary), kept only under suppress_duplicates.  A late-tie arrival
+  // equal to one of these is a wire duplicate of a record we already
+  // released, not a fresh same-second record — it is dropped.  This also
+  // makes a full resend after a checkpoint restore exactly idempotent.
+  // Cleared whenever the boundary advances, so it holds at most one
+  // second of released traffic.
+  std::vector<SyslogRecord> boundary_records_;
+  std::multiset<std::size_t> boundary_hashes_;
   std::size_t malformed_ = 0;
   std::size_t late_ = 0;
   std::size_t accepted_ = 0;

@@ -26,23 +26,31 @@ int MonthFromAbbrev(std::string_view abbrev) noexcept {
   return 0;
 }
 
-std::string EncodeRfc3164(const SyslogRecord& rec) {
+void AppendRfc3164(const SyslogRecord& rec, std::string* out) {
   int severity = VendorSeverity(rec.code);
   if (severity < 0) severity = 0;
   if (severity > 7) severity = 7;
   const int pri = kRouterFacility * 8 + severity;
   const CivilTime ct = ToCivil(rec.time);
+  const std::string_view month = MonthAbbrev(ct.month);
   char head[64];
-  // RFC 3164 pads single-digit days with a space, not a zero.
-  std::snprintf(head, sizeof(head), "<%d>%s %2d %02d:%02d:%02d ", pri,
-                std::string(MonthAbbrev(ct.month)).c_str(), ct.day, ct.hour,
-                ct.minute, ct.second);
-  std::string out = head;
-  out += rec.router;
-  out += " %";
-  out += rec.code;
-  out += ": ";
-  out += rec.detail;
+  // RFC 3164 pads single-digit days with a space, not a zero.  The
+  // month abbreviation is formatted as a bounded string_view — no
+  // temporary std::string on this hot path.
+  const int n = std::snprintf(head, sizeof(head), "<%d>%.*s %2d %02d:%02d:%02d ",
+                              pri, static_cast<int>(month.size()), month.data(),
+                              ct.day, ct.hour, ct.minute, ct.second);
+  out->append(head, static_cast<std::size_t>(n));
+  *out += rec.router;
+  *out += " %";
+  *out += rec.code;
+  *out += ": ";
+  *out += rec.detail;
+}
+
+std::string EncodeRfc3164(const SyslogRecord& rec) {
+  std::string out;
+  AppendRfc3164(rec, &out);
   return out;
 }
 
@@ -81,7 +89,11 @@ std::optional<SyslogRecord> DecodeRfc3164(std::string_view datagram,
   ct.minute = static_cast<int>(*minute);
   ct.second = static_cast<int>(*second);
 
-  rest = Trim(rest.substr(15));
+  // The byte after the clock must be the separator space; without this
+  // check "<34>Aug  9 12:00:00Xhost %C: d" would parse with host
+  // "Xhost" instead of being rejected as malformed.
+  if (rest[15] != ' ') return std::nullopt;
+  rest = Trim(rest.substr(16));
   const std::size_t host_end = rest.find(' ');
   if (host_end == std::string_view::npos) return std::nullopt;
   SyslogRecord rec;

@@ -28,6 +28,11 @@ inline constexpr int kRouterFacility = 23;
 // taken from the record's error code (vendor severity, clamped to [0,7]).
 std::string EncodeRfc3164(const SyslogRecord& rec);
 
+// Appends the encoding of `rec` to *out.  With a reused buffer the
+// steady state is allocation-free, which is what the replay/generator
+// hot paths want (bench_ckpt audits this).
+void AppendRfc3164(const SyslogRecord& rec, std::string* out);
+
 // Decodes an RFC 3164 datagram.  `year` supplies the missing year field.
 // Returns nullopt for malformed datagrams.
 std::optional<SyslogRecord> DecodeRfc3164(std::string_view datagram,

@@ -1,0 +1,334 @@
+// Crash-consistency suite for the engine checkpoint/restart subsystem
+// (DESIGN.md §14).
+//
+// The contract under test: abandon a durable engine mid-stream (the
+// in-process stand-in for SIGKILL — every logged event was fsynced, the
+// snapshot lags the log), open a fresh engine on the same checkpoint
+// dir, resend the WHOLE stream from the beginning, and the durable
+// event log ends up byte-identical to an uninterrupted run — at any
+// combination of crash-side and restore-side shard counts, because
+// snapshots are canonical over the stage graph, not over the sharding.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/event_codec.h"
+#include "ckpt/eventlog.h"
+#include "ckpt/snapshot.h"
+#include "core/learn.h"
+#include "engine/engine.h"
+#include "net/config_parser.h"
+#include "sim/generator.h"
+
+namespace sld::engine {
+namespace {
+
+struct World {
+  World() {
+    sim::DatasetSpec spec = sim::DatasetASpec();
+    spec.topo.num_routers = 6;
+    history = sim::GenerateDataset(spec, 0, 3, 901);
+    live = sim::GenerateDataset(spec, 3, 1, 902);
+    std::vector<net::ParsedConfig> parsed;
+    for (const std::string& cfg : history.configs) {
+      parsed.push_back(net::ParseConfig(cfg));
+    }
+    dict = core::LocationDict::Build(parsed);
+    core::OfflineLearner learner;
+    kb = learner.Learn(history.messages, dict);
+  }
+
+  sim::Dataset history;
+  sim::Dataset live;
+  core::LocationDict dict;
+  core::KnowledgeBase kb;
+};
+
+World& SharedWorld() {
+  static World world;
+  return world;
+}
+
+core::KnowledgeBase CloneKb(const core::KnowledgeBase& kb) {
+  return core::KnowledgeBase::Deserialize(kb.Serialize());
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("sld_ckpt_engine_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+EngineOptions DurableOptions(std::size_t shards) {
+  EngineOptions opts;
+  opts.shards = shards;
+  // Crash-consistent resend needs the duplicate window (--dedup).
+  opts.suppress_duplicates = true;
+  opts.hold_ms = 1000;
+  // A short idle horizon keeps events closing throughout the stream so
+  // the crash window actually contains logged events (the learned
+  // default horizon closes most of this dataset only at Finish).
+  opts.idle_close_ms = 60 * 1000;
+  return opts;
+}
+
+// Copies `src`'s snapshot + event log into `dst` — the crash image.  An
+// in-process engine cannot simply be abandoned to simulate SIGKILL: its
+// destructor joins the pipeline, which closes every open group and logs
+// the final flush.  The on-disk state *before* destruction is exactly
+// what a kill would leave, so we photograph it first.
+void CopyCrashImage(const std::string& src, const std::string& dst) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dst);
+  if (fs::exists(src + "/snapshot")) {
+    fs::copy_file(src + "/snapshot", dst + "/snapshot",
+                  fs::copy_options::overwrite_existing);
+  }
+  if (fs::exists(src + "/events.log")) {
+    fs::copy_file(src + "/events.log", dst + "/events.log",
+                  fs::copy_options::overwrite_existing);
+  }
+}
+
+// The durable log rendered the way `sldigest events` prints it.
+std::vector<std::string> DumpLog(const std::string& dir) {
+  std::vector<std::string> lines;
+  std::string error;
+  const bool ok = ckpt::EventLog::ForEach(
+      dir + "/events.log",
+      [&lines](std::uint64_t seq, std::string_view payload) {
+        ckpt::Reader r(payload);
+        core::DigestEvent ev;
+        ASSERT_TRUE(ckpt::ReadEvent(&r, &ev));
+        lines.push_back(std::to_string(seq) + "|" + ev.Format());
+      },
+      &error);
+  EXPECT_TRUE(ok) << error;
+  return lines;
+}
+
+// Uninterrupted reference: feed every live record, Finish, dump the log.
+std::vector<std::string> RunGolden(World& w, std::size_t shards,
+                                   const std::string& dir) {
+  core::KnowledgeBase kb = CloneKb(w.kb);
+  Engine eng(&kb, &w.dict, DurableOptions(shards));
+  std::string error;
+  EXPECT_TRUE(eng.OpenDurable(dir, &error)) << error;
+  for (const auto& rec : w.live.messages) {
+    eng.IngestRecord(rec);
+    eng.Pump();
+  }
+  eng.Finish();
+  return DumpLog(dir);
+}
+
+// Crash leg: checkpoint at `ckpt_at` records, keep going to `crash_at`,
+// photograph the checkpoint dir into `image_dir` (snapshot stale, log
+// current — exactly what a SIGKILL leaves behind), then let the engine
+// be destroyed.
+void RunUntilCrash(World& w, std::size_t shards, const std::string& dir,
+                   const std::string& image_dir, std::size_t ckpt_at,
+                   std::size_t crash_at) {
+  core::KnowledgeBase kb = CloneKb(w.kb);
+  Engine eng(&kb, &w.dict, DurableOptions(shards));
+  std::string error;
+  ASSERT_TRUE(eng.OpenDurable(dir, &error)) << error;
+  for (std::size_t i = 0; i < crash_at && i < w.live.messages.size(); ++i) {
+    eng.IngestRecord(w.live.messages[i]);
+    eng.Pump();
+    if (i + 1 == ckpt_at) {
+      ASSERT_TRUE(eng.Checkpoint(&error)) << error;
+    }
+  }
+  // Let the merge thread drain in-flight closes (shards > 1); a torn or
+  // shorter log would still be a valid crash image, just a less
+  // interesting one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  CopyCrashImage(dir, image_dir);
+}
+
+// Restart leg: restore from the crashed dir and resend the whole stream.
+std::vector<std::string> RunRestart(World& w, std::size_t shards,
+                                    const std::string& dir) {
+  core::KnowledgeBase kb = CloneKb(w.kb);
+  Engine eng(&kb, &w.dict, DurableOptions(shards));
+  std::string error;
+  EXPECT_TRUE(eng.OpenDurable(dir, &error)) << error;
+  EXPECT_GT(eng.replay_cursor(), 0u);
+  for (const auto& rec : w.live.messages) {
+    eng.IngestRecord(rec);
+    eng.Pump();
+  }
+  eng.Finish();
+  EXPECT_GT(eng.replay_suppressed(), 0u);
+  return DumpLog(dir);
+}
+
+class CkptEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(CkptEquivalence, KillAndRestartMatchesUninterruptedRun) {
+  const auto [crash_shards, restore_shards] = GetParam();
+  World& w = SharedWorld();
+  TempDir golden_dir;
+  TempDir crash_dir;
+  TempDir image_dir;
+  const auto golden = RunGolden(w, /*shards=*/1, golden_dir.str());
+  ASSERT_FALSE(golden.empty());
+
+  // Checkpoint and kill inside the stream's dense early region, where
+  // events are closing between the two points (so the log is genuinely
+  // ahead of the snapshot when the crash hits).
+  const std::size_t n = w.live.messages.size();
+  RunUntilCrash(w, crash_shards, crash_dir.str(), image_dir.str(),
+                /*ckpt_at=*/n / 10, /*crash_at=*/n / 5);
+  const auto restored = RunRestart(w, restore_shards, image_dir.str());
+  EXPECT_EQ(restored, golden);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shards, CkptEquivalence,
+    ::testing::Values(std::make_tuple(std::size_t{1}, std::size_t{1}),
+                      std::make_tuple(std::size_t{4}, std::size_t{4}),
+                      std::make_tuple(std::size_t{16}, std::size_t{16}),
+                      // Snapshots are canonical: restore at a different
+                      // shard count than the crash side ran.
+                      std::make_tuple(std::size_t{4}, std::size_t{1}),
+                      std::make_tuple(std::size_t{1}, std::size_t{16})));
+
+// A checkpoint taken after a clean Finish restores to a drained engine:
+// nothing open, the replay cursor at the full event count, and a
+// no-traffic restart adds nothing to the log.  (A full resend after a
+// clean shutdown is a NEW epoch — Finish flushed the collector — which
+// is why the crash-recovery contract is resend-after-kill, not
+// resend-after-finish.)
+TEST(CkptEngineTest, CleanShutdownRestoresDrained) {
+  World& w = SharedWorld();
+  TempDir dir;
+  std::uint64_t total = 0;
+  {
+    core::KnowledgeBase kb = CloneKb(w.kb);
+    Engine eng(&kb, &w.dict, DurableOptions(1));
+    std::string error;
+    ASSERT_TRUE(eng.OpenDurable(dir.str(), &error)) << error;
+    for (const auto& rec : w.live.messages) {
+      eng.IngestRecord(rec);
+      eng.Pump();
+    }
+    eng.Finish();
+    ASSERT_TRUE(eng.Checkpoint(&error)) << error;
+    total = eng.event_count();
+    ASSERT_GT(total, 0u);
+  }
+  const auto before = DumpLog(dir.str());
+  ASSERT_EQ(before.size(), total);
+  core::KnowledgeBase kb = CloneKb(w.kb);
+  Engine eng(&kb, &w.dict, DurableOptions(1));
+  std::string error;
+  ASSERT_TRUE(eng.OpenDurable(dir.str(), &error)) << error;
+  EXPECT_EQ(eng.replay_cursor(), total);
+  EXPECT_EQ(eng.event_count(), total);
+  EXPECT_EQ(eng.open_group_count(), 0u);
+  eng.Finish();
+  EXPECT_EQ(eng.event_count(), total);
+  EXPECT_EQ(DumpLog(dir.str()), before);
+}
+
+TEST(CkptEngineTest, CorruptSnapshotRefusesToOpen) {
+  World& w = SharedWorld();
+  TempDir live;
+  TempDir dir;
+  RunUntilCrash(w, 1, live.str(), dir.str(), 50, 100);
+  // Flip a byte in the snapshot body.
+  const std::string path = dir.str() + "/snapshot";
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 30u);
+  bytes[bytes.size() - 5] ^= 0x10;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  core::KnowledgeBase kb = CloneKb(w.kb);
+  Engine eng(&kb, &w.dict, DurableOptions(1));
+  std::string error;
+  EXPECT_FALSE(eng.OpenDurable(dir.str(), &error));
+  EXPECT_NE(error.find("refusing to restore"), std::string::npos) << error;
+  EXPECT_FALSE(eng.durable());
+}
+
+TEST(CkptEngineTest, SnapshotForAnotherTenantRefusesToOpen) {
+  World& w = SharedWorld();
+  TempDir dir;
+  {
+    core::KnowledgeBase kb = CloneKb(w.kb);
+    EngineOptions opts = DurableOptions(1);
+    opts.tenant = "alpha";
+    Engine eng(&kb, &w.dict, opts);
+    std::string error;
+    ASSERT_TRUE(eng.OpenDurable(dir.str(), &error)) << error;
+    for (std::size_t i = 0; i < 100; ++i) {
+      eng.IngestRecord(w.live.messages[i]);
+      eng.Pump();
+    }
+    ASSERT_TRUE(eng.Checkpoint(&error)) << error;
+  }
+  core::KnowledgeBase kb = CloneKb(w.kb);
+  EngineOptions opts = DurableOptions(1);
+  opts.tenant = "beta";
+  Engine eng(&kb, &w.dict, opts);
+  std::string error;
+  EXPECT_FALSE(eng.OpenDurable(dir.str(), &error));
+  EXPECT_NE(error.find("tenant"), std::string::npos) << error;
+}
+
+TEST(CkptEngineTest, MissingConfigDirFailsEngineLoad) {
+  std::string error;
+  const auto eng = Engine::Load("/nonexistent/configs/dir",
+                                "/nonexistent/kb.txt", EngineOptions{},
+                                &error);
+  EXPECT_EQ(eng, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+// LoadConfigDir itself: an unreadable dir reports an error instead of
+// masquerading as an empty-but-valid config directory.
+TEST(CkptEngineTest, LoadConfigDirReportsMissingDirectory) {
+  std::string error;
+  const auto parsed = LoadConfigDir("/nonexistent/configs/dir", &error);
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_NE(error.find("cannot read config dir"), std::string::npos)
+      << error;
+  // An existing-but-empty dir is NOT an error: zero configs is valid.
+  TempDir empty;
+  error.clear();
+  const auto none = LoadConfigDir(empty.str(), &error);
+  EXPECT_TRUE(none.empty());
+  EXPECT_TRUE(error.empty()) << error;
+}
+
+}  // namespace
+}  // namespace sld::engine

@@ -1,0 +1,85 @@
+// Regression for the serve-loop EINTR bug: a signal interrupting
+// poll() used to count toward the idle horizon, so a server pestered
+// with signals (profilers, timers, SIGCHLD from a supervisor) finished
+// all engines and exited long before idle_exit_s of real quiet had
+// passed.  Here we storm the serving thread with SIGUSR1 while it is
+// nominally one quiet second away from exiting; it must survive the
+// storm and still be alive to accept a second datagram afterwards.
+#include "engine/host.h"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/knowledge.h"
+#include "core/location/location.h"
+#include "syslog/udp.h"
+
+namespace sld::engine {
+namespace {
+
+void NoopHandler(int) {}
+
+TEST(HostSignalTest, ServeSurvivesSignalStorm) {
+  // Install a no-op SIGUSR1 handler WITHOUT SA_RESTART so poll() really
+  // returns EINTR instead of being transparently restarted.
+  struct sigaction sa = {};
+  sa.sa_handler = NoopHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction old = {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  core::KnowledgeBase kb;
+  const core::LocationDict dict = core::LocationDict::Build({});
+  EngineHost host;
+  host.AddEngine(std::make_unique<Engine>(&kb, &dict, EngineOptions{}));
+  std::string error;
+  ASSERT_TRUE(host.BindAll(&error)) << error;
+  const std::uint16_t port = host.port_of(0);
+
+  std::size_t served = 0;
+  std::atomic<pthread_t> serve_tid{};
+  std::atomic<bool> tid_ready{false};
+  std::thread server([&host, &served, &serve_tid, &tid_ready] {
+    serve_tid.store(pthread_self());
+    tid_ready.store(true);
+    EngineHost::ServeOptions opts;
+    opts.max_datagrams = 2;
+    opts.idle_exit_s = 2;
+    served = host.Serve(opts);
+  });
+  // Wait for the serving thread to publish its id.
+  while (!tid_ready.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto sender = syslog::UdpSender::Open("127.0.0.1", port);
+  ASSERT_TRUE(sender.has_value());
+  ASSERT_TRUE(sender->Send("<187>Jan 10 00:00:15 r1 %A-1-B: one"));
+
+  // Storm: each signal interrupts poll() well inside its 1 s timeout.
+  // With the old accounting every interruption looked like a quiet
+  // second, so ~2 signals would have ended the loop mid-storm.
+  for (int i = 0; i < 200; ++i) {
+    pthread_kill(serve_tid.load(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Still serving?  Then this datagram reaches the limit and ends the
+  // loop promptly; a loop killed by the storm would have served == 1.
+  ASSERT_TRUE(sender->Send("<187>Jan 10 00:00:16 r1 %A-1-B: two"));
+  server.join();
+  EXPECT_EQ(served, 2u);
+
+  sigaction(SIGUSR1, &old, nullptr);
+}
+
+}  // namespace
+}  // namespace sld::engine

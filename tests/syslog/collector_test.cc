@@ -165,25 +165,46 @@ TEST(CollectorTest, DuplicateSuppressionDropsIdenticalBufferedRecords) {
   EXPECT_EQ(c.Flush().size(), 2u);
 }
 
-TEST(CollectorTest, DuplicateWindowExpiresWithRelease) {
+TEST(CollectorTest, BoundaryDuplicateIsSuppressedAfterRelease) {
   Collector c(/*hold_ms=*/1000, /*year=*/2009,
               /*suppress_duplicates=*/true);
   c.IngestRecord(At(1000));
   c.IngestRecord(At(10000));
   (void)c.Drain();  // the t=1000 record has been released
-  // A duplicate arriving after the original drained is outside the
-  // suppression window.  Its timestamp ties the released watermark, so it
-  // is ACCEPTED (same-second records must not be lost; suppression only
-  // covers the reorder buffer — DESIGN.md documents the trade-off).
-  EXPECT_TRUE(c.IngestRecord(At(1000)));
-  EXPECT_EQ(c.duplicate_count(), 0u);
+  // An exact duplicate of a record released AT the boundary second is
+  // suppressed: the boundary window keeps released boundary records so a
+  // full resend after a crash restore is idempotent (DESIGN.md §14).
+  EXPECT_FALSE(c.IngestRecord(At(1000)));
+  EXPECT_EQ(c.duplicate_count(), 1u);
   EXPECT_EQ(c.late_count(), 0u);
+  // A DIFFERENT record sharing the boundary second is still accepted —
+  // same-second records must not be lost.
+  EXPECT_TRUE(c.IngestRecord(At(1000, "other-router")));
   // A duplicate of a released record that is strictly older than the
   // watermark is still rejected as late.
   (void)c.IngestRecord(At(20000));
-  (void)c.Drain();  // releases 1000 and 10000; watermark passes 10000
+  (void)c.Drain();  // releases through 10000; watermark passes 10000
   EXPECT_FALSE(c.IngestRecord(At(10000 - 1)));
   EXPECT_EQ(c.late_count(), 1u);
+}
+
+// The boundary window tracks the CURRENT boundary only: once the
+// released watermark advances past a second, duplicates of that second
+// are late anyway, and the window resets to the new boundary's records.
+TEST(CollectorTest, BoundaryWindowFollowsTheWatermark) {
+  Collector c(/*hold_ms=*/1000, /*year=*/2009,
+              /*suppress_duplicates=*/true);
+  c.IngestRecord(At(1000));
+  c.IngestRecord(At(10000));
+  (void)c.Drain();  // boundary now 1000
+  c.IngestRecord(At(20000));
+  (void)c.Drain();  // boundary advances to 10000
+  EXPECT_FALSE(c.IngestRecord(At(10000)));  // boundary duplicate
+  EXPECT_EQ(c.duplicate_count(), 1u);
+  // Flush resets the epoch entirely: the stream restarts from scratch
+  // and nothing earlier is remembered.
+  (void)c.Flush();
+  EXPECT_TRUE(c.IngestRecord(At(10000)));
 }
 
 // A hash collision between non-equal records must not suppress either

@@ -106,6 +106,37 @@ TEST(WireTest, YearlessTimestampUsesReferenceYear) {
 // crosses New Year decodes into the same reference year, so December
 // sorts after January.  Deployments pass the current year per datagram
 // batch (sldigest serve's --year flag).
+// The byte after the clock must be a space.  The decoder used to skip
+// position 15 unchecked, so "00:00:15Xr1 ..." silently parsed with
+// router "Xr1" instead of being rejected.
+TEST(WireTest, DecodeRequiresSpaceAfterClock) {
+  ASSERT_TRUE(
+      DecodeRfc3164("<187>Jan 10 00:00:15 r1 %A-1-B: d", 2009).has_value());
+  EXPECT_FALSE(
+      DecodeRfc3164("<187>Jan 10 00:00:15Xr1 %A-1-B: d", 2009).has_value());
+  // A clock running straight into extra digits is malformed too.
+  EXPECT_FALSE(
+      DecodeRfc3164("<187>Jan 10 00:00:159 r1 %A-1-B: d", 2009).has_value());
+  EXPECT_FALSE(
+      DecodeRfc3164("<187>Jan 10 00:00:15\tr1 %A-1-B: d", 2009).has_value());
+}
+
+// AppendRfc3164 is the allocation-free form the replay path uses: same
+// bytes as EncodeRfc3164, appended into a caller-owned buffer.
+TEST(WireTest, AppendMatchesEncode) {
+  std::string buf;
+  for (const int day : {3, 10}) {
+    const SyslogRecord rec = Sample(day);
+    buf.clear();
+    AppendRfc3164(rec, &buf);
+    EXPECT_EQ(buf, EncodeRfc3164(rec));
+  }
+  // Appending (not overwriting): existing bytes are preserved.
+  buf = "prefix|";
+  AppendRfc3164(Sample(), &buf);
+  EXPECT_TRUE(buf.starts_with("prefix|<187>")) << buf;
+}
+
 TEST(WireTest, YearlessTimestampsDoNotCrossNewYear) {
   const auto dec = DecodeRfc3164("<187>Dec 31 23:59:59 h %C-1-D: m", 2009);
   const auto jan = DecodeRfc3164("<187>Jan  1 00:00:01 h %C-1-D: m", 2009);

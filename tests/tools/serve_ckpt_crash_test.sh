@@ -1,0 +1,196 @@
+#!/usr/bin/env bash
+# Crash-consistent checkpoint/restart, end to end over the real serve
+# loop (DESIGN.md section 14): SIGKILL a durable serve mid-replay, then
+# restart it and resend the whole stream from the beginning — the
+# durable event log must come out byte-identical to an uninterrupted
+# run, at 1, 4, and 16 shards, and for two tenants multiplexed in one
+# process (per-tenant checkpoint subdirs).  Also pins the failure modes:
+# a corrupted snapshot refuses to restore instead of serving from bad
+# state.
+#
+# Usage: serve_ckpt_crash_test.sh SLDIGEST_BIN
+set -euo pipefail
+BIN=$1
+d=$(mktemp -d)
+cleanup() {
+  kill -9 $(jobs -p) 2>/dev/null || true
+  rm -rf "$d"
+}
+trap cleanup EXIT
+
+"$BIN" gen --dataset A --days 2 --seed 71 \
+  --out "$d/hist.log" --configs "$d/cfg" > /dev/null
+"$BIN" gen --dataset A --days 1 --day0 2 --seed 72 \
+  --out "$d/live.log" --configs "$d/cfgx" > /dev/null
+"$BIN" learn --configs "$d/cfg" --history "$d/hist.log" \
+  --kb "$d/kb.txt" > /dev/null
+n=$(wc -l < "$d/live.log")
+
+wait_listening() {  # stderr-file count
+  for _ in $(seq 1 150); do
+    c=$(grep -c 'listening on' "$1" 2>/dev/null || true)
+    if [ "${c:-0}" -ge "$2" ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "server never announced $2 listener(s)"; return 1
+}
+
+port_at() {  # stderr-file index
+  grep -o 'listening on 127.0.0.1:[0-9]*' "$1" | grep -o '[0-9]*$' |
+    sed -n "$2p"
+}
+
+# Waits until the durable log at $1 holds at least $2 events (the kill
+# trigger: guarantees the crash lands mid-stream with work to recover).
+wait_events() {
+  for _ in $(seq 1 200); do
+    if [ "$("$BIN" events --checkpoint-dir "$1" 2>/dev/null | wc -l)" \
+         -ge "$2" ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "log at $1 never reached $2 events"; return 1
+}
+
+serve_flags() {  # shards ckpt-dir
+  echo "--dedup --checkpoint-dir $2 --checkpoint-interval-s 1 \
+        --hold-ms 200 --idle-close-s 60 --shards $1"
+}
+
+# Golden: one uninterrupted run.
+rm -rf "$d/ckpt_golden"
+"$BIN" serve --configs "$d/cfg" --kb "$d/kb.txt" --port 0 \
+  $(serve_flags 1 "$d/ckpt_golden") \
+  --max-datagrams "$n" --idle-exit-s 15 \
+  > /dev/null 2> "$d/golden.err" &
+pid=$!
+wait_listening "$d/golden.err" 1
+"$BIN" replay --in "$d/live.log" --port "$(port_at "$d/golden.err" 1)" \
+  --pace-us 50 > /dev/null 2>&1
+wait "$pid"
+"$BIN" events --checkpoint-dir "$d/ckpt_golden" > "$d/golden.txt"
+[ -s "$d/golden.txt" ]
+
+for shards in 1 4 16; do
+  dir="$d/ckpt_$shards"
+  rm -rf "$dir"
+  # Leg 1: serve without exit bounds, kill -9 once events are flowing.
+  "$BIN" serve --configs "$d/cfg" --kb "$d/kb.txt" --port 0 \
+    $(serve_flags "$shards" "$dir") \
+    > /dev/null 2> "$d/crash$shards.err" &
+  pid=$!
+  wait_listening "$d/crash$shards.err" 1
+  "$BIN" replay --in "$d/live.log" \
+    --port "$(port_at "$d/crash$shards.err" 1)" \
+    --pace-us 50 > /dev/null 2>&1 &
+  rep=$!
+  wait_events "$dir" 5
+  kill -9 "$pid"
+  wait "$pid" 2>/dev/null || true
+  kill "$rep" 2>/dev/null || true
+  wait "$rep" 2>/dev/null || true
+  # Leg 2: restart on the same checkpoint dir, resend EVERYTHING.
+  "$BIN" serve --configs "$d/cfg" --kb "$d/kb.txt" --port 0 \
+    $(serve_flags "$shards" "$dir") \
+    --max-datagrams "$n" --idle-exit-s 15 \
+    > /dev/null 2> "$d/restart$shards.err" &
+  pid=$!
+  wait_listening "$d/restart$shards.err" 1
+  grep -q 'restored; replay cursor at' "$d/restart$shards.err"
+  "$BIN" replay --in "$d/live.log" \
+    --port "$(port_at "$d/restart$shards.err" 1)" \
+    --pace-us 50 > /dev/null 2>&1
+  wait "$pid"
+  "$BIN" events --checkpoint-dir "$dir" > "$d/recovered$shards.txt"
+  cmp "$d/golden.txt" "$d/recovered$shards.txt"
+done
+
+# Multi-tenant: two tenants in one process, per-tenant checkpoint
+# subdirs (DIR/NAME), killed and restarted together.
+"$BIN" gen --dataset A --days 2 --seed 81 \
+  --out "$d/hist2.log" --configs "$d/cfg2" > /dev/null
+"$BIN" gen --dataset A --days 1 --day0 2 --seed 82 \
+  --out "$d/live2.log" --configs "$d/cfgx2" > /dev/null
+"$BIN" learn --configs "$d/cfg2" --history "$d/hist2.log" \
+  --kb "$d/kb2.txt" > /dev/null
+n2=$(wc -l < "$d/live2.log")
+
+# Per-tenant goldens from the same multi-tenant shape, uninterrupted.
+rm -rf "$d/ckpt_mt_golden"
+"$BIN" serve \
+  --tenant "ta:$d/cfg:$d/kb.txt:0" \
+  --tenant "tb:$d/cfg2:$d/kb2.txt:0" \
+  $(serve_flags 4 "$d/ckpt_mt_golden") \
+  --max-datagrams $((n + n2)) --idle-exit-s 15 \
+  > /dev/null 2> "$d/mtg.err" &
+pid=$!
+wait_listening "$d/mtg.err" 2
+"$BIN" replay --in "$d/live.log" --port "$(port_at "$d/mtg.err" 1)" \
+  --pace-us 50 > /dev/null 2>&1 &
+r1=$!
+"$BIN" replay --in "$d/live2.log" --port "$(port_at "$d/mtg.err" 2)" \
+  --pace-us 50 > /dev/null 2>&1 &
+r2=$!
+wait "$r1" "$r2"
+wait "$pid"
+for t in ta tb; do
+  "$BIN" events --checkpoint-dir "$d/ckpt_mt_golden/$t" > "$d/mtg_$t.txt"
+  [ -s "$d/mtg_$t.txt" ]
+done
+
+rm -rf "$d/ckpt_mt"
+"$BIN" serve \
+  --tenant "ta:$d/cfg:$d/kb.txt:0" \
+  --tenant "tb:$d/cfg2:$d/kb2.txt:0" \
+  $(serve_flags 4 "$d/ckpt_mt") \
+  > /dev/null 2> "$d/mtc.err" &
+pid=$!
+wait_listening "$d/mtc.err" 2
+"$BIN" replay --in "$d/live.log" --port "$(port_at "$d/mtc.err" 1)" \
+  --pace-us 50 > /dev/null 2>&1 &
+r1=$!
+"$BIN" replay --in "$d/live2.log" --port "$(port_at "$d/mtc.err" 2)" \
+  --pace-us 50 > /dev/null 2>&1 &
+r2=$!
+wait_events "$d/ckpt_mt/ta" 3
+wait_events "$d/ckpt_mt/tb" 3
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+kill "$r1" "$r2" 2>/dev/null || true
+wait "$r1" "$r2" 2>/dev/null || true
+
+"$BIN" serve \
+  --tenant "ta:$d/cfg:$d/kb.txt:0" \
+  --tenant "tb:$d/cfg2:$d/kb2.txt:0" \
+  $(serve_flags 4 "$d/ckpt_mt") \
+  --max-datagrams $((n + n2)) --idle-exit-s 15 \
+  > /dev/null 2> "$d/mtr.err" &
+pid=$!
+wait_listening "$d/mtr.err" 2
+[ "$(grep -c 'restored; replay cursor at' "$d/mtr.err")" -eq 2 ]
+"$BIN" replay --in "$d/live.log" --port "$(port_at "$d/mtr.err" 1)" \
+  --pace-us 50 > /dev/null 2>&1 &
+r1=$!
+"$BIN" replay --in "$d/live2.log" --port "$(port_at "$d/mtr.err" 2)" \
+  --pace-us 50 > /dev/null 2>&1 &
+r2=$!
+wait "$r1" "$r2"
+wait "$pid"
+for t in ta tb; do
+  "$BIN" events --checkpoint-dir "$d/ckpt_mt/$t" > "$d/mtr_$t.txt"
+  cmp "$d/mtg_$t.txt" "$d/mtr_$t.txt"
+done
+
+# A corrupted snapshot must refuse to serve, not limp along.
+dd if=/dev/urandom of="$d/ckpt_1/snapshot" bs=64 count=1 \
+  conv=notrunc > /dev/null 2>&1
+rc=0
+"$BIN" serve --configs "$d/cfg" --kb "$d/kb.txt" --port 0 \
+  $(serve_flags 1 "$d/ckpt_1") > /dev/null 2> "$d/corrupt.err" || rc=$?
+[ "$rc" -ne 0 ]
+grep -q 'refusing to restore' "$d/corrupt.err"
+
+echo "serve checkpoint crash test passed"

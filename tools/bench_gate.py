@@ -36,6 +36,15 @@ Dispatches on the "benchmark" field of FRESH.json:
                 host), and -- on multi-core hosts only -- the sweep
                 point at --speedup-threads must scale >= 2x over
                 threads=1.
+  ckpt        - "identical" must be true (an engine restored from a
+                snapshot closes byte-identical events to the live engine
+                on the same continuation), encode_allocs_per_msg must
+                stay ~0 (AppendRfc3164 into a reused buffer), and the
+                checkpoint-save and restore rates (groups/sec) at every
+                open-group sweep point shared with the baseline must not
+                regress by more than the noise margin.  The smoke run
+                must use the baseline's --routers/--rate-scale profile
+                so per-group state sizes are comparable.
   kernels     - "identical" must be true (every SIMD level produced the
                 same checksums as the scalar oracle) and steady_allocs
                 must be zero on every host.  When the fresh run reports
@@ -331,6 +340,55 @@ def gate_kernels(gate, fresh, baseline, args):
                       f"below the {floor:.2f}x floor on an avx2 host")
 
 
+def ckpt_entry(run, open_groups):
+    for entry in run.get("sweep", []):
+        if int(entry.get("open_groups", 0)) == open_groups:
+            return entry
+    return None
+
+
+def gate_ckpt(gate, fresh, baseline, args):
+    if not fresh.get("identical", False):
+        gate.fail("ckpt bench reports identical=false: a restored engine "
+                  "diverged from the live one on the same continuation")
+    allocs = float(fresh.get("encode_allocs_per_msg", 0.0))
+    print(f"encode_allocs_per_msg: {allocs}")
+    if allocs > 0.01:
+        gate.fail(f"encode_allocs_per_msg is {allocs}; AppendRfc3164 into "
+                  "a reused buffer must stay allocation-free")
+
+    # The smoke run sweeps a subset of the baseline's open-group points
+    # (the exact counts overshoot the target by a few groups, so entries
+    # are matched on the requested order of magnitude: each fresh point
+    # is paired with the baseline point nearest to it).
+    compared = 0
+    for entry in fresh.get("sweep", []):
+        n = int(entry.get("open_groups", 0))
+        base = min(
+            baseline.get("sweep", []),
+            key=lambda b: abs(int(b.get("open_groups", 0)) - n),
+            default=None)
+        if base is None:
+            continue
+        bn = int(base.get("open_groups", 0))
+        if abs(bn - n) > max(n, bn) * 0.2:
+            continue  # no baseline point at this order of magnitude
+        compared += 1
+        gate.check_rate(f"ckpt_save_groups_per_sec[{n}]",
+                        reps_of(entry, "save_groups_per_sec",
+                                "save_rate_reps"),
+                        reps_of(base, "save_groups_per_sec",
+                                "save_rate_reps"))
+        gate.check_rate(f"ckpt_restore_groups_per_sec[{n}]",
+                        reps_of(entry, "restore_groups_per_sec",
+                                "restore_rate_reps"),
+                        reps_of(base, "restore_groups_per_sec",
+                                "restore_rate_reps"))
+    if compared == 0:
+        gate.fail("ckpt sweep shares no open-group point with the "
+                  "baseline; nothing was gated")
+
+
 GATES = {
     "match": gate_match,
     "throughput": gate_throughput,
@@ -338,6 +396,7 @@ GATES = {
     "ingest": gate_ingest,
     "kernels": gate_kernels,
     "ablation": gate_ablation,
+    "ckpt": gate_ckpt,
 }
 
 

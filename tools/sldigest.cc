@@ -25,6 +25,10 @@
 //   sldigest inspect --kb kb.txt [--configs DIR]
 //       Dumps the learned domain knowledge in human-readable form.
 //
+//   sldigest events  --checkpoint-dir DIR
+//       Dumps a durable event log (written by serve --checkpoint-dir) as
+//       "seq|event" lines.
+//
 // The digest/stream/serve commands are thin drivers over engine::Engine;
 // all collector -> digester wiring lives there.
 #include <unistd.h>
@@ -40,6 +44,8 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/event_codec.h"
+#include "ckpt/eventlog.h"
 #include "common/simd.h"
 #include "core/learn.h"
 #include "core/priority/report.h"
@@ -196,8 +202,13 @@ int CmdLearn(Flags& flags) {
   const std::string history = flags.Require("history");
   const std::string kb_path = flags.Require("kb");
   if (!flags.ok()) return 2;
-  const core::LocationDict dict = core::LocationDict::Build(
-      engine::LoadConfigDir(configs));
+  std::string cfg_error;
+  const auto parsed_configs = engine::LoadConfigDir(configs, &cfg_error);
+  if (!cfg_error.empty()) {
+    std::fprintf(stderr, "%s\n", cfg_error.c_str());
+    return 1;
+  }
+  const core::LocationDict dict = core::LocationDict::Build(parsed_configs);
   obs::Registry metrics;
   MetricsWriter metrics_out(flags, &metrics);
   RecordSimdLevel(metrics_out.enabled() ? &metrics : nullptr);
@@ -341,6 +352,10 @@ int CmdServe(Flags& flags) {
   base.hold_ms = flags.GetInt("hold-ms", 5000);
   base.year = static_cast<int>(flags.GetInt("year", 2009));
   base.idle_close_ms = flags.GetInt("idle-close-s", 1800) * kMsPerSecond;
+  // Crash-consistent restarts need the resend of already-seen datagrams
+  // to be idempotent, which is what the collector's duplicate window
+  // provides; checkpointed deployments should run with --dedup on.
+  base.suppress_duplicates = flags.Has("dedup");
 
   std::vector<engine::TenantSpec> specs;
   const bool multi = flags.Has("tenant");
@@ -375,6 +390,24 @@ int CmdServe(Flags& flags) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 2;
   }
+  const std::string ckpt_dir = flags.Get("checkpoint-dir");
+  if (!ckpt_dir.empty()) {
+    for (std::size_t i = 0; i < host.tenant_count(); ++i) {
+      engine::Engine* eng = host.engine(i);
+      // Each tenant snapshots independently under its own subdirectory.
+      const std::string dir =
+          multi ? ckpt_dir + "/" + eng->tenant() : ckpt_dir;
+      if (!eng->OpenDurable(dir, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      if (eng->replay_cursor() > 0) {
+        std::fprintf(stderr, "%s%srestored; replay cursor at %llu\n",
+                     eng->tenant().c_str(), eng->tenant().empty() ? "" : ": ",
+                     static_cast<unsigned long long>(eng->replay_cursor()));
+      }
+    }
+  }
   if (!host.BindAll(&error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
@@ -405,6 +438,9 @@ int CmdServe(Flags& flags) {
   // ends the server (0 = run forever); makes scripted runs robust to UDP
   // loss under bursts.
   serve.idle_exit_s = flags.GetInt("idle-exit-s", 0);
+  if (!ckpt_dir.empty()) {
+    serve.checkpoint_interval_s = flags.GetInt("checkpoint-interval-s", 30);
+  }
   serve.on_tick = [&metrics_out] { metrics_out.Periodic(); };
   host.Serve(serve);
   metrics_out.Final();
@@ -444,13 +480,47 @@ int CmdReplay(Flags& flags) {
   // flow control); default ~20k datagrams/s.
   const long pace_us = flags.GetInt("pace-us", 50);
   std::size_t sent = 0;
+  std::string datagram;
   for (const auto& rec : records) {
-    sent += sender->Send(syslog::EncodeRfc3164(rec));
+    datagram.clear();
+    syslog::AppendRfc3164(rec, &datagram);
+    sent += sender->Send(datagram);
     if (pace_us > 0) ::usleep(static_cast<useconds_t>(pace_us));
   }
   std::fprintf(stderr, "replayed %zu/%zu records to port %u\n", sent,
                records.size(), port);
   return sent == records.size() ? 0 : 1;
+}
+
+// Dumps a durable event log as "seq|event" lines: the operator's (and
+// the crash tests') view of exactly what a checkpointed server emitted.
+int CmdEvents(Flags& flags) {
+  const std::string dir = flags.Require("checkpoint-dir");
+  if (!flags.ok()) return 2;
+  std::string error;
+  std::size_t undecodable = 0;
+  const bool ok = ckpt::EventLog::ForEach(
+      dir + "/events.log",
+      [&undecodable](std::uint64_t seq, std::string_view payload) {
+        ckpt::Reader r(payload);
+        core::DigestEvent ev;
+        if (!ckpt::ReadEvent(&r, &ev)) {
+          ++undecodable;
+          return;
+        }
+        std::printf("%llu|%s\n", static_cast<unsigned long long>(seq),
+                    ev.Format().c_str());
+      },
+      &error);
+  if (!ok) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (undecodable > 0) {
+    std::fprintf(stderr, "%zu undecodable event record(s)\n", undecodable);
+    return 1;
+  }
+  return 0;
 }
 
 int CmdInspect(Flags& flags) {
@@ -492,7 +562,8 @@ int CmdInspect(Flags& flags) {
 
 void Usage() {
   std::fputs(
-      "usage: sldigest <gen|learn|digest|stream|serve|replay|inspect> [flags]\n"
+      "usage: sldigest <gen|learn|digest|stream|serve|replay|inspect|events> "
+      "[flags]\n"
       "  gen     --dataset A|B --days N [--day0 N] [--seed S] --out FILE "
       "--configs DIR\n"
       "  learn   --configs DIR --history FILE --kb FILE [--window-s N] "
@@ -513,9 +584,19 @@ void Usage() {
       "          metric series carries a tenant label)\n"
       "          [--shards N] [--pump-threads N] [--hold-ms N] "
       "[--idle-close-s N]\n"
-      "          [--max-datagrams N] [--idle-exit-s N]\n"
+      "          [--max-datagrams N] [--idle-exit-s N] [--dedup]\n"
+      "          [--checkpoint-dir DIR] [--checkpoint-interval-s N]\n"
+      "          --checkpoint-dir restores state at start and snapshots "
+      "every N\n"
+      "          seconds (default 30) with a durable event log; resends "
+      "after a\n"
+      "          crash are idempotent when --dedup is on (multi-tenant "
+      "runs use\n"
+      "          DIR/NAME per tenant)\n"
       "  replay  --in FILE [--host IP] [--port N] [--pace-us N]\n"
       "  inspect --kb FILE\n"
+      "  events  --checkpoint-dir DIR  (dumps the durable event log as "
+      "\"seq|event\")\n"
       "common flags:\n"
       "  --metrics-out FILE writes metric snapshots as FILE (JSON) and "
       "FILE.prom\n"
@@ -551,6 +632,7 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return CmdServe(flags);
   if (cmd == "replay") return CmdReplay(flags);
   if (cmd == "inspect") return CmdInspect(flags);
+  if (cmd == "events") return CmdEvents(flags);
   Usage();
   return 2;
 }
