@@ -1,0 +1,54 @@
+# Findliburing.cmake — locate liburing and verify it is new enough for the
+# wire front's io_uring backend (buffer rings + multishot recvmsg need the
+# liburing 2.2+ registered-buffer-ring API and the 2.3+ recvmsg helpers).
+#
+# Defines:
+#   liburing_FOUND
+#   liburing_INCLUDE_DIR
+#   liburing_LIBRARY
+#   imported target liburing::liburing
+#
+# A liburing that is present but too old (no io_uring_setup_buf_ring /
+# io_uring_prep_recvmsg_multishot) is treated as NOT found, so the build
+# falls back to the recvmmsg backend instead of failing to compile.
+
+find_path(liburing_INCLUDE_DIR NAMES liburing.h)
+find_library(liburing_LIBRARY NAMES uring)
+
+set(_sld_liburing_api_ok FALSE)
+if(liburing_INCLUDE_DIR AND liburing_LIBRARY)
+  include(CheckCXXSourceCompiles)
+  set(CMAKE_REQUIRED_INCLUDES "${liburing_INCLUDE_DIR}")
+  set(CMAKE_REQUIRED_LIBRARIES "${liburing_LIBRARY}")
+  check_cxx_source_compiles("
+    #include <liburing.h>
+    int main() {
+      struct io_uring ring;
+      int err = 0;
+      struct io_uring_buf_ring* br =
+          io_uring_setup_buf_ring(&ring, 8, 0, 0, &err);
+      struct msghdr hdr {};
+      io_uring_prep_recvmsg_multishot(nullptr, -1, &hdr, 0);
+      struct io_uring_recvmsg_out* out =
+          io_uring_recvmsg_validate(nullptr, 0, &hdr);
+      return br && out && err ? 0 : 0;
+    }" SLD_LIBURING_API_OK)
+  unset(CMAKE_REQUIRED_INCLUDES)
+  unset(CMAKE_REQUIRED_LIBRARIES)
+  if(SLD_LIBURING_API_OK)
+    set(_sld_liburing_api_ok TRUE)
+  endif()
+endif()
+
+include(FindPackageHandleStandardArgs)
+find_package_handle_standard_args(liburing
+  REQUIRED_VARS liburing_LIBRARY liburing_INCLUDE_DIR _sld_liburing_api_ok)
+
+if(liburing_FOUND AND NOT TARGET liburing::liburing)
+  add_library(liburing::liburing UNKNOWN IMPORTED)
+  set_target_properties(liburing::liburing PROPERTIES
+    IMPORTED_LOCATION "${liburing_LIBRARY}"
+    INTERFACE_INCLUDE_DIRECTORIES "${liburing_INCLUDE_DIR}")
+endif()
+
+mark_as_advanced(liburing_INCLUDE_DIR liburing_LIBRARY)

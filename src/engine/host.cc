@@ -1,7 +1,5 @@
 #include "engine/host.h"
 
-#include <poll.h>
-
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -142,22 +140,20 @@ void EngineHost::FinishAll(
   if (leftovers != nullptr) *leftovers = std::move(remaining);
 }
 
-bool EngineHost::BindAll(std::string* error) {
-  receivers_.clear();
+bool EngineHost::BindAll(const wirefront::WireOptions& wire,
+                         std::string* error) {
+  front_.reset();
+  std::vector<wirefront::TenantPort> tenants(engines_.size());
   for (std::size_t i = 0; i < engines_.size(); ++i) {
-    auto receiver = syslog::UdpReceiver::Bind(ports_[i]);
-    if (!receiver) {
-      if (error != nullptr) {
-        *error = "cannot bind UDP port " + std::to_string(ports_[i]) +
-                 (engines_[i]->tenant().empty()
-                      ? ""
-                      : " for tenant " + engines_[i]->tenant());
-      }
-      receivers_.clear();
-      return false;
-    }
-    ports_[i] = receiver->port();
-    receivers_.push_back(std::move(*receiver));
+    tenants[i].port = ports_[i];
+    // Per-listener cells land in the tenant's scoped view, so every
+    // wire_* series carries the {tenant} label alongside {listener}.
+    tenants[i].metrics = engines_[i]->metrics();
+  }
+  front_ = wirefront::WireFront::Open(wire, tenants, error);
+  if (front_ == nullptr) return false;
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    ports_[i] = front_->port_of(i);
   }
   return true;
 }
@@ -179,26 +175,33 @@ void EngineHost::CheckpointAll() {
 }
 
 std::size_t EngineHost::Serve(const ServeOptions& options) {
-  if (receivers_.empty()) return 0;
-  std::vector<pollfd> fds(receivers_.size());
-  for (std::size_t i = 0; i < receivers_.size(); ++i) {
-    fds[i] = {receivers_[i].fd(), POLLIN, 0};
-  }
+  if (front_ == nullptr) return 0;
   const bool limited = options.max_datagrams > 0;
   const auto limit = static_cast<std::size_t>(options.max_datagrams);
+  // The sink runs inside PollOnce with the datagram still in front-owned
+  // storage: IngestDatagram copies what it keeps, so nothing here
+  // allocates per datagram.
+  const wirefront::WireFront::Sink sink =
+      [this](std::size_t tenant, std::string_view datagram) {
+        engines_[tenant]->IngestDatagram(datagram);
+      };
   std::size_t seen = 0;
   long quiet_polls = 0;
   auto last_ckpt = std::chrono::steady_clock::now();
   while (!limited || seen < limit) {
-    for (pollfd& fd : fds) fd.revents = 0;
-    const int ready =
-        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 1000);
-    if (ready < 0) {
-      // A signal interrupting poll() is not a quiet second: counting it
-      // toward idle_exit_s made a pestered server exit (and FinishAll
-      // mid-stream) long before the idle horizon actually passed.
-      if (errno == EINTR) continue;
-      std::fprintf(stderr, "poll failed: %s\n", std::strerror(errno));
+    // One wakeup ingests the whole ready backlog (capped so a limited
+    // serve stops exactly at max_datagrams), then the engines pump.
+    const std::ptrdiff_t got =
+        front_->PollOnce(1000, limited ? limit - seen : 0, sink);
+    if (got == wirefront::WireFront::kInterrupted) {
+      // A signal interrupting the wait is not a quiet second: counting
+      // it toward idle_exit_s made a pestered server exit (and
+      // FinishAll mid-stream) long before the idle horizon passed.
+      continue;
+    }
+    if (got == wirefront::WireFront::kError) {
+      std::fprintf(stderr, "wire front poll failed: %s\n",
+                   std::strerror(errno));
       break;
     }
     if (options.on_tick) options.on_tick();
@@ -215,23 +218,8 @@ std::size_t EngineHost::Serve(const ServeOptions& options) {
         if (engine->durable()) engine->SecondsSinceCheckpoint();
       }
     }
-    bool any = false;
-    if (ready > 0) {
-      for (std::size_t i = 0; i < receivers_.size(); ++i) {
-        if ((fds[i].revents & POLLIN) == 0) continue;
-        // Drain the socket: one poll wakeup ingests the whole backlog
-        // before the engines pump, so bursts cannot outrun the 1-per-
-        // wakeup cadence of the old single-tenant loop.
-        while (!limited || seen < limit) {
-          auto datagram = receivers_[i].Receive(0);
-          if (!datagram) break;
-          engines_[i]->IngestDatagram(*datagram);
-          ++seen;
-          any = true;
-        }
-      }
-    }
-    if (any) {
+    if (got > 0) {
+      seen += static_cast<std::size_t>(got);
       quiet_polls = 0;
       PumpAll();
       continue;

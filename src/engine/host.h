@@ -8,8 +8,11 @@
 //     bit-identical to a dedicated process);
 //   - one obs::Registry, every engine registering through a
 //     {"tenant", NAME} scoped view so all series stay distinguishable;
-//   - the UDP front: one socket per tenant, datagrams routed to the
-//     owning engine by ingest port, all sockets polled together.
+//   - the wire front: one UDP port per tenant fanned out over
+//     `--listeners` SO_REUSEPORT sockets, drained in batches (recvmmsg
+//     or io_uring multishot, see src/wirefront/) and routed to the
+//     owning engine.  All of a tenant's listeners feed one collector,
+//     whose single release watermark merges them.
 //
 // Everything else — knowledge base, collector, pipeline, group state,
 // event sink — is private to each Engine.  A tenant flooding its own
@@ -25,7 +28,7 @@
 
 #include "common/thread_pool.h"
 #include "engine/engine.h"
-#include "syslog/udp.h"
+#include "wirefront/wirefront.h"
 
 namespace sld::engine {
 
@@ -88,11 +91,20 @@ class EngineHost {
   void FinishAll(std::vector<std::vector<core::DigestEvent>>* leftovers =
                      nullptr);
 
-  // Binds one UDP socket per tenant at each spec's port (0 = ephemeral;
-  // read back with port_of).  Returns false and fills `error` on the
-  // first port that cannot be bound.
-  bool BindAll(std::string* error);
+  // Opens the wire front: `wire.listeners` SO_REUSEPORT sockets per
+  // tenant at each spec's port (0 = ephemeral; read back with port_of),
+  // with per-listener metrics scoped to each tenant's registry view.
+  // The backend honors `wire.backend` / SLD_WIRE.  Returns false and
+  // fills `error` on the first port that cannot be bound.
+  bool BindAll(const wirefront::WireOptions& wire, std::string* error);
+  bool BindAll(std::string* error) {
+    return BindAll(wirefront::WireOptions{}, error);
+  }
   std::uint16_t port_of(std::size_t i) const noexcept;
+
+  // The open wire front (null before BindAll); drop/throughput counters
+  // for tests and status lines.
+  wirefront::WireFront* front() noexcept { return front_.get(); }
 
   struct ServeOptions {
     // Stop after this many datagrams across all tenants (0 = no limit).
@@ -112,18 +124,18 @@ class EngineHost {
   // reported on stderr; serving continues.
   void CheckpointAll();
 
-  // The serve loop: polls every tenant socket, routes datagrams to the
-  // owning engine's collector by port, and pumps all engines between
-  // ingest rounds.  Requires BindAll() first.  Finishes every engine on
-  // exit.  Returns the total datagram count.
+  // The serve loop: one wire-front PollOnce per wakeup ingests the whole
+  // ready backlog (batched, zero-alloc), then all engines pump.
+  // Requires BindAll() first.  Finishes every engine on exit.  Returns
+  // the total datagram count.
   std::size_t Serve(const ServeOptions& options);
 
  private:
   HostOptions options_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<Engine>> engines_;
-  std::vector<std::uint16_t> ports_;  // requested; 0 until BindAll
-  std::vector<syslog::UdpReceiver> receivers_;
+  std::vector<std::uint16_t> ports_;  // requested; resolved by BindAll
+  std::unique_ptr<wirefront::WireFront> front_;
 };
 
 }  // namespace sld::engine

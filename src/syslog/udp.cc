@@ -66,14 +66,34 @@ bool UdpSender::Send(std::string_view datagram) {
 
 // ---- UdpReceiver ------------------------------------------------------------
 
-std::optional<UdpReceiver> UdpReceiver::Bind(std::uint16_t port) {
+std::optional<UdpReceiver> UdpReceiver::Bind(std::uint16_t port,
+                                             const BindOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) return std::nullopt;
-  // Best-effort deep receive buffer: syslog bursts arrive faster than a
-  // digest pump can drain, and UDP has no flow control — a few MiB of
-  // kernel buffer is what stands between a burst and silent loss.
-  const int rcvbuf = 4 * 1024 * 1024;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  if (options.reuse_port) {
+    const int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+  }
+  if (options.track_overflow) {
+    const int one = 1;
+    // Best-effort: a kernel without SO_RXQ_OVFL simply reports no drops.
+    ::setsockopt(fd, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof(one));
+  }
+  // Deep receive buffer: syslog bursts arrive faster than a digest pump
+  // can drain, and UDP has no flow control — a few MiB of kernel buffer
+  // is what stands between a burst and silent loss.  The kernel clamps
+  // the request to net.core.rmem_max, so the result is read back below
+  // and surfaced (wire_rcvbuf_bytes gauge) instead of being assumed.
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options.rcvbuf_bytes,
+               sizeof(options.rcvbuf_bytes));
+  int granted = 0;
+  socklen_t granted_len = sizeof(granted);
+  if (::getsockopt(fd, SOL_SOCKET, SO_RCVBUF, &granted, &granted_len) != 0) {
+    granted = 0;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -88,12 +108,13 @@ std::optional<UdpReceiver> UdpReceiver::Bind(std::uint16_t port) {
     ::close(fd);
     return std::nullopt;
   }
-  return UdpReceiver(fd, ntohs(addr.sin_port));
+  return UdpReceiver(fd, ntohs(addr.sin_port), granted);
 }
 
 UdpReceiver::UdpReceiver(UdpReceiver&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       port_(std::exchange(other.port_, 0)),
+      rcvbuf_bytes_(std::exchange(other.rcvbuf_bytes_, 0)),
       received_(std::exchange(other.received_, 0)) {}
 
 UdpReceiver& UdpReceiver::operator=(UdpReceiver&& other) noexcept {
@@ -101,6 +122,7 @@ UdpReceiver& UdpReceiver::operator=(UdpReceiver&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     port_ = std::exchange(other.port_, 0);
+    rcvbuf_bytes_ = std::exchange(other.rcvbuf_bytes_, 0);
     received_ = std::exchange(other.received_, 0);
   }
   return *this;
@@ -110,16 +132,25 @@ UdpReceiver::~UdpReceiver() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-std::optional<std::string> UdpReceiver::Receive(int timeout_ms) {
-  if (fd_ < 0) return std::nullopt;
+bool UdpReceiver::Receive(std::string* reuse, int timeout_ms) {
+  if (fd_ < 0) return false;
   pollfd pfd{fd_, POLLIN, 0};
   const int ready = ::poll(&pfd, 1, timeout_ms);
-  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return std::nullopt;
-  char buffer[65536];
-  const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
-  if (n < 0) return std::nullopt;
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return false;
+  // Append in place: grow to the UDP maximum, recv into the tail, trim.
+  // Once the buffer's capacity has grown past old_size + 64 KiB this
+  // allocates nothing, which is what makes a reused buffer a zero-alloc
+  // steady state.
+  const std::size_t old_size = reuse->size();
+  reuse->resize(old_size + 65536);
+  const ssize_t n = ::recv(fd_, reuse->data() + old_size, 65536, 0);
+  if (n < 0) {
+    reuse->resize(old_size);
+    return false;
+  }
+  reuse->resize(old_size + static_cast<std::size_t>(n));
   ++received_;
-  return std::string(buffer, static_cast<std::size_t>(n));
+  return true;
 }
 
 }  // namespace sld::syslog

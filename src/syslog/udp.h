@@ -5,7 +5,9 @@
 // port; the receiver hands each datagram to a Collector, which decodes,
 // reorders, and feeds the digest pipeline.  These wrappers are
 // deliberately minimal — blocking receive with a timeout, no threads —
-// so callers own their event loop.
+// so callers own their event loop.  The batched wire front
+// (src/wirefront/) builds its listener sockets on UdpReceiver::Bind and
+// drains them with recvmmsg/io_uring instead of Receive().
 #pragma once
 
 #include <cstdint>
@@ -21,7 +23,7 @@ class UdpSender {
   // `host` is an IPv4 dotted quad ("127.0.0.1").  Returns nullopt when
   // the socket cannot be created or the address is invalid.
   static std::optional<UdpSender> Open(std::string_view host,
-                                       std::uint16_t port);
+                                      std::uint16_t port);
 
   UdpSender(UdpSender&& other) noexcept;
   UdpSender& operator=(UdpSender&& other) noexcept;
@@ -43,8 +45,28 @@ class UdpSender {
 // Owns a bound UDP socket for receiving datagrams.
 class UdpReceiver {
  public:
+  struct BindOptions {
+    // Requested kernel receive buffer.  The kernel clamps (and usually
+    // doubles) the request; rcvbuf_bytes() reports what it actually
+    // granted, so an under-provisioned net.core.rmem_max is visible
+    // instead of silently dropping bursts.
+    int rcvbuf_bytes = 4 * 1024 * 1024;
+    // SO_REUSEPORT: several sockets may bind the same port and the
+    // kernel hashes datagrams across them by flow (the wire front's
+    // --listeners fan-out).  Every socket sharing the port must set it.
+    bool reuse_port = false;
+    // SO_RXQ_OVFL: attach the kernel's cumulative receive-queue drop
+    // counter to each datagram as ancillary data, so overflow loss is
+    // accounted instead of invisible.
+    bool track_overflow = false;
+  };
+
   // Binds 127.0.0.1:`port`; port 0 picks an ephemeral port (see port()).
-  static std::optional<UdpReceiver> Bind(std::uint16_t port);
+  static std::optional<UdpReceiver> Bind(std::uint16_t port,
+                                         const BindOptions& options);
+  static std::optional<UdpReceiver> Bind(std::uint16_t port) {
+    return Bind(port, BindOptions{});
+  }
 
   UdpReceiver(UdpReceiver&& other) noexcept;
   UdpReceiver& operator=(UdpReceiver&& other) noexcept;
@@ -55,22 +77,32 @@ class UdpReceiver {
   std::uint16_t port() const noexcept { return port_; }
 
   // The underlying socket, for callers multiplexing several receivers
-  // through one poll() loop (the engine host's UDP front); -1 when
+  // through one poll()/recvmmsg/io_uring loop (the wire front); -1 when
   // moved-from.
   int fd() const noexcept { return fd_; }
 
-  // Waits up to `timeout_ms` for one datagram; nullopt on timeout or
-  // error.  Datagrams longer than 64 KiB are truncated (UDP limit).
-  // `timeout_ms` 0 polls: an already-queued datagram is returned
-  // immediately, an empty socket is a nullopt.
-  std::optional<std::string> Receive(int timeout_ms);
+  // The receive buffer the kernel actually granted (getsockopt readback
+  // after Bind applied BindOptions::rcvbuf_bytes); 0 when unknown.
+  int rcvbuf_bytes() const noexcept { return rcvbuf_bytes_; }
+
+  // Waits up to `timeout_ms` for one datagram and APPENDS it to
+  // `*reuse`; returns false on timeout or error (leaving `*reuse`
+  // untouched).  Callers that want only the new datagram clear the
+  // buffer first; reusing one buffer across calls keeps the steady
+  // state allocation-free once its capacity has grown.  Datagrams
+  // longer than 64 KiB are truncated (UDP limit).  `timeout_ms` 0
+  // polls: an already-queued datagram is appended immediately, an
+  // empty socket returns false.
+  bool Receive(std::string* reuse, int timeout_ms);
 
   std::size_t received_count() const noexcept { return received_; }
 
  private:
-  UdpReceiver(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  UdpReceiver(int fd, std::uint16_t port, int rcvbuf)
+      : fd_(fd), port_(port), rcvbuf_bytes_(rcvbuf) {}
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  int rcvbuf_bytes_ = 0;
   std::size_t received_ = 0;
 };
 

@@ -1,0 +1,253 @@
+// io_uring backend: one standing multishot recvmsg SQE per listener over
+// a registered buffer ring.  The kernel writes each datagram (with its
+// SO_RXQ_OVFL ancillary data) into a ring-provided buffer and posts a
+// CQE; userspace consumes CQEs, hands the payload to the sink, and
+// recycles the buffer — no per-datagram syscall.  Compiled only when
+// liburing with the buffer-ring API is found (SLD_HAVE_URING).
+#include <liburing.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "wirefront/uring_driver.h"
+
+namespace sld::wirefront::internal {
+namespace {
+
+unsigned RoundUpPow2(unsigned v) {
+  unsigned p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+class UringDriverImpl final : public UringDriver {
+ public:
+  static std::unique_ptr<UringDriver> Create(const std::vector<int>& fds,
+                                             int ring_buffers,
+                                             int ring_buffer_bytes,
+                                             std::string* error);
+  ~UringDriverImpl() override {
+    for (PerFd& p : fds_) {
+      if (p.buf_ring != nullptr) {
+        io_uring_free_buf_ring(&ring_, p.buf_ring, nbufs_, p.bgid);
+      }
+    }
+    if (ring_ready_) io_uring_queue_exit(&ring_);
+  }
+
+  std::ptrdiff_t Wait(int timeout_ms, std::size_t max,
+                      const Deliver& deliver) override;
+
+ private:
+  struct PerFd {
+    int fd = -1;
+    unsigned bgid = 0;
+    io_uring_buf_ring* buf_ring = nullptr;
+    std::vector<char> pool;  // nbufs_ * buf_len_ bytes
+    // Multishot recvmsg takes a template msghdr describing the name /
+    // control sections the kernel should carve out of each buffer; it
+    // must stay alive while the SQE is in flight.
+    msghdr hdr{};
+    bool armed = false;
+  };
+
+  bool ArmDisarmed();
+  // Processes one CQE; returns true when a datagram was delivered.
+  bool HandleCqe(io_uring_cqe* cqe, const Deliver& deliver);
+
+  io_uring ring_{};
+  bool ring_ready_ = false;
+  unsigned nbufs_ = 0;
+  std::size_t buf_len_ = 0;
+  std::vector<PerFd> fds_;
+};
+
+std::unique_ptr<UringDriver> UringDriverImpl::Create(
+    const std::vector<int>& fds, int ring_buffers, int ring_buffer_bytes,
+    std::string* error) {
+  auto driver = std::make_unique<UringDriverImpl>();
+  driver->nbufs_ = RoundUpPow2(static_cast<unsigned>(ring_buffers));
+  driver->buf_len_ = static_cast<std::size_t>(ring_buffer_bytes);
+
+  io_uring_params params{};
+  params.flags = IORING_SETUP_CQSIZE;
+  unsigned cq = driver->nbufs_ * static_cast<unsigned>(fds.size());
+  if (cq < 256) cq = 256;
+  if (cq > 65536) cq = 65536;
+  params.cq_entries = cq;
+  const unsigned sq = RoundUpPow2(static_cast<unsigned>(fds.size()) * 2);
+  if (const int rc = io_uring_queue_init_params(sq, &driver->ring_, &params);
+      rc < 0) {
+    if (error) *error = std::string("io_uring_queue_init: ") + strerror(-rc);
+    return nullptr;
+  }
+  driver->ring_ready_ = true;
+
+  driver->fds_.resize(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    PerFd& p = driver->fds_[i];
+    p.fd = fds[i];
+    p.bgid = static_cast<unsigned>(i);
+    p.pool.resize(driver->nbufs_ * driver->buf_len_);
+    int rc = 0;
+    p.buf_ring =
+        io_uring_setup_buf_ring(&driver->ring_, driver->nbufs_, p.bgid, 0, &rc);
+    if (p.buf_ring == nullptr) {
+      if (error) {
+        *error = std::string("io_uring_setup_buf_ring: ") + strerror(-rc);
+      }
+      return nullptr;
+    }
+    const int mask = io_uring_buf_ring_mask(driver->nbufs_);
+    for (unsigned b = 0; b < driver->nbufs_; ++b) {
+      io_uring_buf_ring_add(p.buf_ring, p.pool.data() + b * driver->buf_len_,
+                            static_cast<unsigned>(driver->buf_len_), b, mask,
+                            static_cast<int>(b));
+    }
+    io_uring_buf_ring_advance(p.buf_ring, static_cast<int>(driver->nbufs_));
+    // Reserve ancillary space for SO_RXQ_OVFL's u32 in every buffer; no
+    // source-address section (msg_namelen 0).
+    std::memset(&p.hdr, 0, sizeof(p.hdr));
+    p.hdr.msg_controllen = CMSG_SPACE(sizeof(std::uint32_t));
+  }
+  if (!driver->ArmDisarmed()) {
+    if (error) *error = "io_uring initial arm failed";
+    return nullptr;
+  }
+  return driver;
+}
+
+bool UringDriverImpl::ArmDisarmed() {
+  bool added = false;
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    PerFd& p = fds_[i];
+    if (p.armed) continue;
+    io_uring_sqe* sqe = io_uring_get_sqe(&ring_);
+    if (sqe == nullptr) {
+      io_uring_submit(&ring_);
+      sqe = io_uring_get_sqe(&ring_);
+      if (sqe == nullptr) return false;
+    }
+    io_uring_prep_recvmsg_multishot(sqe, p.fd, &p.hdr, 0);
+    sqe->flags |= IOSQE_BUFFER_SELECT;
+    sqe->buf_group = static_cast<__u16>(p.bgid);
+    io_uring_sqe_set_data64(sqe, static_cast<__u64>(i));
+    p.armed = true;
+    added = true;
+  }
+  if (added && io_uring_submit(&ring_) < 0) return false;
+  return true;
+}
+
+bool UringDriverImpl::HandleCqe(io_uring_cqe* cqe, const Deliver& deliver) {
+  const std::size_t i = static_cast<std::size_t>(io_uring_cqe_get_data64(cqe));
+  if (i >= fds_.size()) return false;
+  PerFd& p = fds_[i];
+  // A CQE without F_MORE terminates the multishot stream (ENOBUFS when
+  // the buffer ring ran dry, transient socket errors, ...); the next
+  // Wait re-arms it — the recycled buffers below make progress certain.
+  if ((cqe->flags & IORING_CQE_F_MORE) == 0) p.armed = false;
+  if (cqe->res < 0) return false;
+  if ((cqe->flags & IORING_CQE_F_BUFFER) == 0) return false;
+
+  const unsigned bid = cqe->flags >> IORING_CQE_BUFFER_SHIFT;
+  char* buf = p.pool.data() + bid * buf_len_;
+  bool delivered = false;
+  io_uring_recvmsg_out* out = io_uring_recvmsg_validate(
+      buf, cqe->res, const_cast<msghdr*>(&p.hdr));
+  if (out != nullptr) {
+    const void* payload = io_uring_recvmsg_payload(out, &p.hdr);
+    const unsigned len =
+        io_uring_recvmsg_payload_length(out, cqe->res, &p.hdr);
+    std::uint32_t ovfl_value = 0;
+    const std::uint32_t* ovfl = nullptr;
+    for (cmsghdr* c = io_uring_recvmsg_cmsg_firsthdr(out, &p.hdr); c != nullptr;
+         c = io_uring_recvmsg_cmsg_nexthdr(out, &p.hdr, c)) {
+      if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SO_RXQ_OVFL) {
+        std::memcpy(&ovfl_value, CMSG_DATA(c), sizeof(ovfl_value));
+        ovfl = &ovfl_value;
+      }
+    }
+    deliver(i, std::string_view(static_cast<const char*>(payload), len), ovfl);
+    delivered = true;
+  }
+  // Recycle only after the sink consumed the payload.
+  io_uring_buf_ring_add(p.buf_ring, buf, static_cast<unsigned>(buf_len_), bid,
+                        io_uring_buf_ring_mask(nbufs_), 0);
+  io_uring_buf_ring_advance(p.buf_ring, 1);
+  return delivered;
+}
+
+std::ptrdiff_t UringDriverImpl::Wait(int timeout_ms, std::size_t max,
+                                     const Deliver& deliver) {
+  if (!ArmDisarmed()) return kWaitError;
+  std::size_t delivered = 0;
+  bool waited = false;
+  for (;;) {
+    if (max != 0 && delivered >= max) break;
+    io_uring_cqe* cqe = nullptr;
+    int rc = io_uring_peek_cqe(&ring_, &cqe);
+    if (rc == -EAGAIN) {
+      if (delivered > 0 || waited || timeout_ms == 0) break;
+      __kernel_timespec ts{};
+      ts.tv_sec = timeout_ms / 1000;
+      ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+      rc = io_uring_wait_cqe_timeout(&ring_, &cqe, &ts);
+      waited = true;
+      if (rc == -ETIME) break;
+      if (rc == -EINTR) return kWaitInterrupted;
+      if (rc < 0) return kWaitError;
+    } else if (rc < 0) {
+      return kWaitError;
+    }
+    if (HandleCqe(cqe, deliver)) ++delivered;
+    io_uring_cqe_seen(&ring_, cqe);
+  }
+  // Publish any re-arms queued while draining (disarmed streams are
+  // re-armed at the top of the next Wait; buffer recycles are advanced
+  // already).
+  return static_cast<std::ptrdiff_t>(delivered);
+}
+
+}  // namespace
+
+bool UringRuntimeSupported() {
+  static const bool supported = [] {
+    io_uring ring;
+    io_uring_params params{};
+    if (io_uring_queue_init_params(8, &ring, &params) < 0) return false;
+    int rc = 0;
+    io_uring_buf_ring* br = io_uring_setup_buf_ring(&ring, 8, 0, 0, &rc);
+    bool ok = br != nullptr;
+    if (br != nullptr) io_uring_free_buf_ring(&ring, br, 8, 0);
+    if (ok) {
+      io_uring_probe* probe = io_uring_get_probe_ring(&ring);
+      ok = probe != nullptr &&
+           io_uring_opcode_supported(probe, IORING_OP_RECVMSG);
+      if (probe != nullptr) io_uring_free_probe(probe);
+    }
+    io_uring_queue_exit(&ring);
+    return ok;
+  }();
+  return supported;
+}
+
+std::unique_ptr<UringDriver> MakeUringDriver(const std::vector<int>& fds,
+                                             int ring_buffers,
+                                             int ring_buffer_bytes,
+                                             std::string* error) {
+  if (fds.empty()) {
+    if (error) *error = "no sockets";
+    return nullptr;
+  }
+  if (!UringRuntimeSupported()) {
+    if (error) *error = "kernel lacks io_uring buffer-ring support";
+    return nullptr;
+  }
+  return UringDriverImpl::Create(fds, ring_buffers, ring_buffer_bytes, error);
+}
+
+}  // namespace sld::wirefront::internal

@@ -1,0 +1,51 @@
+// Internal seam between WireFront and the liburing-backed drain engine.
+//
+// The uring implementation (uring.cc) is compiled only when liburing is
+// found (SLD_HAVE_URING); wirefront.cc supplies returning-null stubs
+// otherwise, so the rest of the front never mentions liburing types and
+// links the same either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sld::wirefront::internal {
+
+// Mirrors WireFront::kInterrupted / kError.
+inline constexpr std::ptrdiff_t kWaitInterrupted = -1;
+inline constexpr std::ptrdiff_t kWaitError = -2;
+
+class UringDriver {
+ public:
+  virtual ~UringDriver() = default;
+
+  // deliver(flat_listener, payload, ovfl): payload points into a
+  // registered buffer, valid only during the call; ovfl is the kernel's
+  // cumulative SO_RXQ_OVFL counter when present on this datagram.
+  using Deliver = std::function<void(std::size_t flat, std::string_view payload,
+                                     const std::uint32_t* ovfl)>;
+
+  // Waits up to timeout_ms for completions, delivers at most `max`
+  // datagrams (0 = every completion available), leaves the rest queued.
+  // Returns the delivered count, kWaitInterrupted, or kWaitError.
+  virtual std::ptrdiff_t Wait(int timeout_ms, std::size_t max,
+                              const Deliver& deliver) = 0;
+};
+
+// Builds a driver with one multishot recvmsg arm per fd.  Null with
+// *error set when liburing is compiled out or setup fails at runtime.
+std::unique_ptr<UringDriver> MakeUringDriver(const std::vector<int>& fds,
+                                             int ring_buffers,
+                                             int ring_buffer_bytes,
+                                             std::string* error);
+
+// True when liburing is compiled in and a probe ring with a registered
+// buffer ring can be set up on this kernel.
+bool UringRuntimeSupported();
+
+}  // namespace sld::wirefront::internal

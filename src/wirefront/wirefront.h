@@ -1,0 +1,165 @@
+// Batched wire front: the live ingest layer between the kernel's UDP
+// sockets and the Engine layer.
+//
+// Topology.  Each tenant owns one UDP port fanned out across K listener
+// sockets via SO_REUSEPORT (the kernel hashes datagrams across the
+// sockets by flow, so many routers spread over the listeners while one
+// router's stream stays ordered on one socket).  All K listeners feed
+// the SAME tenant sink — the Collector behind it keeps a single release
+// watermark, so fan-out changes throughput, never semantics.
+//
+// Backends.  Two drain strategies behind one PollOnce() surface,
+// selected at Open time (SLD_WIRE=poll|uring overrides, mirroring the
+// SLD_SIMD dispatch pattern):
+//   - kPoll:  poll() across all listeners, then batched recvmmsg with
+//     MSG_DONTWAIT per ready socket into a preallocated slab.  Always
+//     available; this is what runs under TSan.
+//   - kUring: io_uring multishot recvmsg over registered buffer rings —
+//     one standing SQE per listener, the kernel writes each datagram
+//     into a ring-provided buffer and posts a CQE; no per-datagram
+//     syscall at all.  Compiled only when liburing is found
+//     (SLD_WITH_URING); falls back to kPoll when the running kernel
+//     lacks the opcodes.
+//
+// Both backends deliver each datagram to the sink as a string_view into
+// front-owned storage (valid only during the sink call) and allocate
+// nothing per datagram in steady state.  Kernel receive-queue drops are
+// accounted via SO_RXQ_OVFL ancillary data (the lossless-loopback
+// invariant: accepted + kernel_drops + malformed = sent).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+#include "syslog/udp.h"
+
+namespace sld::wirefront {
+
+// UDP's practical ceiling; the poll backend receives up to this per
+// datagram.  The uring backend's per-buffer capacity is WireOptions::
+// ring_buffer_bytes (oversize datagrams truncate there).
+inline constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+enum class Backend : int { kPoll = 0, kUring = 1 };
+
+const char* BackendName(Backend backend) noexcept;
+std::optional<Backend> BackendFromName(std::string_view name) noexcept;
+
+// True when the io_uring backend was compiled in (liburing found) AND
+// the running kernel accepts a ring with a registered buffer ring.
+bool UringSupported();
+
+// kUring when supported, else kPoll.  SLD_WIRE=poll|uring overrides;
+// requesting uring where unsupported clamps to kPoll with a warning on
+// stderr, like an unknown value.
+Backend DefaultBackend();
+
+struct WireOptions {
+  // nullopt = DefaultBackend().  An explicit kUring fails Open (instead
+  // of clamping) when uring is unsupported, so tests can distinguish
+  // "asked and missing" from "fell back".
+  std::optional<Backend> backend;
+  // SO_REUSEPORT listeners per tenant port.
+  int listeners = 1;
+  // Datagrams harvested per recvmmsg call (poll backend) and the CQE
+  // batch bound per wakeup (uring backend).
+  int batch = 64;
+  // Uring: registered buffers per listener (rounded up to a power of
+  // two) and the capacity of each.  ring_buffers * ring_buffer_bytes of
+  // locked memory per listener.
+  int ring_buffers = 256;
+  int ring_buffer_bytes = 16 * 1024;
+  // Kernel receive buffer request per listener (clamped by the kernel;
+  // the grant is exported as the wire_rcvbuf_bytes gauge).
+  int rcvbuf_bytes = 4 * 1024 * 1024;
+};
+
+struct TenantPort {
+  std::uint16_t port = 0;          // 0 = ephemeral (see port_of())
+  obs::Registry* metrics = nullptr;  // tenant-scoped view; may be null
+};
+
+class WireFront {
+ public:
+  // Called once per delivered datagram; `datagram` points into
+  // front-owned storage and is valid only for the duration of the call.
+  using Sink = std::function<void(std::size_t tenant, std::string_view datagram)>;
+
+  // PollOnce status codes (returns >= 0 otherwise).
+  static constexpr std::ptrdiff_t kInterrupted = -1;  // EINTR hit the wait
+  static constexpr std::ptrdiff_t kError = -2;        // unrecoverable
+
+  // Binds listeners * tenants.size() sockets and readies the backend.
+  // Returns nullptr with a human-readable *error on failure (duplicate
+  // explicit ports, bind failure, explicit-uring without support, ...).
+  static std::unique_ptr<WireFront> Open(const WireOptions& options,
+                                         const std::vector<TenantPort>& tenants,
+                                         std::string* error);
+
+  ~WireFront();
+  WireFront(const WireFront&) = delete;
+  WireFront& operator=(const WireFront&) = delete;
+
+  Backend backend() const noexcept { return backend_; }
+  std::size_t tenant_count() const noexcept { return tenants_; }
+  int listeners_per_tenant() const noexcept { return listeners_per_tenant_; }
+  std::uint16_t port_of(std::size_t tenant) const noexcept;
+
+  // Waits up to timeout_ms for traffic on any listener, then drains
+  // every ready listener in batches, invoking `sink` once per datagram.
+  // `max` bounds the datagrams delivered this round (0 = drain all that
+  // are ready); undelivered datagrams stay queued for the next call.
+  // Returns the count delivered (0 = quiet round), kInterrupted when a
+  // signal cut the wait short, kError on unrecoverable failure.
+  std::ptrdiff_t PollOnce(int timeout_ms, std::size_t max, const Sink& sink);
+
+  // Cumulative totals across all listeners.
+  std::uint64_t datagrams() const noexcept { return total_datagrams_; }
+  std::uint64_t kernel_drops() const noexcept { return total_drops_; }
+
+  // Per-listener introspection over the flat listener index
+  // [0, tenant_count * listeners_per_tenant); listeners are grouped by
+  // tenant: flat = tenant * listeners_per_tenant + i.
+  std::size_t listener_count() const noexcept;
+  std::uint64_t listener_datagrams(std::size_t flat) const noexcept;
+
+ private:
+  struct Listener;
+  struct UringState;
+
+  WireFront() = default;
+
+  std::ptrdiff_t PollBackendOnce(int timeout_ms, std::size_t max,
+                                 const Sink& sink);
+  std::ptrdiff_t UringBackendOnce(int timeout_ms, std::size_t max,
+                                  const Sink& sink);
+  // Drains one listener with recvmmsg; `cap` 0 = unbounded.
+  std::size_t DrainListener(Listener& listener, std::size_t cap,
+                            const Sink& sink);
+  void Account(Listener& listener, std::uint64_t new_drops);
+
+  Backend backend_ = Backend::kPoll;
+  std::size_t tenants_ = 0;
+  int listeners_per_tenant_ = 1;
+  int batch_ = 64;
+
+  std::vector<Listener> listeners_;
+  // recvmmsg scratch, sized batch_ entries; see wirefront.cc.
+  std::vector<char> payload_slab_;
+  std::vector<char> cmsg_slab_;
+  struct Scratch;
+  std::unique_ptr<Scratch> scratch_;
+  std::unique_ptr<UringState> uring_;
+
+  std::uint64_t total_datagrams_ = 0;
+  std::uint64_t total_drops_ = 0;
+};
+
+}  // namespace sld::wirefront

@@ -207,15 +207,17 @@ TEST(ThreadedPipelineTest, UdpToQueueToStreamingDigester) {
       std::chrono::steady_clock::now() + std::chrono::minutes(2);
   std::atomic<std::size_t> acked{0};
 
-  // Receiver thread: datagram -> collector -> queue.
+  // Receiver thread: datagram -> collector -> queue.  One reused buffer
+  // serves every receive (the zero-alloc overload).
   std::thread receive_thread([&] {
     syslog::Collector collector(kHoldAllMs, 2009,
                                 /*suppress_duplicates=*/true);
+    std::string datagram;
     while (collector.accepted_count() < n &&
            std::chrono::steady_clock::now() < deadline) {
-      const auto datagram = receiver->Receive(250);
-      if (!datagram) continue;  // sender will retransmit
-      collector.IngestDatagram(*datagram);
+      datagram.clear();
+      if (!receiver->Receive(&datagram, 250)) continue;  // retransmitted
+      collector.IngestDatagram(datagram);
       acked.store(collector.accepted_count(), std::memory_order_relaxed);
       for (auto& rec : collector.Drain()) queue.Push(std::move(rec));
     }

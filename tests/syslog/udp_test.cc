@@ -24,9 +24,11 @@ constexpr int kReceiveTimeoutMs = 250;
 std::optional<std::string> SendUntilReceived(UdpSender& sender,
                                              UdpReceiver& receiver,
                                              const std::string& payload) {
+  std::string got;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
     if (!sender.Send(payload)) return std::nullopt;
-    if (auto got = receiver.Receive(kReceiveTimeoutMs)) return got;
+    got.clear();
+    if (receiver.Receive(&got, kReceiveTimeoutMs)) return got;
   }
   return std::nullopt;
 }
@@ -47,10 +49,58 @@ TEST(UdpTest, LoopbackRoundTrip) {
   EXPECT_LE(receiver->received_count(), sender->sent_count());
 }
 
+TEST(UdpTest, ReceiveAppendsToCallerBuffer) {
+  // The reuse-buffer overload appends: existing bytes stay put, the
+  // datagram lands behind them, and a timeout leaves the buffer alone.
+  auto receiver = UdpReceiver::Bind(0);
+  ASSERT_TRUE(receiver.has_value());
+  auto sender = UdpSender::Open("127.0.0.1", receiver->port());
+  ASSERT_TRUE(sender.has_value());
+
+  std::string buffer = "prefix|";
+  EXPECT_FALSE(receiver->Receive(&buffer, 0));  // quiet socket: untouched
+  EXPECT_EQ(buffer, "prefix|");
+
+  const std::string payload = "appended datagram";
+  bool delivered = false;
+  for (int attempt = 0; attempt < kMaxAttempts && !delivered; ++attempt) {
+    ASSERT_TRUE(sender->Send(payload));
+    delivered = receiver->Receive(&buffer, kReceiveTimeoutMs);
+  }
+  ASSERT_TRUE(delivered);
+  EXPECT_EQ(buffer, "prefix|" + payload);
+}
+
+TEST(UdpTest, BindReadsBackReceiveBuffer) {
+  // The kernel clamps (and typically doubles) the SO_RCVBUF request; the
+  // readback must report something positive and at least as large as a
+  // modest request so under-provisioned kernels are visible.
+  UdpReceiver::BindOptions options;
+  options.rcvbuf_bytes = 128 * 1024;
+  auto receiver = UdpReceiver::Bind(0, options);
+  ASSERT_TRUE(receiver.has_value());
+  EXPECT_GT(receiver->rcvbuf_bytes(), 0);
+  EXPECT_GE(receiver->rcvbuf_bytes(), 128 * 1024);
+}
+
+TEST(UdpTest, ReusePortBindsTwice) {
+  // Two sockets may share one port only when both opt in.
+  UdpReceiver::BindOptions reuse;
+  reuse.reuse_port = true;
+  auto first = UdpReceiver::Bind(0, reuse);
+  ASSERT_TRUE(first.has_value());
+  auto second = UdpReceiver::Bind(first->port(), reuse);
+  EXPECT_TRUE(second.has_value());
+  // Without the flag the port is taken.
+  EXPECT_FALSE(UdpReceiver::Bind(first->port()).has_value());
+}
+
 TEST(UdpTest, ReceiveTimesOutWhenQuiet) {
   auto receiver = UdpReceiver::Bind(0);
   ASSERT_TRUE(receiver.has_value());
-  EXPECT_FALSE(receiver->Receive(50).has_value());
+  std::string buffer;
+  EXPECT_FALSE(receiver->Receive(&buffer, 50));
+  EXPECT_TRUE(buffer.empty());
 }
 
 TEST(UdpTest, OpenRejectsBadAddress) {
@@ -93,19 +143,22 @@ TEST(UdpTest, EndToEndWireIntoCollector) {
 
   // Deliver each record with retransmit-on-timeout: the collector's
   // duplicate window discards the extra copy when both the original and
-  // a retransmission arrive.
+  // a retransmission arrive.  One datagram buffer serves the whole run.
   Collector collector(/*hold_ms=*/5000, /*year=*/2009,
                       /*suppress_duplicates=*/true);
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  std::string datagram;
   for (std::size_t i = 0; i < sent.size(); ++i) {
     const std::string frame = EncodeRfc3164(sent[i]);
     while (collector.accepted_count() == i) {
       ASSERT_LT(std::chrono::steady_clock::now(), deadline)
           << "record " << i << " never delivered";
       ASSERT_TRUE(sender->Send(frame));
-      const auto datagram = receiver->Receive(kReceiveTimeoutMs);
-      if (datagram.has_value()) collector.IngestDatagram(*datagram);
+      datagram.clear();
+      if (receiver->Receive(&datagram, kReceiveTimeoutMs)) {
+        collector.IngestDatagram(datagram);
+      }
     }
   }
   EXPECT_EQ(collector.accepted_count(), sent.size());

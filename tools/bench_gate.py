@@ -45,6 +45,18 @@ Dispatches on the "benchmark" field of FRESH.json:
                 regress by more than the noise margin.  The smoke run
                 must use the baseline's --routers/--rate-scale profile
                 so per-group state sizes are comparable.
+  wire        - "identical" must be true (every wire-front backend
+                delivered the byte-identical payload stream from the
+                identical send sequence), every backend's
+                allocs_per_datagram must stay ~0, the poll (recvmmsg)
+                backend's speedup over the in-bench legacy
+                one-datagram-per-poll loop must reach the 2x floor (a
+                same-process relative measure, asserted on any host;
+                --min-speedup raises but never lowers it), and each
+                backend's absolute datagrams/sec is compared against
+                the baseline only when the fresh host reports the same
+                cpu count (loopback drain rate does not travel across
+                host shapes).
   kernels     - "identical" must be true (every SIMD level produced the
                 same checksums as the scalar oracle) and steady_allocs
                 must be zero on every host.  When the fresh run reports
@@ -340,6 +352,77 @@ def gate_kernels(gate, fresh, baseline, args):
                       f"below the {floor:.2f}x floor on an avx2 host")
 
 
+# The acceptance floor for the batched wire front: >= 2x over the seed
+# one-datagram-per-poll loop.  --min-speedup can only tighten it.
+WIRE_SPEEDUP_FLOOR = 2.0
+
+
+def wire_backend(run, name):
+    for entry in run.get("backends", []):
+        if entry.get("backend") == name:
+            return entry
+    return None
+
+
+def gate_wire(gate, fresh, baseline, args):
+    if not fresh.get("identical", False):
+        gate.fail("wire bench reports identical=false: a wire-front "
+                  "backend delivered a different byte stream than the "
+                  "legacy receive loop")
+
+    backends = fresh.get("backends", [])
+    if not backends:
+        gate.fail("wire bench reports no backends; nothing was gated")
+        return
+    for entry in backends:
+        name = entry.get("backend", "?")
+        allocs = float(entry.get("allocs_per_datagram", -1.0))
+        print(f"allocs_per_datagram[{name}]: {allocs}")
+        if allocs < 0.0 or allocs > 0.01:
+            gate.fail(f"backend '{name}' allocs_per_datagram is {allocs}; "
+                      "the steady-state datagram path must stay "
+                      "allocation-free")
+
+    # In-process speedup of the batched recvmmsg backend over the seed
+    # loop: both sides drain the same loopback bursts in the same
+    # process, so the floor holds on any host, single-core included.
+    poll = wire_backend(fresh, "poll")
+    if poll is None:
+        gate.fail("wire bench has no poll (recvmmsg) backend entry for "
+                  "the speedup assertion")
+    else:
+        floor = max(WIRE_SPEEDUP_FLOOR, args.min_speedup)
+        speedup = float(poll.get("speedup_vs_legacy", 0.0))
+        print(f"wire speedup vs legacy one-datagram-per-poll loop: "
+              f"{speedup:.2f}x (need >= {floor:.2f}x)")
+        if speedup < floor:
+            gate.fail(f"wire poll-backend speedup {speedup:.2f}x over the "
+                      f"legacy receive loop is below the {floor:.2f}x "
+                      "floor")
+
+    # Absolute drain rates only travel between same-shaped hosts.
+    fresh_cpus = int(fresh.get("cpus", 0))
+    base_cpus = int(baseline.get("cpus", 0))
+    if fresh_cpus != base_cpus:
+        print(f"absolute-rate comparison skipped: fresh host has "
+              f"{fresh_cpus} cpus, baseline has {base_cpus}")
+        return
+    gate.check_rate("legacy_dgrams_per_sec",
+                    reps_of(fresh, "legacy_dgrams_per_sec", "legacy_reps"),
+                    reps_of(baseline, "legacy_dgrams_per_sec",
+                            "legacy_reps"))
+    for entry in backends:
+        name = entry.get("backend", "?")
+        base = wire_backend(baseline, name)
+        if base is None:
+            print(f"backend '{name}' has no baseline entry; absolute rate "
+                  "not gated (relative floors above still applied)")
+            continue
+        gate.check_rate(f"wire_dgrams_per_sec[{name}]",
+                        reps_of(entry, "dgrams_per_sec", "reps"),
+                        reps_of(base, "dgrams_per_sec", "reps"))
+
+
 def ckpt_entry(run, open_groups):
     for entry in run.get("sweep", []):
         if int(entry.get("open_groups", 0)) == open_groups:
@@ -397,6 +480,7 @@ GATES = {
     "kernels": gate_kernels,
     "ablation": gate_ablation,
     "ckpt": gate_ckpt,
+    "wire": gate_wire,
 }
 
 

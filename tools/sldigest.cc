@@ -58,6 +58,7 @@
 #include "syslog/collector.h"
 #include "syslog/ingest.h"
 #include "syslog/udp.h"
+#include "wirefront/wirefront.h"
 
 namespace {
 
@@ -408,10 +409,27 @@ int CmdServe(Flags& flags) {
       }
     }
   }
-  if (!host.BindAll(&error)) {
+  wirefront::WireOptions wire;
+  wire.listeners = static_cast<int>(flags.GetInt("listeners", 1));
+  if (wire.listeners < 1 || wire.listeners > 64) {
+    std::fprintf(stderr, "--listeners must be in [1, 64]\n");
+    return 2;
+  }
+  if (const std::string name = flags.Get("wire"); !name.empty()) {
+    wire.backend = wirefront::BackendFromName(name);
+    if (!wire.backend.has_value()) {
+      std::fprintf(stderr, "--wire must be poll or uring, not '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  if (!host.BindAll(wire, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
+  std::fprintf(stderr, "wire front: %s backend, %d listener(s)/tenant\n",
+               wirefront::BackendName(host.front()->backend()),
+               host.front()->listeners_per_tenant());
   // One mutex serializes event lines across tenants; each tenant's own
   // subsequence stays its deterministic close order.  Multi-tenant lines
   // are prefixed "NAME|"; single-tenant output is byte-identical to the
@@ -585,6 +603,13 @@ void Usage() {
       "          [--shards N] [--pump-threads N] [--hold-ms N] "
       "[--idle-close-s N]\n"
       "          [--max-datagrams N] [--idle-exit-s N] [--dedup]\n"
+      "          [--listeners K] [--wire poll|uring]\n"
+      "          --listeners K fans each tenant port over K SO_REUSEPORT\n"
+      "          sockets; --wire picks the drain backend (default: uring "
+      "when\n"
+      "          liburing+kernel support it, else batched recvmmsg; env "
+      "SLD_WIRE\n"
+      "          overrides)\n"
       "          [--checkpoint-dir DIR] [--checkpoint-interval-s N]\n"
       "          --checkpoint-dir restores state at start and snapshots "
       "every N\n"
