@@ -80,6 +80,24 @@ class Rng {
     }
   }
 
+  // Bulk-fills `out` with uniform 64-bit words.  One engine draw seeds a
+  // splitmix64 counter expansion, so each word is a pure function of
+  // (key, index) — the loop has no cross-iteration dependency and
+  // auto-vectorizes, which is what lets slgen's fault-knob decisions keep
+  // up with a multi-megabit render loop.  Exactly one engine_() advance
+  // per call regardless of out.size(), and the scalar draw methods above
+  // are untouched, so existing (seed -> dataset) byte sequences are
+  // preserved.
+  void FillUniform64(std::span<std::uint64_t> out) {
+    const std::uint64_t key = engine_();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      std::uint64_t z = key + (i + 1) * 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      out[i] = z ^ (z >> 31);
+    }
+  }
+
   // Derives an independent child generator; used to give each scenario its
   // own stream so adding one scenario does not perturb the others.
   Rng Fork() { return Rng(engine_()); }

@@ -61,6 +61,10 @@ Engine::Engine(core::KnowledgeBase* kb, const core::LocationDict* dict,
       reg_ = scope_.get();
     }
     collector_.BindMetrics(reg_);
+    e2e_latency_ = reg_->AddHistogram(
+        "e2e_latency_seconds",
+        "wall-clock latency from record ingest to event emission",
+        obs::LatencyBucketsSeconds());
   }
 }
 
@@ -142,6 +146,7 @@ void Engine::DeliverEvent(core::DigestEvent ev) {
     if (ckpt_cells_.suppressed != nullptr) ckpt_cells_.suppressed->Inc();
     return;
   }
+  ObserveEventLatency(ev);
   if (event_log_ != nullptr) {
     ckpt::Writer payload;
     ckpt::WriteEvent(ev, &payload);
@@ -171,11 +176,58 @@ void Engine::Feed(const syslog::SyslogRecord& rec) {
 }
 
 bool Engine::IngestDatagram(std::string_view datagram) {
-  return collector_.IngestDatagram(datagram);
+  TimeMs accepted_time = 0;
+  const bool ok = collector_.IngestDatagram(datagram, &accepted_time);
+  if (ok) NoteIngestTag(accepted_time);
+  return ok;
 }
 
 bool Engine::IngestRecord(const syslog::SyslogRecord& rec) {
-  return collector_.IngestRecord(rec);
+  TimeMs accepted_time = 0;
+  const bool ok = collector_.IngestRecord(rec, &accepted_time);
+  if (ok) NoteIngestTag(accepted_time);
+  return ok;
+}
+
+// At most one tag per distinct stream second is kept (records within a
+// second share the newest earlier tag), and the deque is capped so a
+// long stream with a stalled consumer stays bounded.
+namespace {
+constexpr std::size_t kMaxLatencyTags = 4096;
+}  // namespace
+
+void Engine::NoteIngestTag(TimeMs t) {
+  if (e2e_latency_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(tag_mutex_);
+  if (!latency_tags_.empty() && t <= latency_tags_.back().t) return;
+  if (latency_tags_.size() >= kMaxLatencyTags) return;
+  latency_tags_.push_back({t, now});
+}
+
+void Engine::ObserveEventLatency(const core::DigestEvent& ev) {
+  if (e2e_latency_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point at;
+  {
+    std::lock_guard<std::mutex> lock(tag_mutex_);
+    if (latency_tags_.empty() || latency_tags_.front().t > ev.end) {
+      // No tag at or before the event's close time (e.g. the stream was
+      // restored from a checkpoint, so its records were never tagged).
+      return;
+    }
+    // Newest tag with t <= ev.end: the last ingest instant that could
+    // have contributed to this event.  Older tags are retired — events
+    // close in non-decreasing order per tenant, so they cannot be the
+    // answer for a later event either.
+    while (latency_tags_.size() > 1 && latency_tags_[1].t <= ev.end) {
+      latency_tags_.pop_front();
+    }
+    at = latency_tags_.front().at;
+  }
+  const double seconds = std::chrono::duration<double>(now - at).count();
+  e2e_latency_->Observe(seconds >= 0 ? seconds : 0.0);
+  latency_samples_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t Engine::Pump() {

@@ -24,8 +24,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -100,6 +102,12 @@ class Engine {
   bool IngestDatagram(std::string_view datagram);
   bool IngestRecord(const syslog::SyslogRecord& rec);
 
+  // Observations recorded into the e2e_latency_seconds histogram so far
+  // (0 when metrics are off — the histogram only exists with a registry).
+  std::uint64_t e2e_latency_samples() const noexcept {
+    return latency_samples_.load(std::memory_order_relaxed);
+  }
+
   // Releases every collector record whose hold has expired into the
   // digest stage; closed events reach the sink.  Returns the events
   // emitted so far (cumulative).
@@ -171,6 +179,11 @@ class Engine {
   // hands the event to the sink (or the collected_ buffer).
   void DeliverEvent(core::DigestEvent ev);
   bool RestoreFromBody(std::string_view body, std::string* error);
+  // Files an ingest-to-emit latency tag for stream time `t` (wall clock
+  // "now"), and looks one up for a closing event.  See the latency-tag
+  // comment at the members below.
+  void NoteIngestTag(TimeMs t);
+  void ObserveEventLatency(const core::DigestEvent& ev);
 
   EngineOptions options_;
 
@@ -196,6 +209,27 @@ class Engine {
   std::vector<core::DigestEvent> collected_;  // sink-less mode
   std::atomic<std::size_t> events_{0};
   bool finished_ = false;
+
+  // Ingest-to-emit latency tags (live only when metrics are on).  Each
+  // accepted record whose stream timestamp advances past the newest tag
+  // files {stream time, wall clock at ingest}; the deque is therefore
+  // strictly increasing in `t`.  When an event closes, the newest tag
+  // with t <= ev.end tells us when the last record that could have
+  // contributed to the event entered the process, and "now - then" is
+  // the end-to-end pipeline latency (collector hold + digest + delivery).
+  // Bounded so a stalled consumer cannot grow it: once full, new stream
+  // seconds overwrite nothing — they are simply not tagged, which only
+  // loses resolution, never correctness.  Guarded by tag_mutex_ because
+  // ingest runs on listener threads while DeliverEvent runs on the merge
+  // thread at shards > 1.
+  struct LatencyTag {
+    TimeMs t;
+    std::chrono::steady_clock::time_point at;
+  };
+  std::mutex tag_mutex_;
+  std::deque<LatencyTag> latency_tags_;
+  obs::Histogram* e2e_latency_ = nullptr;
+  std::atomic<std::uint64_t> latency_samples_{0};
 
   // Durability state (empty/null when OpenDurable was never called).
   std::string ckpt_dir_;

@@ -1,0 +1,283 @@
+#include "loadgen/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+#include "syslog/wire.h"
+
+namespace sld::loadgen {
+namespace {
+
+// Random words consumed per message: [0] identity (router/shape/value),
+// [1] duplicate, [2] drop, [3] reorder.
+constexpr std::size_t kWordsPerMsg = 4;
+
+constexpr std::array<std::string_view, 6> kUsers = {
+    "admin", "neteng", "oper1", "noc", "backup", "nagios"};
+
+// Maps a probability to a 64-bit threshold so the decision is a single
+// compare against a uniform word: hit iff word < Threshold(p).
+std::uint64_t Threshold(double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~0ULL;
+  const double scaled = std::ldexp(p, 64);
+  if (scaled >= 18446744073709551616.0) return ~0ULL;
+  return static_cast<std::uint64_t>(scaled);
+}
+
+}  // namespace
+
+Stream::Stream(const StreamOptions& options,
+               std::atomic<std::uint64_t>* cursor, std::uint64_t total)
+    : options_(options),
+      cursor_(cursor),
+      total_(total),
+      dup_threshold_(Threshold(options.faults.duplicate)),
+      drop_threshold_(Threshold(options.faults.drop)),
+      reorder_threshold_(Threshold(options.faults.reorder)) {
+  if (options_.batch < 1) options_.batch = 1;
+  if (options_.routers < 1) options_.routers = 1;
+  if (options_.msgs_per_vsec < 1) options_.msgs_per_vsec = 1;
+  char buf[64];
+  for (int r = 0; r < options_.routers; ++r) {
+    std::snprintf(buf, sizeof(buf), "lg-rtr%03d", r);
+    router_names_.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "GigabitEthernet%d/0/%d", r / 10,
+                  r % 10);
+    ifnames_.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "10.20.%d.%d", r / 250, r % 250 + 1);
+    ips_.emplace_back(buf);
+  }
+}
+
+std::size_t Stream::RenderRound() {
+  const auto batch = static_cast<std::uint64_t>(options_.batch);
+  const std::uint64_t start =
+      cursor_->fetch_add(batch, std::memory_order_relaxed);
+  if (start >= total_) return 0;
+  const auto n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(batch, total_ - start));
+
+  // The word pool is keyed by the block id, not by this stream's draw
+  // history, so every message's fault decisions are a pure function of
+  // (seed, batch, index) — identical for any thread count or schedule.
+  words_.resize(n * kWordsPerMsg);
+  Rng block_rng(options_.seed ^
+                (0x9e3779b97f4a7c15ULL * (start / batch + 1)));
+  block_rng.FillUniform64(words_);
+
+  slab_.clear();
+  wire_slots_.clear();
+  for (std::size_t k = 0; k < n; ++k) {
+    RenderOne(start + k, &words_[k * kWordsPerMsg]);
+  }
+  return n;
+}
+
+void Stream::RenderOne(std::uint64_t index, const std::uint64_t* w) {
+  const std::uint64_t identity = w[0];
+  const auto r = static_cast<std::size_t>((identity >> 24) %
+                                          router_names_.size());
+  const auto shape = static_cast<unsigned>(identity >> 56) & 7u;
+  const std::uint64_t value = identity & 0xffffff;
+  const bool up = (value & 1) != 0;
+
+  rec_.time = options_.epoch +
+              static_cast<TimeMs>((index * 1000) /
+                                  static_cast<std::uint64_t>(
+                                      options_.msgs_per_vsec));
+  rec_.router.assign(router_names_[r]);
+
+  switch (shape) {
+    case 0:
+      sim::V1LinkUpDown(ifnames_[r], up, &msg_);
+      break;
+    case 1:
+      sim::V1LineProtoUpDown(ifnames_[r], up, &msg_);
+      break;
+    case 2:
+      sim::V1BgpAdj(ips_[r], up,
+                    static_cast<sim::BgpDownReason>((value >> 1) & 3),
+                    &msg_);
+      break;
+    case 3:
+      sim::V1NtpSync(ips_[r], &msg_);
+      break;
+    case 4:
+      sim::V2PortState(ifnames_[r], up, &msg_);
+      break;
+    case 5:
+      sim::V2ServiceState(1000 + static_cast<int>(value % 200), up, &msg_);
+      break;
+    case 6:
+      sim::V2SshLoginFailed(kUsers[value % kUsers.size()], ips_[r], &msg_);
+      break;
+    default:
+      sim::RareNoise(up,
+                     static_cast<int>((value >> 1) % sim::kRareNoiseVariants),
+                     static_cast<long long>(value % 500000) + 1, &msg_);
+      break;
+  }
+  rec_.code.assign(msg_.code);
+  rec_.detail.assign(msg_.detail);
+
+  ++stats_.generated;
+  const bool dup = w[1] < dup_threshold_;
+  const bool drop = w[2] < drop_threshold_;
+  if (dup) ++stats_.duplicates;
+
+  const std::size_t offset = slab_.size();
+  syslog::AppendRfc3164(rec_, &slab_);
+  const auto length = static_cast<std::uint32_t>(slab_.size() - offset);
+
+  if (drop) {
+    // All wire copies of this message are withheld, duplicate included,
+    // so sent (= generated + duplicates) still equals wire +
+    // injected_drops.
+    stats_.injected_drops += dup ? 2u : 1u;
+    return;
+  }
+  const std::size_t copies = dup ? 2 : 1;
+  wire_slots_.push_back({static_cast<std::uint32_t>(offset), length});
+  if (dup) {
+    wire_slots_.push_back({static_cast<std::uint32_t>(offset), length});
+  }
+  // Reorder: move the previous staged message after this one's first
+  // copy (an adjacent swap, the classic UDP mild-reorder shape).
+  if (w[3] < reorder_threshold_ && wire_slots_.size() > copies) {
+    std::swap(wire_slots_[wire_slots_.size() - copies - 1],
+              wire_slots_[wire_slots_.size() - copies]);
+    ++stats_.reorders;
+  }
+}
+
+bool Stream::Transmit(int fd) {
+  const std::size_t n = wire_slots_.size();
+  if (n == 0) return true;
+  // Pointers into the slab are resolved only now, after the slab has
+  // stopped growing for the round.
+  hdrs_.assign(n, mmsghdr{});
+  iovs_.resize(n);
+  char* base = slab_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    iovs_[i].iov_base = base + wire_slots_[i].offset;
+    iovs_[i].iov_len = wire_slots_[i].length;
+    hdrs_[i].msg_hdr.msg_iov = &iovs_[i];
+    hdrs_[i].msg_hdr.msg_iovlen = 1;
+  }
+  std::size_t done = 0;
+  while (done < n) {
+    const int sent = ::sendmmsg(fd, hdrs_.data() + done,
+                                static_cast<unsigned>(n - done), 0);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == ENOBUFS) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(sent);
+    stats_.wire += static_cast<std::uint64_t>(sent);
+  }
+  return true;
+}
+
+RunResult Run(const RunOptions& options) {
+  RunResult result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    result.error = "unparseable host (IPv4 literal required): " + options.host;
+    return result;
+  }
+
+  const int threads = std::max(1, options.threads);
+  std::vector<int> fds(static_cast<std::size_t>(threads), -1);
+  for (int i = 0; i < threads; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      if (fd >= 0) ::close(fd);
+      for (const int open_fd : fds) {
+        if (open_fd >= 0) ::close(open_fd);
+      }
+      result.error = std::string("socket/connect: ") + std::strerror(errno);
+      return result;
+    }
+    fds[static_cast<std::size_t>(i)] = fd;
+  }
+
+  std::atomic<std::uint64_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::vector<StreamStats> per_thread(static_cast<std::size_t>(threads));
+  const double per_rate = options.rate > 0 ? options.rate / threads : 0.0;
+  const double bucket =
+      options.burst > 0 ? options.burst : 4.0 * options.stream.batch;
+  const double per_burst =
+      std::max<double>(options.stream.batch, bucket / threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers.emplace_back([&, i] {
+      Stream stream(options.stream, &cursor, options.total);
+      double tokens = per_burst;
+      auto last = std::chrono::steady_clock::now();
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t n = stream.RenderRound();
+        if (n == 0) break;
+        if (per_rate > 0) {
+          for (;;) {
+            const auto now = std::chrono::steady_clock::now();
+            tokens = std::min(
+                per_burst,
+                tokens + std::chrono::duration<double>(now - last).count() *
+                             per_rate);
+            last = now;
+            if (tokens >= static_cast<double>(n)) {
+              tokens -= static_cast<double>(n);
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+        if (!stream.Transmit(fds[static_cast<std::size_t>(i)])) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          result.error = std::string("sendmmsg: ") + std::strerror(errno);
+          failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      per_thread[static_cast<std::size_t>(i)] = stream.stats();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const int fd : fds) {
+    if (fd >= 0) ::close(fd);
+  }
+  for (const StreamStats& s : per_thread) result.stats += s;
+  result.ok = !failed.load();
+  return result;
+}
+
+}  // namespace sld::loadgen

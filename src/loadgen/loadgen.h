@@ -1,0 +1,167 @@
+// Wire-rate batched syslog load generator.
+//
+// The repo's wire front (src/wirefront/) can drain on the order of a
+// million datagrams per second, but nothing in the tree could *generate*
+// that much — replay tools send one datagram per sendto().  This
+// subsystem closes the gap: N sender threads render the simulator's
+// vendor message formats (sim/messages.h appending overloads +
+// AppendRfc3164) into a per-thread payload slab and hand them to the
+// kernel in sendmmsg() batches, the transmit-side mirror of the
+// wirefront's recvmmsg slab.
+//
+// Determinism contract: every stochastic decision (router pick, message
+// shape, fault injection) is a pure function of (seed, message index).
+// Message indices are claimed from a shared atomic cursor, so a run's
+// *aggregate* fault counts depend only on (seed, total), regardless of
+// thread count or scheduling — the property the slgen fault-knob tests
+// pin down.  Per-message words come from Rng::FillUniform64 keyed by the
+// index block, not from the scalar engine sequence.
+//
+// Virtual clock: the timestamp of message i is
+//   epoch + i * 1000 / msgs_per_vsec        (milliseconds)
+// Non-decreasing in i, so a receiving collector with a hold window of a
+// few virtual seconds sees (almost) no late records even though threads
+// interleave blocks; the ledger
+//   sent = generated + duplicates = wire + injected_drops
+// closes exactly on the sender side, and against a receiver's metrics as
+//   sent = accepted + kernel_drops + malformed + injected_drops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/messages.h"
+#include "syslog/record.h"
+
+struct mmsghdr;
+struct iovec;
+
+namespace sld::loadgen {
+
+// Fault-injection probabilities, all in [0, 1].
+struct FaultKnobs {
+  double duplicate = 0.0;  // send a second wire copy of the message
+  double drop = 0.0;       // withhold the rendered message from the wire
+  double reorder = 0.0;    // swap the message with its staged predecessor
+};
+
+// Knobs shared by every stream of a run.
+struct StreamOptions {
+  std::uint64_t seed = 1;
+  int routers = 20;    // distinct synthetic router identities
+  int batch = 64;      // messages claimed/rendered/sent per round
+  FaultKnobs faults;
+  TimeMs epoch = 0;    // virtual-clock origin (CLI defaults to the
+                       // simulator's dataset epoch)
+  std::int64_t msgs_per_vsec = 2000;  // indices per virtual second
+};
+
+struct StreamStats {
+  std::uint64_t generated = 0;       // distinct messages rendered
+  std::uint64_t duplicates = 0;      // extra wire copies injected
+  std::uint64_t injected_drops = 0;  // rendered but withheld from the wire
+  std::uint64_t reorders = 0;        // adjacent swaps performed
+  std::uint64_t wire = 0;            // datagrams handed to the kernel
+
+  // Everything that nominally left the generator: originals + duplicates.
+  std::uint64_t sent() const { return generated + duplicates; }
+
+  StreamStats& operator+=(const StreamStats& o) {
+    generated += o.generated;
+    duplicates += o.duplicates;
+    injected_drops += o.injected_drops;
+    reorders += o.reorders;
+    wire += o.wire;
+    return *this;
+  }
+};
+
+// One staged datagram: a view into the round's payload slab.  Offsets are
+// recorded during render and resolved to pointers only at transmit time,
+// after the slab has stopped growing.
+struct WireSlot {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+// A single sender stream.  Not thread-safe; each sender thread owns one.
+// The render path is allocation-free at steady state: the slab, the slot
+// table, the scratch record/message and the sendmmsg arrays all keep
+// their capacity across rounds.
+class Stream {
+ public:
+  // `cursor` / `total` define the shared run: each RenderRound claims up
+  // to options.batch indices from [*cursor, total).
+  Stream(const StreamOptions& options, std::atomic<std::uint64_t>* cursor,
+         std::uint64_t total);
+
+  // Claims a block of indices and renders them into the slab, applying
+  // the fault knobs.  Returns the number of indices claimed (0 when the
+  // run is exhausted).  Staged datagrams are in wire_slots().
+  std::size_t RenderRound();
+
+  // Transmits the staged round over a connected UDP socket with
+  // sendmmsg(), retrying partial sends.  Returns false on a hard socket
+  // error (stats().wire only counts what the kernel accepted).
+  bool Transmit(int fd);
+
+  const std::vector<WireSlot>& wire_slots() const { return wire_slots_; }
+  std::string_view SlotPayload(const WireSlot& s) const {
+    return std::string_view(slab_).substr(s.offset, s.length);
+  }
+  const StreamStats& stats() const { return stats_; }
+
+ private:
+  void RenderOne(std::uint64_t index, const std::uint64_t* words);
+
+  StreamOptions options_;
+  std::atomic<std::uint64_t>* cursor_;
+  std::uint64_t total_;
+  std::uint64_t dup_threshold_;
+  std::uint64_t drop_threshold_;
+  std::uint64_t reorder_threshold_;
+
+  // Prebuilt identity tables (indexed by router slot).
+  std::vector<std::string> router_names_;
+  std::vector<std::string> ifnames_;
+  std::vector<std::string> ips_;
+
+  // Per-round state, reused across rounds.
+  std::string slab_;
+  std::vector<WireSlot> wire_slots_;
+  std::vector<std::uint64_t> words_;
+  syslog::SyslogRecord rec_;
+  sim::Msg msg_;
+  std::vector<::mmsghdr> hdrs_;
+  std::vector<::iovec> iovs_;
+
+  StreamStats stats_;
+};
+
+// A full multi-threaded run against a UDP destination.
+struct RunOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t total = 100000;  // distinct messages across all threads
+  int threads = 4;
+  double rate = 0.0;   // msgs/s across all threads; 0 = unthrottled
+  double burst = 0.0;  // token-bucket depth in msgs; 0 = 4 * batch
+  StreamOptions stream;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  StreamStats stats;
+  double elapsed_seconds = 0.0;
+};
+
+// Spawns options.threads sender threads, each with its own connected
+// socket and Stream, paced by a per-thread token-bucket share of `rate`.
+RunResult Run(const RunOptions& options);
+
+}  // namespace sld::loadgen

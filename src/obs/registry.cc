@@ -231,6 +231,30 @@ MetricsSnapshot Registry::Collect() const {
   return snapshot;
 }
 
+double SeriesSnapshot::Quantile(double q) const {
+  if (kind != MetricKind::kHistogram || count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // Landed in +Inf: no upper edge to interpolate against.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double hi = bounds[i];
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    if (buckets[i] == 0) return hi;
+    const double frac =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 std::string MetricsSnapshot::RenderJson() const {
   std::string out = "{\n  \"series\": [\n";
   for (std::size_t i = 0; i < series.size(); ++i) {
@@ -247,6 +271,8 @@ std::string MetricsSnapshot::RenderJson() const {
     if (s.kind == MetricKind::kHistogram) {
       out += ",\"count\":" + std::to_string(s.count);
       out += ",\"sum\":" + FormatDouble(s.sum);
+      out += ",\"p50\":" + FormatDouble(s.Quantile(0.50));
+      out += ",\"p99\":" + FormatDouble(s.Quantile(0.99));
       out += ",\"buckets\":[";
       for (std::size_t j = 0; j < s.buckets.size(); ++j) {
         if (j) out += ',';

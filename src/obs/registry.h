@@ -54,6 +54,14 @@ struct SeriesSnapshot {
   std::vector<std::uint64_t> buckets;  // non-cumulative, bounds.size()+1
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  // Estimated quantile (q in [0,1]) of a histogram series: cumulative
+  // walk over the buckets with linear interpolation inside the landing
+  // bucket (Prometheus's histogram_quantile rule).  The +Inf bucket
+  // clamps to the last finite bound — the data gives no upper edge to
+  // interpolate against.  Returns 0 when count == 0 or the series is not
+  // a histogram.
+  double Quantile(double q) const;
 };
 
 struct MetricsSnapshot {

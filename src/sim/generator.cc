@@ -173,6 +173,17 @@ class Generator {
     pending_.push_back({t, router, std::move(msg), event_id});
   }
 
+  // Appends an empty Pending and returns its Msg for an appending message
+  // overload to render into — no value-form temporaries.  Only statements
+  // with at most ONE total RNG draw may use it: C++ leaves argument
+  // evaluation order unspecified, so a multi-draw statement converted to
+  // this shape could reorder draws and change dataset bytes.  Multi-draw
+  // statements keep the value-form Emit.
+  Msg* Slot(TimeMs t, RouterId router, int event_id) {
+    pending_.push_back({t, router, Msg{}, event_id});
+    return &pending_.back().msg;
+  }
+
   // Zipf-weighted pick: used for the high-volume, low-event message
   // sources (scans, nuisance trains, background noise) so some routers
   // are much chattier without hosting proportionally more events.
@@ -207,10 +218,10 @@ class Generator {
     const net::PhysIf& phys = topo_.phys_ifs[phys_id];
     const TimeMs base = t + Jitter(800);
     if (V1()) {
-      Emit(base, router, V1LinkUpDown(phys.name, up), ev);
+      V1LinkUpDown(phys.name, up, Slot(base, router, ev));
       for (const net::LogicalIfId lid : phys.logical_ifs) {
-        Emit(base + 300 + Jitter(700), router,
-             V1LineProtoUpDown(topo_.logical_ifs[lid].name, up), ev);
+        V1LineProtoUpDown(topo_.logical_ifs[lid].name, up,
+                          Slot(base + 300 + Jitter(700), router, ev));
       }
       // OSPF notices the adjacency change a little later.
       if (peer != kInvalidId && rng_.Bernoulli(0.7)) {
@@ -219,32 +230,30 @@ class Generator {
           const PhysIfId peer_phys = topo_.LinkEnd(*phys.link, peer);
           const net::LogicalIfId peer_lid = topo_.PrimaryLogical(peer_phys);
           if (peer_lid != kInvalidId) {
-            Emit(base + 2000 + Jitter(8000), router,
-                 V1OspfAdj(topo_.logical_ifs[peer_lid].ip,
-                           topo_.logical_ifs[lid].name, up),
-                 ev);
+            V1OspfAdj(topo_.logical_ifs[peer_lid].ip,
+                      topo_.logical_ifs[lid].name, up,
+                      Slot(base + 2000 + Jitter(8000), router, ev));
           }
         }
       }
     } else {
-      Emit(base, router, V2PortState(phys.name, up), ev);
+      V2PortState(phys.name, up, Slot(base, router, ev));
       for (const net::LogicalIfId lid : phys.logical_ifs) {
-        Emit(base + 200 + Jitter(500), router,
-             V2LinkState(topo_.logical_ifs[lid].name, up), ev);
+        V2LinkState(topo_.logical_ifs[lid].name, up,
+                    Slot(base + 200 + Jitter(500), router, ev));
       }
       if (rng_.Bernoulli(0.9)) {
-        Emit(base + 500 + Jitter(1500), router, V2SapPortChange(phys.name),
-             ev);
+        V2SapPortChange(phys.name, Slot(base + 500 + Jitter(1500), router,
+                                        ev));
       }
       if (peer != kInvalidId && !up && rng_.Bernoulli(0.5)) {
         const PhysIfId peer_phys = topo_.LinkEnd(*phys.link, peer);
         const net::LogicalIfId peer_lid = topo_.PrimaryLogical(peer_phys);
         const net::LogicalIfId lid = topo_.PrimaryLogical(phys_id);
         if (peer_lid != kInvalidId && lid != kInvalidId) {
-          Emit(base + 1000 + Jitter(1500), router,
-               V2PimNeighborLoss(topo_.logical_ifs[peer_lid].ip,
-                                 topo_.logical_ifs[lid].name),
-               ev);
+          V2PimNeighborLoss(topo_.logical_ifs[peer_lid].ip,
+                            topo_.logical_ifs[lid].name,
+                            Slot(base + 1000 + Jitter(1500), router, ev));
         }
       }
     }
@@ -293,30 +302,30 @@ class Generator {
         std::set<RouterId> loggers = {link.router_a, link.router_b, head};
         for (const RouterId at : loggers) {
           if (V1()) {
-            Emit(down_at + Jitter(400), at, V1MplsTeLsp(path->name, false),
-                 ev);
-            Emit(up_at + Jitter(800), at, V1MplsTeLsp(path->name, true),
-                 ev);
+            V1MplsTeLsp(path->name, false,
+                        Slot(down_at + Jitter(400), at, ev));
+            V1MplsTeLsp(path->name, true, Slot(up_at + Jitter(800), at, ev));
           } else {
-            Emit(down_at + Jitter(400), at, V2LspState(path->name, false),
-                 ev);
-            Emit(up_at + Jitter(800), at, V2LspState(path->name, true),
-                 ev);
+            V2LspState(path->name, false,
+                       Slot(down_at + Jitter(400), at, ev));
+            V2LspState(path->name, true, Slot(up_at + Jitter(800), at, ev));
           }
         }
         if (!V1() && rng_.Bernoulli(0.9)) {
-          Emit(down_at + 1500 + Jitter(1500), head,
-               V2LspRetry(path->name, 300), ev);
+          V2LspRetry(path->name, 300,
+                     Slot(down_at + 1500 + Jitter(1500), head, ev));
         }
         if (!V1() && rng_.Bernoulli(0.15)) {
           // A service riding the path degrades with it (logged at the
           // point of local repair alongside the port messages).
           const int service =
               static_cast<int>(rng_.UniformInt(1000, 1200));
-          Emit(down_at + 3000 + Jitter(3000), link.router_a,
-               V2ServiceState(service, false), ev);
-          Emit(up_at + 3000 + Jitter(3000), link.router_a,
-               V2ServiceState(service, true), ev);
+          V2ServiceState(service, false,
+                         Slot(down_at + 3000 + Jitter(3000), link.router_a,
+                              ev));
+          V2ServiceState(service, true,
+                         Slot(up_at + 3000 + Jitter(3000), link.router_a,
+                              ev));
         }
       }
       t += static_cast<TimeMs>(period * (0.7 + 0.6 * rng_.UniformReal()));
@@ -333,29 +342,26 @@ class Generator {
                          s.router_b == link.router_a);
       if (!over) continue;
       if (V1()) {
-        Emit(t + Jitter(800), s.router_a,
-             V1BgpAdj(s.neighbor_ip_of_a, false,
-                      BgpDownReason::kNotificationSent),
-             ev);
-        Emit(t + Jitter(800), s.router_b,
-             V1BgpAdj(s.neighbor_ip_of_b, false,
-                      BgpDownReason::kNotificationReceived),
-             ev);
-        Emit(t + down_for + 20000 + Jitter(40000), s.router_a,
-             V1BgpAdj(s.neighbor_ip_of_a, true, BgpDownReason::kPeerClosed),
-             ev);
-        Emit(t + down_for + 20000 + Jitter(40000), s.router_b,
-             V1BgpAdj(s.neighbor_ip_of_b, true, BgpDownReason::kPeerClosed),
-             ev);
+        V1BgpAdj(s.neighbor_ip_of_a, false, BgpDownReason::kNotificationSent,
+                 Slot(t + Jitter(800), s.router_a, ev));
+        V1BgpAdj(s.neighbor_ip_of_b, false,
+                 BgpDownReason::kNotificationReceived,
+                 Slot(t + Jitter(800), s.router_b, ev));
+        V1BgpAdj(s.neighbor_ip_of_a, true, BgpDownReason::kPeerClosed,
+                 Slot(t + down_for + 20000 + Jitter(40000), s.router_a, ev));
+        V1BgpAdj(s.neighbor_ip_of_b, true, BgpDownReason::kPeerClosed,
+                 Slot(t + down_for + 20000 + Jitter(40000), s.router_b, ev));
       } else {
-        Emit(t + Jitter(800), s.router_a,
-             V2BgpSessionState(s.neighbor_ip_of_a, false), ev);
-        Emit(t + Jitter(800), s.router_b,
-             V2BgpSessionState(s.neighbor_ip_of_b, false), ev);
-        Emit(t + down_for + 20000 + Jitter(40000), s.router_a,
-             V2BgpSessionState(s.neighbor_ip_of_a, true), ev);
-        Emit(t + down_for + 20000 + Jitter(40000), s.router_b,
-             V2BgpSessionState(s.neighbor_ip_of_b, true), ev);
+        V2BgpSessionState(s.neighbor_ip_of_a, false,
+                          Slot(t + Jitter(800), s.router_a, ev));
+        V2BgpSessionState(s.neighbor_ip_of_b, false,
+                          Slot(t + Jitter(800), s.router_b, ev));
+        V2BgpSessionState(
+            s.neighbor_ip_of_a, true,
+            Slot(t + down_for + 20000 + Jitter(40000), s.router_a, ev));
+        V2BgpSessionState(
+            s.neighbor_ip_of_b, true,
+            Slot(t + down_for + 20000 + Jitter(40000), s.router_b, ev));
       }
       break;
     }
@@ -381,8 +387,8 @@ class Generator {
         phys.link ? topo_.LinkPeer(*phys.link, router) : kInvalidId;
     for (int k = 0; k < flaps; ++k) {
       const TimeMs down_for = rng_.UniformInt(1, 3) * kMsPerSecond;
-      Emit(t, router, V1ControllerUpDown(ctrl, false), ev);
-      Emit(t + down_for, router, V1ControllerUpDown(ctrl, true), ev);
+      V1ControllerUpDown(ctrl, false, Slot(t, router, ev));
+      V1ControllerUpDown(ctrl, true, Slot(t + down_for, router, ev));
       // The controller drags its interface (and the far end) along.
       if (rng_.Bernoulli(0.9)) {
         EmitIfFlapSide(ev, router, pid, t + 10000 + Jitter(20000), false,
@@ -415,15 +421,17 @@ class Generator {
                        kInvalidId);
       }
       if (V1()) {
-        Emit(t + 1500 + Jitter(2000), bundle.router,
-             V1LineProtoUpDown(bundle.name, false), ev);
-        Emit(t + down_for + 1500 + Jitter(2000), bundle.router,
-             V1LineProtoUpDown(bundle.name, true), ev);
+        V1LineProtoUpDown(bundle.name, false,
+                          Slot(t + 1500 + Jitter(2000), bundle.router, ev));
+        V1LineProtoUpDown(
+            bundle.name, true,
+            Slot(t + down_for + 1500 + Jitter(2000), bundle.router, ev));
       } else {
-        Emit(t + 1500 + Jitter(2000), bundle.router,
-             V2LagState(bundle.name, false), ev);
-        Emit(t + down_for + 1500 + Jitter(2000), bundle.router,
-             V2LagState(bundle.name, true), ev);
+        V2LagState(bundle.name, false,
+                   Slot(t + 1500 + Jitter(2000), bundle.router, ev));
+        V2LagState(bundle.name, true,
+                   Slot(t + down_for + 1500 + Jitter(2000), bundle.router,
+                        ev));
       }
       t += rng_.UniformInt(20, 90) * kMsPerSecond;
     }
@@ -449,14 +457,14 @@ class Generator {
       const TimeMs down_at = t0 + Jitter(30 * kMsPerSecond);
       const TimeMs up_at = down_at + rng_.UniformInt(30, 300) * kMsPerSecond;
       if (V1()) {
-        Emit(down_at, router, V1BgpVpnAdj(s.neighbor_ip_of_a, s.vrf, false,
-                                          reason), ev);
-        Emit(up_at, router,
-             V1BgpVpnAdj(s.neighbor_ip_of_a, s.vrf, true, reason), ev);
+        V1BgpVpnAdj(s.neighbor_ip_of_a, s.vrf, false, reason,
+                    Slot(down_at, router, ev));
+        V1BgpVpnAdj(s.neighbor_ip_of_a, s.vrf, true, reason,
+                    Slot(up_at, router, ev));
       } else {
-        Emit(down_at, router, V2BgpSessionState(s.neighbor_ip_of_a, false),
-             ev);
-        Emit(up_at, router, V2BgpSessionState(s.neighbor_ip_of_a, true), ev);
+        V2BgpSessionState(s.neighbor_ip_of_a, false,
+                          Slot(down_at, router, ev));
+        V2BgpSessionState(s.neighbor_ip_of_a, true, Slot(up_at, router, ev));
       }
     }
   }
@@ -471,27 +479,24 @@ class Generator {
     const int ev = NewEvent("ibgp-flap", s.router_a);
     const TimeMs down_for = rng_.UniformInt(10, 55) * kMsPerSecond;
     if (V1()) {
-      Emit(t0 + Jitter(500), s.router_a,
-           V1BgpAdj(s.neighbor_ip_of_a, false,
-                    BgpDownReason::kNotificationSent), ev);
-      Emit(t0 + Jitter(500), s.router_b,
-           V1BgpAdj(s.neighbor_ip_of_b, false,
-                    BgpDownReason::kNotificationReceived), ev);
-      Emit(t0 + down_for, s.router_a,
-           V1BgpAdj(s.neighbor_ip_of_a, true, BgpDownReason::kPeerClosed),
-           ev);
-      Emit(t0 + down_for + Jitter(500), s.router_b,
-           V1BgpAdj(s.neighbor_ip_of_b, true, BgpDownReason::kPeerClosed),
-           ev);
+      V1BgpAdj(s.neighbor_ip_of_a, false, BgpDownReason::kNotificationSent,
+               Slot(t0 + Jitter(500), s.router_a, ev));
+      V1BgpAdj(s.neighbor_ip_of_b, false,
+               BgpDownReason::kNotificationReceived,
+               Slot(t0 + Jitter(500), s.router_b, ev));
+      V1BgpAdj(s.neighbor_ip_of_a, true, BgpDownReason::kPeerClosed,
+               Slot(t0 + down_for, s.router_a, ev));
+      V1BgpAdj(s.neighbor_ip_of_b, true, BgpDownReason::kPeerClosed,
+               Slot(t0 + down_for + Jitter(500), s.router_b, ev));
     } else {
-      Emit(t0 + Jitter(500), s.router_a,
-           V2BgpSessionState(s.neighbor_ip_of_a, false), ev);
-      Emit(t0 + Jitter(500), s.router_b,
-           V2BgpSessionState(s.neighbor_ip_of_b, false), ev);
-      Emit(t0 + down_for, s.router_a,
-           V2BgpSessionState(s.neighbor_ip_of_a, true), ev);
-      Emit(t0 + down_for + Jitter(500), s.router_b,
-           V2BgpSessionState(s.neighbor_ip_of_b, true), ev);
+      V2BgpSessionState(s.neighbor_ip_of_a, false,
+                        Slot(t0 + Jitter(500), s.router_a, ev));
+      V2BgpSessionState(s.neighbor_ip_of_b, false,
+                        Slot(t0 + Jitter(500), s.router_b, ev));
+      V2BgpSessionState(s.neighbor_ip_of_a, true,
+                        Slot(t0 + down_for, s.router_a, ev));
+      V2BgpSessionState(s.neighbor_ip_of_b, true,
+                        Slot(t0 + down_for + Jitter(500), s.router_b, ev));
     }
   }
 
@@ -514,14 +519,14 @@ class Generator {
                          static_cast<int>(rng_.UniformInt(1, 5))),
              ev);
       } else {
-        Emit(t, router, V2CpuUsage(true, total), ev);
+        V2CpuUsage(true, total, Slot(t, router, ev));
       }
       const TimeMs hold = rng_.UniformInt(10, 55) * kMsPerSecond;
       const int low = static_cast<int>(rng_.UniformInt(15, 40));
       if (V1()) {
-        Emit(t + hold, router, V1CpuFalling(low, intr), ev);
+        V1CpuFalling(low, intr, Slot(t + hold, router, ev));
       } else {
-        Emit(t + hold, router, V2CpuUsage(false, low), ev);
+        V2CpuUsage(false, low, Slot(t + hold, router, ev));
       }
       t += hold + rng_.UniformInt(60, 900) * kMsPerSecond;
     }
@@ -540,12 +545,10 @@ class Generator {
     const std::string dst = topo_.routers[router].loopback_ip;
     for (TimeMs t = t0; t < t0 + duration;) {
       if (V1()) {
-        Emit(t, router,
-             V1TcpBadAuth(src, static_cast<int>(rng_.UniformInt(1024, 65535)),
-                          dst),
-             ev);
+        V1TcpBadAuth(src, static_cast<int>(rng_.UniformInt(1024, 65535)),
+                     dst, Slot(t, router, ev));
       } else {
-        Emit(t, router, V2SnmpAuthFail(src), ev);
+        V2SnmpAuthFail(src, Slot(t, router, ev));
       }
       t += static_cast<TimeMs>(period * (0.9 + 0.2 * rng_.UniformReal()));
     }
@@ -564,16 +567,18 @@ class Generator {
     for (int k = 0; k < rounds; ++k) {
       const std::string_view user = rng_.Pick(users_);
       if (V1()) {
-        Emit(t, router, V1LoginFailed(user, src), ev);
+        V1LoginFailed(user, src, Slot(t, router, ev));
         if (rng_.Bernoulli(0.8)) {
-          Emit(t + rng_.UniformInt(10, 30) * kMsPerSecond, router,
-               V1SnmpAuthFail(src), ev);
+          V1SnmpAuthFail(
+              src, Slot(t + rng_.UniformInt(10, 30) * kMsPerSecond, router,
+                        ev));
         }
       } else {
-        Emit(t, router, V2SshLoginFailed(user, src), ev);
+        V2SshLoginFailed(user, src, Slot(t, router, ev));
         if (rng_.Bernoulli(0.85)) {
-          Emit(t + rng_.UniformInt(30, 40) * kMsPerSecond, router,
-               V2FtpLoginFailed(user, src), ev);
+          V2FtpLoginFailed(
+              user, src,
+              Slot(t + rng_.UniformInt(30, 40) * kMsPerSecond, router, ev));
         }
       }
       t += rng_.UniformInt(60, 300) * kMsPerSecond;
@@ -586,9 +591,9 @@ class Generator {
     const std::string src = MgmtIp(rng_);
     const std::string_view user = rng_.Pick(users_);
     if (V1()) {
-      Emit(t0, router, V1ConfigI(user, src), ev);
+      V1ConfigI(user, src, Slot(t0, router, ev));
     } else {
-      Emit(t0, router, V2ConfigChange(user, src), ev);
+      V2ConfigChange(user, src, Slot(t0, router, ev));
     }
   }
 
@@ -600,17 +605,20 @@ class Generator {
     TimeMs t = t0;
     for (int k = 0; k < repeats; ++k) {
       if (V1()) {
-        Emit(t, router,
-             V1EnvTemp(sensor, static_cast<int>(rng_.UniformInt(55, 75))),
-             ev);
+        V1EnvTemp(sensor, static_cast<int>(rng_.UniformInt(55, 75)),
+                  Slot(t, router, ev));
       } else {
-        Emit(t, router,
-             V2EnvTemp(static_cast<int>(rng_.UniformInt(55, 75))), ev);
+        V2EnvTemp(static_cast<int>(rng_.UniformInt(55, 75)),
+                  Slot(t, router, ev));
       }
       // An overheating chassis re-raises the fan alarm with each reading.
       if (rng_.Bernoulli(0.9)) {
-        Emit(t + rng_.UniformInt(2, 20) * kMsPerSecond, router,
-             V1() ? V1FanFail() : V2FanFail(), ev);
+        const TimeMs fan_at = t + rng_.UniformInt(2, 20) * kMsPerSecond;
+        if (V1()) {
+          V1FanFail(Slot(fan_at, router, ev));
+        } else {
+          V2FanFail(Slot(fan_at, router, ev));
+        }
       }
       t += rng_.UniformInt(120, 600) * kMsPerSecond;
     }
@@ -625,10 +633,17 @@ class Generator {
     std::snprintf(slot, sizeof(slot), "%d/0",
                   static_cast<int>(rng_.UniformInt(
                       0, topo_.routers[router].num_slots - 1)));
-    Emit(t0, router, V1() ? V1OirCard(slot, true) : V2OirCard(slot, true),
-         ev);
-    Emit(t0 + rng_.UniformInt(5, 30) * kMsPerSecond, router,
-         V1() ? V1OirCard(slot, false) : V2OirCard(slot, false), ev);
+    if (V1()) {
+      V1OirCard(slot, true, Slot(t0, router, ev));
+    } else {
+      V2OirCard(slot, true, Slot(t0, router, ev));
+    }
+    const TimeMs back_at = t0 + rng_.UniformInt(5, 30) * kMsPerSecond;
+    if (V1()) {
+      V1OirCard(slot, false, Slot(back_at, router, ev));
+    } else {
+      V2OirCard(slot, false, Slot(back_at, router, ev));
+    }
   }
 
   void SapChurn(TimeMs t0) {
@@ -642,18 +657,18 @@ class Generator {
     TimeMs t = t0;
     for (int k = 0; k < flaps; ++k) {
       const TimeMs down_for = rng_.UniformInt(2, 10) * kMsPerSecond;
-      Emit(t, router, V2PortState(phys.name, false), ev);
-      Emit(t + 500 + Jitter(1000), router, V2SapPortChange(phys.name), ev);
+      V2PortState(phys.name, false, Slot(t, router, ev));
+      V2SapPortChange(phys.name, Slot(t + 500 + Jitter(1000), router, ev));
       const int services = static_cast<int>(rng_.UniformInt(2, 8));
       for (int s = 0; s < services; ++s) {
         const int id = static_cast<int>(rng_.UniformInt(1000, 1200));
-        Emit(t + 1000 + Jitter(3000), router, V2ServiceState(id, false), ev);
-        Emit(t + down_for + 1000 + Jitter(3000), router,
-             V2ServiceState(id, true), ev);
+        V2ServiceState(id, false, Slot(t + 1000 + Jitter(3000), router, ev));
+        V2ServiceState(id, true,
+                       Slot(t + down_for + 1000 + Jitter(3000), router, ev));
       }
-      Emit(t + down_for, router, V2PortState(phys.name, true), ev);
-      Emit(t + down_for + 500 + Jitter(1000), router,
-           V2SapPortChange(phys.name), ev);
+      V2PortState(phys.name, true, Slot(t + down_for, router, ev));
+      V2SapPortChange(phys.name,
+                      Slot(t + down_for + 500 + Jitter(1000), router, ev));
       t += rng_.UniformInt(30, 120) * kMsPerSecond;
     }
   }
@@ -665,9 +680,10 @@ class Generator {
     TimeMs t = t0;
     for (int k = 0; k < n; ++k) {
       const int id = static_cast<int>(rng_.UniformInt(1000, 1200));
-      Emit(t, router, V2ServiceState(id, false), ev);
-      Emit(t + rng_.UniformInt(5, 60) * kMsPerSecond, router,
-           V2ServiceState(id, true), ev);
+      V2ServiceState(id, false, Slot(t, router, ev));
+      V2ServiceState(
+          id, true,
+          Slot(t + rng_.UniformInt(5, 60) * kMsPerSecond, router, ev));
       t += rng_.UniformInt(10, 60) * kMsPerSecond;
     }
   }
@@ -710,13 +726,13 @@ class Generator {
     for (TimeMs t = t0; t < fail_at + 10 * kMsPerMinute;
          t += 5 * kMsPerMinute) {
       // Attempt fails (path down), then the retry is scheduled.
-      Emit(t + Jitter(400), head, V2LspState(path->name, false), ev);
+      V2LspState(path->name, false, Slot(t + Jitter(400), head, ev));
       for (std::size_t h = 1; h < path->hops.size(); ++h) {
         if (!rng_.Bernoulli(0.5)) continue;
-        Emit(t + Jitter(400), path->hops[h],
-             V2LspState(path->name, false), ev);
+        V2LspState(path->name, false,
+                   Slot(t + Jitter(400), path->hops[h], ev));
       }
-      Emit(t + 1500 + Jitter(800), head, V2LspRetry(path->name, 300), ev);
+      V2LspRetry(path->name, 300, Slot(t + 1500 + Jitter(800), head, ev));
     }
 
     // Phase 2: the primary link fails; FRR immediately attempts the
@@ -727,21 +743,20 @@ class Generator {
                    peer);
     EmitIfFlapSide(ev, peer, topo_.LinkEnd(primary->id, peer), fail_at, false,
                    head);
-    Emit(fail_at + 1500 + Jitter(500), head, V2LspRetry(path->name, 300),
-         ev);
-    Emit(fail_at + 2500 + Jitter(800), head,
-         V2LspState(path->name, false), ev);
+    V2LspRetry(path->name, 300, Slot(fail_at + 1500 + Jitter(500), head, ev));
+    V2LspState(path->name, false,
+               Slot(fail_at + 2500 + Jitter(800), head, ev));
     const net::LogicalIfId head_lid =
         topo_.PrimaryLogical(topo_.LinkEnd(primary->id, head));
     const net::LogicalIfId peer_lid =
         topo_.PrimaryLogical(topo_.LinkEnd(primary->id, peer));
     if (head_lid != kInvalidId && peer_lid != kInvalidId) {
-      Emit(fail_at + 2000 + Jitter(3000), head,
-           V2PimNeighborLoss(topo_.logical_ifs[peer_lid].ip,
-                             topo_.logical_ifs[head_lid].name), ev);
-      Emit(fail_at + 2000 + Jitter(3000), peer,
-           V2PimNeighborLoss(topo_.logical_ifs[head_lid].ip,
-                             topo_.logical_ifs[peer_lid].name), ev);
+      V2PimNeighborLoss(topo_.logical_ifs[peer_lid].ip,
+                        topo_.logical_ifs[head_lid].name,
+                        Slot(fail_at + 2000 + Jitter(3000), head, ev));
+      V2PimNeighborLoss(topo_.logical_ifs[head_lid].ip,
+                        topo_.logical_ifs[peer_lid].name,
+                        Slot(fail_at + 2000 + Jitter(3000), peer, ev));
     }
     // Services and downstream VHOs react along the path.
     for (std::size_t i = 0; i < path->hops.size(); ++i) {
@@ -760,11 +775,11 @@ class Generator {
     EmitIfFlapSide(ev, peer, topo_.LinkEnd(primary->id, peer), recover_at,
                    true, head);
     if (head_lid != kInvalidId && peer_lid != kInvalidId) {
-      Emit(recover_at + 2000 + Jitter(3000), head,
-           V2PimNeighborUp(topo_.logical_ifs[peer_lid].ip,
-                           topo_.logical_ifs[head_lid].name), ev);
+      V2PimNeighborUp(topo_.logical_ifs[peer_lid].ip,
+                      topo_.logical_ifs[head_lid].name,
+                      Slot(recover_at + 2000 + Jitter(3000), head, ev));
     }
-    Emit(recover_at + 10000, head, V2LspState(path->name, true), ev);
+    V2LspState(path->name, true, Slot(recover_at + 10000, head, ev));
   }
 
   // Planned maintenance: an operator saves config, pulls a line card
@@ -776,16 +791,22 @@ class Generator {
     const int ev = NewEvent("maintenance-window", router);
     const std::string_view user = rng_.Pick(users_);
     const std::string src = MgmtIp(rng_);
-    Emit(t0, router, V1() ? V1ConfigI(user, src) : V2ConfigChange(user, src),
-         ev);
+    if (V1()) {
+      V1ConfigI(user, src, Slot(t0, router, ev));
+    } else {
+      V2ConfigChange(user, src, Slot(t0, router, ev));
+    }
     const int slot = static_cast<int>(rng_.UniformInt(0, r.num_slots - 1));
     char slot_pos[16];
     std::snprintf(slot_pos, sizeof(slot_pos), "%d/0", slot);
     const TimeMs pull_at = t0 + rng_.UniformInt(30, 180) * kMsPerSecond;
     const TimeMs reseat_at =
         pull_at + rng_.UniformInt(20, 90) * kMsPerSecond;
-    Emit(pull_at, router,
-         V1() ? V1OirCard(slot_pos, true) : V2OirCard(slot_pos, true), ev);
+    if (V1()) {
+      V1OirCard(slot_pos, true, Slot(pull_at, router, ev));
+    } else {
+      V2OirCard(slot_pos, true, Slot(pull_at, router, ev));
+    }
     // Links terminating in the pulled slot drop and return.
     for (const PhysIfId pid : r.phys_ifs) {
       const net::PhysIf& phys = topo_.phys_ifs[pid];
@@ -800,11 +821,18 @@ class Generator {
       EmitIfFlapSide(ev, peer, topo_.LinkEnd(*phys.link, peer),
                      reseat_at + 2000 + Jitter(3000), true, router);
     }
-    Emit(reseat_at, router,
-         V1() ? V1OirCard(slot_pos, false) : V2OirCard(slot_pos, false),
-         ev);
-    Emit(reseat_at + rng_.UniformInt(30, 120) * kMsPerSecond, router,
-         V1() ? V1ConfigI(user, src) : V2ConfigChange(user, src), ev);
+    if (V1()) {
+      V1OirCard(slot_pos, false, Slot(reseat_at, router, ev));
+    } else {
+      V2OirCard(slot_pos, false, Slot(reseat_at, router, ev));
+    }
+    const TimeMs save_at =
+        reseat_at + rng_.UniformInt(30, 120) * kMsPerSecond;
+    if (V1()) {
+      V1ConfigI(user, src, Slot(save_at, router, ev));
+    } else {
+      V2ConfigChange(user, src, Slot(save_at, router, ev));
+    }
   }
 
   // A route-processor switchover resets control-plane adjacencies across
@@ -812,7 +840,11 @@ class Generator {
   void RpSwitchover(TimeMs t0) {
     const RouterId router = PickRouterUniform();
     const int ev = NewEvent("rp-switchover", router);
-    Emit(t0, router, V1() ? V1Switchover() : V2Switchover(), ev);
+    if (V1()) {
+      V1Switchover(Slot(t0, router, ev));
+    } else {
+      V2Switchover(Slot(t0, router, ev));
+    }
     // BGP sessions reset...
     for (const net::SessionId sid : topo_.routers[router].sessions) {
       const net::BgpSession& s = topo_.sessions[sid];
@@ -824,37 +856,34 @@ class Generator {
       const TimeMs up_at = down_at + rng_.UniformInt(15, 45) * kMsPerSecond;
       if (V1()) {
         if (s.vrf.empty()) {
-          Emit(down_at, router,
-               V1BgpAdj(neighbor, false, BgpDownReason::kPeerClosed), ev);
-          Emit(up_at, router,
-               V1BgpAdj(neighbor, true, BgpDownReason::kPeerClosed), ev);
+          V1BgpAdj(neighbor, false, BgpDownReason::kPeerClosed,
+                   Slot(down_at, router, ev));
+          V1BgpAdj(neighbor, true, BgpDownReason::kPeerClosed,
+                   Slot(up_at, router, ev));
         } else {
-          Emit(down_at, router,
-               V1BgpVpnAdj(neighbor, s.vrf, false,
-                           BgpDownReason::kPeerClosed), ev);
-          Emit(up_at, router,
-               V1BgpVpnAdj(neighbor, s.vrf, true,
-                           BgpDownReason::kPeerClosed), ev);
+          V1BgpVpnAdj(neighbor, s.vrf, false, BgpDownReason::kPeerClosed,
+                      Slot(down_at, router, ev));
+          V1BgpVpnAdj(neighbor, s.vrf, true, BgpDownReason::kPeerClosed,
+                      Slot(up_at, router, ev));
         }
       } else {
-        Emit(down_at, router, V2BgpSessionState(neighbor, false), ev);
-        Emit(up_at, router, V2BgpSessionState(neighbor, true), ev);
+        V2BgpSessionState(neighbor, false, Slot(down_at, router, ev));
+        V2BgpSessionState(neighbor, true, Slot(up_at, router, ev));
       }
     }
     // ...and the CPU spikes while routes reconverge.
     if (rng_.Bernoulli(0.8)) {
       const TimeMs spike_at = t0 + 5000 + Jitter(10000);
       if (V1()) {
-        Emit(spike_at, router,
-             V1CpuRising(static_cast<int>(rng_.UniformInt(85, 99)), 2, 7,
-                         70, 12, 9, 3, 4), ev);
+        V1CpuRising(static_cast<int>(rng_.UniformInt(85, 99)), 2, 7, 70, 12,
+                    9, 3, 4, Slot(spike_at, router, ev));
+        // Two draws in one statement — keep the value form (see Slot()).
         Emit(spike_at + rng_.UniformInt(20, 50) * kMsPerSecond, router,
              V1CpuFalling(static_cast<int>(rng_.UniformInt(15, 40)), 1),
              ev);
       } else {
-        Emit(spike_at, router,
-             V2CpuUsage(true, static_cast<int>(rng_.UniformInt(85, 99))),
-             ev);
+        V2CpuUsage(true, static_cast<int>(rng_.UniformInt(85, 99)),
+                   Slot(spike_at, router, ev));
         Emit(spike_at + rng_.UniformInt(20, 50) * kMsPerSecond, router,
              V2CpuUsage(false, static_cast<int>(rng_.UniformInt(15, 40))),
              ev);
@@ -873,7 +902,7 @@ class Generator {
         rng_.UniformInt(1, 8) * kMsPerHour * (1.0 + 3.0 * WeightOf(router)));
     const TimeMs period = 5 * kMsPerMinute;
     for (TimeMs t = t0; t < t0 + duration;) {
-      Emit(t, router, V1DuplexMismatch(phys.name), ev);
+      V1DuplexMismatch(phys.name, Slot(t, router, ev));
       t += static_cast<TimeMs>(period * (0.95 + 0.1 * rng_.UniformReal()));
     }
   }
@@ -889,9 +918,9 @@ class Generator {
       TimeMs t = day_start + Jitter(period);
       while (t < day_start + kMsPerDay) {
         if (V1()) {
-          Emit(t, r.id, V1NtpSync("172.30.255.1"), -1);
+          V1NtpSync("172.30.255.1", Slot(t, r.id, -1));
         } else {
-          Emit(t, r.id, V2TimeSync("172.30.255.1"), -1);
+          V2TimeSync("172.30.255.1", Slot(t, r.id, -1));
         }
         t += static_cast<TimeMs>(period * (0.97 + 0.06 * rng_.UniformReal()));
       }
@@ -906,16 +935,16 @@ class Generator {
       if (rng_.Bernoulli(0.4)) {
         const std::string src = ExternalIp(rng_);
         if (V1()) {
-          Emit(t, router, V1SnmpAuthFail(src), -1);
+          V1SnmpAuthFail(src, Slot(t, router, -1));
         } else {
-          Emit(t, router, V2SnmpAuthFail(src), -1);
+          V2SnmpAuthFail(src, Slot(t, router, -1));
         }
       } else {
         // Long-tail message types.
         const int variant =
             static_cast<int>(rng_.UniformInt(0, kRareNoiseVariants - 1));
-        Emit(t, router,
-             RareNoise(V1(), variant, rng_.UniformInt(1, 500000)), -1);
+        RareNoise(V1(), variant, rng_.UniformInt(1, 500000),
+                  Slot(t, router, -1));
       }
     }
   }

@@ -1,23 +1,32 @@
 #include "sim/messages.h"
 
+#include <algorithm>
 #include <array>
-#include <cctype>
 #include <cstdio>
 
 namespace sld::sim {
 namespace {
 
-std::string Fmt(const char* fmt, auto... args) {
+// printf a string_view: "%.*s" wants (int length, const char* data).
+#define SLD_SV(s) static_cast<int>((s).size()), (s).data()
+
+// Appends snprintf output to `s` without disturbing its capacity — the
+// appending render forms below stay allocation-free once the target
+// string has grown to steady state.
+void AppendFmt(std::string& s, const char* fmt, auto... args) {
   char buf[256];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  return buf;
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  s.append(buf, static_cast<std::size_t>(
+                    std::min<int>(n, static_cast<int>(sizeof(buf)) - 1)));
 }
 
-Msg Make(std::string code, std::string detail, std::string masked) {
-  std::string tmpl = code;
-  tmpl += ' ';
-  tmpl += masked;
-  return {std::move(code), std::move(detail), std::move(tmpl)};
+// Clears `out` and seeds the code plus the gt_template's "<code> "
+// prefix; the caller appends the detail text and the masked template.
+void Begin(Msg& out, std::string_view code) {
+  out.code.assign(code);
+  out.detail.clear();
+  out.gt_template.assign(code);
+  out.gt_template += ' ';
 }
 
 const char* UpDown(bool up) { return up ? "up" : "down"; }
@@ -40,366 +49,570 @@ std::string_view BgpDownReasonText(BgpDownReason r) noexcept {
 
 // ---- V1 -----------------------------------------------------------------
 
+void V1LinkUpDown(std::string_view ifname, bool up, Msg* out) {
+  Begin(*out, "LINK-3-UPDOWN");
+  AppendFmt(out->detail, "Interface %.*s, changed state to %s", SLD_SV(ifname),
+            UpDown(up));
+  AppendFmt(out->gt_template, "Interface * changed state to %s", UpDown(up));
+}
 Msg V1LinkUpDown(std::string_view ifname, bool up) {
-  return Make("LINK-3-UPDOWN",
-              Fmt("Interface %.*s, changed state to %s",
-                  static_cast<int>(ifname.size()), ifname.data(), UpDown(up)),
-              Fmt("Interface * changed state to %s", UpDown(up)));
+  Msg out;
+  V1LinkUpDown(ifname, up, &out);
+  return out;
 }
 
+void V1LineProtoUpDown(std::string_view ifname, bool up, Msg* out) {
+  Begin(*out, "LINEPROTO-5-UPDOWN");
+  AppendFmt(out->detail, "Line protocol on Interface %.*s, changed state to %s",
+            SLD_SV(ifname), UpDown(up));
+  AppendFmt(out->gt_template,
+            "Line protocol on Interface * changed state to %s", UpDown(up));
+}
 Msg V1LineProtoUpDown(std::string_view ifname, bool up) {
-  return Make(
-      "LINEPROTO-5-UPDOWN",
-      Fmt("Line protocol on Interface %.*s, changed state to %s",
-          static_cast<int>(ifname.size()), ifname.data(), UpDown(up)),
-      Fmt("Line protocol on Interface * changed state to %s", UpDown(up)));
+  Msg out;
+  V1LineProtoUpDown(ifname, up, &out);
+  return out;
 }
 
-Msg V1ControllerUpDown(std::string_view controller, bool up) {
+void V1ControllerUpDown(std::string_view controller, bool up, Msg* out) {
   // `controller` is e.g. "T1 0/3" — the position token is the variable.
-  return Make("CONTROLLER-5-UPDOWN",
-              Fmt("Controller %.*s, changed state to %s",
-                  static_cast<int>(controller.size()), controller.data(),
-                  UpDown(up)),
-              Fmt("Controller T1 * changed state to %s", UpDown(up)));
+  Begin(*out, "CONTROLLER-5-UPDOWN");
+  AppendFmt(out->detail, "Controller %.*s, changed state to %s",
+            SLD_SV(controller), UpDown(up));
+  AppendFmt(out->gt_template, "Controller T1 * changed state to %s",
+            UpDown(up));
+}
+Msg V1ControllerUpDown(std::string_view controller, bool up) {
+  Msg out;
+  V1ControllerUpDown(controller, up, &out);
+  return out;
 }
 
+void V1BgpVpnAdj(std::string_view neighbor_ip, std::string_view vrf, bool up,
+                 BgpDownReason reason, Msg* out) {
+  Begin(*out, "BGP-5-ADJCHANGE");
+  if (up) {
+    AppendFmt(out->detail, "neighbor %.*s vpn vrf %.*s Up", SLD_SV(neighbor_ip),
+              SLD_SV(vrf));
+    out->gt_template += "neighbor * vpn vrf * Up";
+    return;
+  }
+  const std::string_view why = BgpDownReasonText(reason);
+  AppendFmt(out->detail, "neighbor %.*s vpn vrf %.*s Down %.*s",
+            SLD_SV(neighbor_ip), SLD_SV(vrf), SLD_SV(why));
+  AppendFmt(out->gt_template, "neighbor * vpn vrf * Down %.*s", SLD_SV(why));
+}
 Msg V1BgpVpnAdj(std::string_view neighbor_ip, std::string_view vrf, bool up,
                 BgpDownReason reason) {
-  if (up) {
-    return Make("BGP-5-ADJCHANGE",
-                Fmt("neighbor %.*s vpn vrf %.*s Up",
-                    static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
-                    static_cast<int>(vrf.size()), vrf.data()),
-                "neighbor * vpn vrf * Up");
-  }
-  const std::string_view why = BgpDownReasonText(reason);
-  return Make("BGP-5-ADJCHANGE",
-              Fmt("neighbor %.*s vpn vrf %.*s Down %.*s",
-                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
-                  static_cast<int>(vrf.size()), vrf.data(),
-                  static_cast<int>(why.size()), why.data()),
-              Fmt("neighbor * vpn vrf * Down %.*s",
-                  static_cast<int>(why.size()), why.data()));
+  Msg out;
+  V1BgpVpnAdj(neighbor_ip, vrf, up, reason, &out);
+  return out;
 }
 
+void V1BgpAdj(std::string_view neighbor_ip, bool up, BgpDownReason reason,
+              Msg* out) {
+  Begin(*out, "BGP-5-ADJCHANGE");
+  if (up) {
+    AppendFmt(out->detail, "neighbor %.*s Up", SLD_SV(neighbor_ip));
+    out->gt_template += "neighbor * Up";
+    return;
+  }
+  const std::string_view why = BgpDownReasonText(reason);
+  AppendFmt(out->detail, "neighbor %.*s Down %.*s", SLD_SV(neighbor_ip),
+            SLD_SV(why));
+  AppendFmt(out->gt_template, "neighbor * Down %.*s", SLD_SV(why));
+}
 Msg V1BgpAdj(std::string_view neighbor_ip, bool up, BgpDownReason reason) {
-  if (up) {
-    return Make("BGP-5-ADJCHANGE",
-                Fmt("neighbor %.*s Up", static_cast<int>(neighbor_ip.size()),
-                    neighbor_ip.data()),
-                "neighbor * Up");
-  }
-  const std::string_view why = BgpDownReasonText(reason);
-  return Make("BGP-5-ADJCHANGE",
-              Fmt("neighbor %.*s Down %.*s",
-                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
-                  static_cast<int>(why.size()), why.data()),
-              Fmt("neighbor * Down %.*s", static_cast<int>(why.size()),
-                  why.data()));
+  Msg out;
+  V1BgpAdj(neighbor_ip, up, reason, &out);
+  return out;
 }
 
+void V1OspfAdj(std::string_view neighbor_ip, std::string_view ifname, bool up,
+               Msg* out) {
+  Begin(*out, "OSPF-5-ADJCHG");
+  if (up) {
+    AppendFmt(out->detail,
+              "Process 100, Nbr %.*s on %.*s from LOADING to FULL, "
+              "Loading Done",
+              SLD_SV(neighbor_ip), SLD_SV(ifname));
+    out->gt_template +=
+        "Process 100, Nbr * on * from LOADING to FULL, Loading Done";
+    return;
+  }
+  AppendFmt(out->detail,
+            "Process 100, Nbr %.*s on %.*s from FULL to DOWN, "
+            "Neighbor Down: Interface down or detached",
+            SLD_SV(neighbor_ip), SLD_SV(ifname));
+  out->gt_template +=
+      "Process 100, Nbr * on * from FULL to DOWN, Neighbor Down: "
+      "Interface down or detached";
+}
 Msg V1OspfAdj(std::string_view neighbor_ip, std::string_view ifname, bool up) {
-  if (up) {
-    return Make("OSPF-5-ADJCHG",
-                Fmt("Process 100, Nbr %.*s on %.*s from LOADING to FULL, "
-                    "Loading Done",
-                    static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
-                    static_cast<int>(ifname.size()), ifname.data()),
-                "Process 100, Nbr * on * from LOADING to FULL, Loading Done");
-  }
-  return Make("OSPF-5-ADJCHG",
-              Fmt("Process 100, Nbr %.*s on %.*s from FULL to DOWN, "
-                  "Neighbor Down: Interface down or detached",
-                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
-                  static_cast<int>(ifname.size()), ifname.data()),
-              "Process 100, Nbr * on * from FULL to DOWN, Neighbor Down: "
-              "Interface down or detached");
+  Msg out;
+  V1OspfAdj(neighbor_ip, ifname, up, &out);
+  return out;
 }
 
+void V1PimNbrChange(std::string_view neighbor_ip, std::string_view ifname,
+                    bool up, Msg* out) {
+  Begin(*out, "PIM-5-NBRCHG");
+  AppendFmt(out->detail, "neighbor %.*s %s on interface %.*s",
+            SLD_SV(neighbor_ip), up ? "UP" : "DOWN", SLD_SV(ifname));
+  AppendFmt(out->gt_template, "neighbor * %s on interface *",
+            up ? "UP" : "DOWN");
+}
 Msg V1PimNbrChange(std::string_view neighbor_ip, std::string_view ifname,
                    bool up) {
-  return Make("PIM-5-NBRCHG",
-              Fmt("neighbor %.*s %s on interface %.*s",
-                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
-                  up ? "UP" : "DOWN", static_cast<int>(ifname.size()),
-                  ifname.data()),
-              Fmt("neighbor * %s on interface *", up ? "UP" : "DOWN"));
+  Msg out;
+  V1PimNbrChange(neighbor_ip, ifname, up, &out);
+  return out;
 }
 
+void V1CpuRising(int total_pct, int intr_pct, int pid1, int u1, int pid2,
+                 int u2, int pid3, int u3, Msg* out) {
+  Begin(*out, "SYS-1-CPURISINGTHRESHOLD");
+  AppendFmt(out->detail,
+            "Threshold: Total CPU Utilization(Total/Intr): %d%%/%d%%, Top 3 "
+            "processes (Pid/Util): %d/%d%%, %d/%d%%, %d/%d%%",
+            total_pct, intr_pct, pid1, u1, pid2, u2, pid3, u3);
+  out->gt_template +=
+      "Threshold: Total CPU Utilization(Total/Intr): * Top 3 processes "
+      "(Pid/Util): * * *";
+}
 Msg V1CpuRising(int total_pct, int intr_pct, int pid1, int u1, int pid2,
                 int u2, int pid3, int u3) {
-  return Make(
-      "SYS-1-CPURISINGTHRESHOLD",
-      Fmt("Threshold: Total CPU Utilization(Total/Intr): %d%%/%d%%, Top 3 "
-          "processes (Pid/Util): %d/%d%%, %d/%d%%, %d/%d%%",
-          total_pct, intr_pct, pid1, u1, pid2, u2, pid3, u3),
-      "Threshold: Total CPU Utilization(Total/Intr): * Top 3 processes "
-      "(Pid/Util): * * *");
+  Msg out;
+  V1CpuRising(total_pct, intr_pct, pid1, u1, pid2, u2, pid3, u3, &out);
+  return out;
 }
 
+void V1CpuFalling(int total_pct, int intr_pct, Msg* out) {
+  Begin(*out, "SYS-1-CPUFALLINGTHRESHOLD");
+  AppendFmt(out->detail,
+            "Threshold: Total CPU Utilization(Total/Intr) %d%%/%d%%.",
+            total_pct, intr_pct);
+  out->gt_template += "Threshold: Total CPU Utilization(Total/Intr) *";
+}
 Msg V1CpuFalling(int total_pct, int intr_pct) {
-  return Make("SYS-1-CPUFALLINGTHRESHOLD",
-              Fmt("Threshold: Total CPU Utilization(Total/Intr) %d%%/%d%%.",
-                  total_pct, intr_pct),
-              "Threshold: Total CPU Utilization(Total/Intr) *");
+  Msg out;
+  V1CpuFalling(total_pct, intr_pct, &out);
+  return out;
 }
 
+void V1TcpBadAuth(std::string_view src_ip, int src_port,
+                  std::string_view dst_ip, Msg* out) {
+  Begin(*out, "TCP-6-BADAUTH");
+  AppendFmt(out->detail, "Invalid MD5 digest from %.*s(%d) to %.*s(179)",
+            SLD_SV(src_ip), src_port, SLD_SV(dst_ip));
+  out->gt_template += "Invalid MD5 digest from * to *";
+}
 Msg V1TcpBadAuth(std::string_view src_ip, int src_port,
                  std::string_view dst_ip) {
-  return Make("TCP-6-BADAUTH",
-              Fmt("Invalid MD5 digest from %.*s(%d) to %.*s(179)",
-                  static_cast<int>(src_ip.size()), src_ip.data(), src_port,
-                  static_cast<int>(dst_ip.size()), dst_ip.data()),
-              "Invalid MD5 digest from * to *");
+  Msg out;
+  V1TcpBadAuth(src_ip, src_port, dst_ip, &out);
+  return out;
 }
 
+void V1LoginFailed(std::string_view user, std::string_view src_ip, Msg* out) {
+  Begin(*out, "SEC_LOGIN-4-LOGIN_FAILED");
+  AppendFmt(out->detail,
+            "Login failed [user: %.*s] [Source: %.*s] [localport: 22]",
+            SLD_SV(user), SLD_SV(src_ip));
+  out->gt_template += "Login failed [user: * [Source: * [localport: 22]";
+}
 Msg V1LoginFailed(std::string_view user, std::string_view src_ip) {
-  return Make("SEC_LOGIN-4-LOGIN_FAILED",
-              Fmt("Login failed [user: %.*s] [Source: %.*s] [localport: 22]",
-                  static_cast<int>(user.size()), user.data(),
-                  static_cast<int>(src_ip.size()), src_ip.data()),
-              "Login failed [user: * [Source: * [localport: 22]");
+  Msg out;
+  V1LoginFailed(user, src_ip, &out);
+  return out;
 }
 
+void V1SnmpAuthFail(std::string_view src_ip, Msg* out) {
+  Begin(*out, "SNMP-3-AUTHFAIL");
+  AppendFmt(out->detail, "Authentication failure for SNMP req from host %.*s",
+            SLD_SV(src_ip));
+  out->gt_template += "Authentication failure for SNMP req from host *";
+}
 Msg V1SnmpAuthFail(std::string_view src_ip) {
-  return Make("SNMP-3-AUTHFAIL",
-              Fmt("Authentication failure for SNMP req from host %.*s",
-                  static_cast<int>(src_ip.size()), src_ip.data()),
-              "Authentication failure for SNMP req from host *");
+  Msg out;
+  V1SnmpAuthFail(src_ip, &out);
+  return out;
 }
 
+void V1ConfigI(std::string_view user, std::string_view src_ip, Msg* out) {
+  Begin(*out, "SYS-5-CONFIG_I");
+  AppendFmt(out->detail, "Configured from console by %.*s on vty0 (%.*s)",
+            SLD_SV(user), SLD_SV(src_ip));
+  out->gt_template += "Configured from console by * on vty0 *";
+}
 Msg V1ConfigI(std::string_view user, std::string_view src_ip) {
-  return Make("SYS-5-CONFIG_I",
-              Fmt("Configured from console by %.*s on vty0 (%.*s)",
-                  static_cast<int>(user.size()), user.data(),
-                  static_cast<int>(src_ip.size()), src_ip.data()),
-              "Configured from console by * on vty0 *");
+  Msg out;
+  V1ConfigI(user, src_ip, &out);
+  return out;
 }
 
+void V1EnvTemp(int sensor, int celsius, Msg* out) {
+  Begin(*out, "ENVMON-2-TEMP");
+  AppendFmt(out->detail, "High temperature warning: sensor %d temperature %dC",
+            sensor, celsius);
+  out->gt_template += "High temperature warning: sensor * temperature *";
+}
 Msg V1EnvTemp(int sensor, int celsius) {
-  return Make("ENVMON-2-TEMP",
-              Fmt("High temperature warning: sensor %d temperature %dC",
-                  sensor, celsius),
-              "High temperature warning: sensor * temperature *");
+  Msg out;
+  V1EnvTemp(sensor, celsius, &out);
+  return out;
 }
 
+void V1MplsTeLsp(std::string_view path, bool up, Msg* out) {
+  Begin(*out, "MPLS_TE-5-LSP");
+  AppendFmt(out->detail, "LSP %.*s changed state to %s", SLD_SV(path),
+            UpDown(up));
+  AppendFmt(out->gt_template, "LSP * changed state to %s", UpDown(up));
+}
 Msg V1MplsTeLsp(std::string_view path, bool up) {
-  return Make("MPLS_TE-5-LSP",
-              Fmt("LSP %.*s changed state to %s",
-                  static_cast<int>(path.size()), path.data(), UpDown(up)),
-              Fmt("LSP * changed state to %s", UpDown(up)));
+  Msg out;
+  V1MplsTeLsp(path, up, &out);
+  return out;
 }
 
+void V1NtpSync(std::string_view server_ip, Msg* out) {
+  Begin(*out, "NTP-6-PEERSYNC");
+  AppendFmt(out->detail, "NTP sync to peer %.*s", SLD_SV(server_ip));
+  out->gt_template += "NTP sync to peer *";
+}
 Msg V1NtpSync(std::string_view server_ip) {
-  return Make("NTP-6-PEERSYNC",
-              Fmt("NTP sync to peer %.*s", static_cast<int>(server_ip.size()),
-                  server_ip.data()),
-              "NTP sync to peer *");
+  Msg out;
+  V1NtpSync(server_ip, &out);
+  return out;
 }
 
+void V1DuplexMismatch(std::string_view ifname, Msg* out) {
+  Begin(*out, "CDP-4-DUPLEX_MISMATCH");
+  AppendFmt(out->detail, "duplex mismatch discovered on %.*s", SLD_SV(ifname));
+  out->gt_template += "duplex mismatch discovered on *";
+}
 Msg V1DuplexMismatch(std::string_view ifname) {
-  return Make("CDP-4-DUPLEX_MISMATCH",
-              Fmt("duplex mismatch discovered on %.*s",
-                  static_cast<int>(ifname.size()), ifname.data()),
-              "duplex mismatch discovered on *");
+  Msg out;
+  V1DuplexMismatch(ifname, &out);
+  return out;
 }
 
 // ---- V2 -----------------------------------------------------------------
 
-Msg V2LinkState(std::string_view ifname, bool up) {
+void V2LinkState(std::string_view ifname, bool up, Msg* out) {
   if (up) {
-    return Make("SNMP-WARNING-linkup",
-                Fmt("Interface %.*s is operational",
-                    static_cast<int>(ifname.size()), ifname.data()),
-                "Interface * is operational");
+    Begin(*out, "SNMP-WARNING-linkup");
+    AppendFmt(out->detail, "Interface %.*s is operational", SLD_SV(ifname));
+    out->gt_template += "Interface * is operational";
+    return;
   }
-  return Make("SNMP-WARNING-linkDown",
-              Fmt("Interface %.*s is not operational",
-                  static_cast<int>(ifname.size()), ifname.data()),
-              "Interface * is not operational");
+  Begin(*out, "SNMP-WARNING-linkDown");
+  AppendFmt(out->detail, "Interface %.*s is not operational", SLD_SV(ifname));
+  out->gt_template += "Interface * is not operational";
+}
+Msg V2LinkState(std::string_view ifname, bool up) {
+  Msg out;
+  V2LinkState(ifname, up, &out);
+  return out;
 }
 
+void V2PortState(std::string_view port, bool up, Msg* out) {
+  Begin(*out, "PORT-MINOR-portStateChange");
+  AppendFmt(out->detail, "Port %.*s state changed to %s", SLD_SV(port),
+            UpDown(up));
+  AppendFmt(out->gt_template, "Port * state changed to %s", UpDown(up));
+}
 Msg V2PortState(std::string_view port, bool up) {
-  return Make("PORT-MINOR-portStateChange",
-              Fmt("Port %.*s state changed to %s",
-                  static_cast<int>(port.size()), port.data(), UpDown(up)),
-              Fmt("Port * state changed to %s", UpDown(up)));
+  Msg out;
+  V2PortState(port, up, &out);
+  return out;
 }
 
+void V2SapPortChange(std::string_view port, Msg* out) {
+  Begin(*out, "SVCMGR-MAJOR-sapPortStateChangeProcessed");
+  AppendFmt(out->detail,
+            "The status of all affected SAPs on port %.*s has been updated.",
+            SLD_SV(port));
+  out->gt_template +=
+      "The status of all affected SAPs on port * has been updated.";
+}
 Msg V2SapPortChange(std::string_view port) {
-  return Make("SVCMGR-MAJOR-sapPortStateChangeProcessed",
-              Fmt("The status of all affected SAPs on port %.*s has been "
-                  "updated.",
-                  static_cast<int>(port.size()), port.data()),
-              "The status of all affected SAPs on port * has been updated.");
+  Msg out;
+  V2SapPortChange(port, &out);
+  return out;
 }
 
+void V2BgpSessionState(std::string_view neighbor_ip, bool up, Msg* out) {
+  Begin(*out, "BGP-MINOR-bgpSessionStateChange");
+  AppendFmt(out->detail, "BGP session to neighbor %.*s moved to %s state",
+            SLD_SV(neighbor_ip), up ? "established" : "idle");
+  AppendFmt(out->gt_template, "BGP session to neighbor * moved to %s state",
+            up ? "established" : "idle");
+}
 Msg V2BgpSessionState(std::string_view neighbor_ip, bool up) {
-  return Make("BGP-MINOR-bgpSessionStateChange",
-              Fmt("BGP session to neighbor %.*s moved to %s state",
-                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
-                  up ? "established" : "idle"),
-              Fmt("BGP session to neighbor * moved to %s state",
-                  up ? "established" : "idle"));
+  Msg out;
+  V2BgpSessionState(neighbor_ip, up, &out);
+  return out;
 }
 
+void V2PimNeighborLoss(std::string_view neighbor_ip, std::string_view ifname,
+                       Msg* out) {
+  Begin(*out, "PIM-MAJOR-pimNeighborLoss");
+  AppendFmt(out->detail, "PIM neighbor %.*s on interface %.*s lost",
+            SLD_SV(neighbor_ip), SLD_SV(ifname));
+  out->gt_template += "PIM neighbor * on interface * lost";
+}
 Msg V2PimNeighborLoss(std::string_view neighbor_ip, std::string_view ifname) {
-  return Make("PIM-MAJOR-pimNeighborLoss",
-              Fmt("PIM neighbor %.*s on interface %.*s lost",
-                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
-                  static_cast<int>(ifname.size()), ifname.data()),
-              "PIM neighbor * on interface * lost");
+  Msg out;
+  V2PimNeighborLoss(neighbor_ip, ifname, &out);
+  return out;
 }
 
+void V2PimNeighborUp(std::string_view neighbor_ip, std::string_view ifname,
+                     Msg* out) {
+  Begin(*out, "PIM-MINOR-pimNeighborUp");
+  AppendFmt(out->detail, "PIM neighbor %.*s on interface %.*s established",
+            SLD_SV(neighbor_ip), SLD_SV(ifname));
+  out->gt_template += "PIM neighbor * on interface * established";
+}
 Msg V2PimNeighborUp(std::string_view neighbor_ip, std::string_view ifname) {
-  return Make("PIM-MINOR-pimNeighborUp",
-              Fmt("PIM neighbor %.*s on interface %.*s established",
-                  static_cast<int>(neighbor_ip.size()), neighbor_ip.data(),
-                  static_cast<int>(ifname.size()), ifname.data()),
-              "PIM neighbor * on interface * established");
+  Msg out;
+  V2PimNeighborUp(neighbor_ip, ifname, &out);
+  return out;
 }
 
+void V2LspState(std::string_view path, bool up, Msg* out) {
+  Begin(*out, up ? "MPLS-MINOR-lspUp" : "MPLS-MAJOR-lspDown");
+  AppendFmt(out->detail, "LSP path %.*s is %s", SLD_SV(path), UpDown(up));
+  AppendFmt(out->gt_template, "LSP path * is %s", UpDown(up));
+}
 Msg V2LspState(std::string_view path, bool up) {
-  return Make(up ? "MPLS-MINOR-lspUp" : "MPLS-MAJOR-lspDown",
-              Fmt("LSP path %.*s is %s", static_cast<int>(path.size()),
-                  path.data(), UpDown(up)),
-              Fmt("LSP path * is %s", UpDown(up)));
+  Msg out;
+  V2LspState(path, up, &out);
+  return out;
 }
 
+void V2LspRetry(std::string_view path, int retry_seconds, Msg* out) {
+  Begin(*out, "MPLS-MAJOR-lspSetupRetry");
+  AppendFmt(out->detail, "LSP path %.*s setup failed, retry in %d seconds",
+            SLD_SV(path), retry_seconds);
+  out->gt_template += "LSP path * setup failed, retry in * seconds";
+}
 Msg V2LspRetry(std::string_view path, int retry_seconds) {
-  return Make("MPLS-MAJOR-lspSetupRetry",
-              Fmt("LSP path %.*s setup failed, retry in %d seconds",
-                  static_cast<int>(path.size()), path.data(), retry_seconds),
-              "LSP path * setup failed, retry in * seconds");
+  Msg out;
+  V2LspRetry(path, retry_seconds, &out);
+  return out;
 }
 
+void V2LagState(std::string_view lag, bool up, Msg* out) {
+  Begin(*out, "LAG-MINOR-lagStateChange");
+  AppendFmt(out->detail, "LAG %.*s state changed to %s", SLD_SV(lag),
+            UpDown(up));
+  AppendFmt(out->gt_template, "LAG * state changed to %s", UpDown(up));
+}
 Msg V2LagState(std::string_view lag, bool up) {
-  return Make("LAG-MINOR-lagStateChange",
-              Fmt("LAG %.*s state changed to %s",
-                  static_cast<int>(lag.size()), lag.data(), UpDown(up)),
-              Fmt("LAG * state changed to %s", UpDown(up)));
+  Msg out;
+  V2LagState(lag, up, &out);
+  return out;
 }
 
-Msg V2CpuUsage(bool high, int pct) {
+void V2CpuUsage(bool high, int pct, Msg* out) {
   if (high) {
-    return Make("SYSTEM-MINOR-tmnxCpuUsageHigh",
-                Fmt("CPU usage is %d percent, above high watermark", pct),
-                "CPU usage is * percent, above high watermark");
+    Begin(*out, "SYSTEM-MINOR-tmnxCpuUsageHigh");
+    AppendFmt(out->detail, "CPU usage is %d percent, above high watermark",
+              pct);
+    out->gt_template += "CPU usage is * percent, above high watermark";
+    return;
   }
-  return Make("SYSTEM-MINOR-tmnxCpuUsageNormal",
-              Fmt("CPU usage is %d percent, back to normal", pct),
-              "CPU usage is * percent, back to normal");
+  Begin(*out, "SYSTEM-MINOR-tmnxCpuUsageNormal");
+  AppendFmt(out->detail, "CPU usage is %d percent, back to normal", pct);
+  out->gt_template += "CPU usage is * percent, back to normal";
+}
+Msg V2CpuUsage(bool high, int pct) {
+  Msg out;
+  V2CpuUsage(high, pct, &out);
+  return out;
 }
 
+void V2SshLoginFailed(std::string_view user, std::string_view src_ip,
+                      Msg* out) {
+  Begin(*out, "SECURITY-WARNING-sshLoginFailed");
+  AppendFmt(out->detail, "SSH login attempt from %.*s failed for user %.*s",
+            SLD_SV(src_ip), SLD_SV(user));
+  out->gt_template += "SSH login attempt from * failed for user *";
+}
 Msg V2SshLoginFailed(std::string_view user, std::string_view src_ip) {
-  return Make("SECURITY-WARNING-sshLoginFailed",
-              Fmt("SSH login attempt from %.*s failed for user %.*s",
-                  static_cast<int>(src_ip.size()), src_ip.data(),
-                  static_cast<int>(user.size()), user.data()),
-              "SSH login attempt from * failed for user *");
+  Msg out;
+  V2SshLoginFailed(user, src_ip, &out);
+  return out;
 }
 
+void V2FtpLoginFailed(std::string_view user, std::string_view src_ip,
+                      Msg* out) {
+  Begin(*out, "SECURITY-WARNING-ftpLoginFailed");
+  AppendFmt(out->detail, "FTP login attempt from %.*s failed for user %.*s",
+            SLD_SV(src_ip), SLD_SV(user));
+  out->gt_template += "FTP login attempt from * failed for user *";
+}
 Msg V2FtpLoginFailed(std::string_view user, std::string_view src_ip) {
-  return Make("SECURITY-WARNING-ftpLoginFailed",
-              Fmt("FTP login attempt from %.*s failed for user %.*s",
-                  static_cast<int>(src_ip.size()), src_ip.data(),
-                  static_cast<int>(user.size()), user.data()),
-              "FTP login attempt from * failed for user *");
+  Msg out;
+  V2FtpLoginFailed(user, src_ip, &out);
+  return out;
 }
 
+void V2ServiceState(int service_id, bool up, Msg* out) {
+  Begin(*out, "SVCMGR-MINOR-serviceStateChange");
+  AppendFmt(out->detail, "Service %d changed state to %s", service_id,
+            UpDown(up));
+  AppendFmt(out->gt_template, "Service * changed state to %s", UpDown(up));
+}
 Msg V2ServiceState(int service_id, bool up) {
-  return Make("SVCMGR-MINOR-serviceStateChange",
-              Fmt("Service %d changed state to %s", service_id, UpDown(up)),
-              Fmt("Service * changed state to %s", UpDown(up)));
+  Msg out;
+  V2ServiceState(service_id, up, &out);
+  return out;
 }
 
+void V2TimeSync(std::string_view server_ip, Msg* out) {
+  Begin(*out, "SYSTEM-INFO-tmnxTimeSync");
+  AppendFmt(out->detail, "Time synchronized to server %.*s",
+            SLD_SV(server_ip));
+  out->gt_template += "Time synchronized to server *";
+}
 Msg V2TimeSync(std::string_view server_ip) {
-  return Make("SYSTEM-INFO-tmnxTimeSync",
-              Fmt("Time synchronized to server %.*s",
-                  static_cast<int>(server_ip.size()), server_ip.data()),
-              "Time synchronized to server *");
+  Msg out;
+  V2TimeSync(server_ip, &out);
+  return out;
 }
 
+void V2ConfigChange(std::string_view user, std::string_view src_ip, Msg* out) {
+  Begin(*out, "CFGMGR-INFO-configurationSaved");
+  AppendFmt(out->detail, "Configuration saved by user %.*s from %.*s",
+            SLD_SV(user), SLD_SV(src_ip));
+  out->gt_template += "Configuration saved by user * from *";
+}
 Msg V2ConfigChange(std::string_view user, std::string_view src_ip) {
-  return Make("CFGMGR-INFO-configurationSaved",
-              Fmt("Configuration saved by user %.*s from %.*s",
-                  static_cast<int>(user.size()), user.data(),
-                  static_cast<int>(src_ip.size()), src_ip.data()),
-              "Configuration saved by user * from *");
+  Msg out;
+  V2ConfigChange(user, src_ip, &out);
+  return out;
 }
 
+void V2SnmpAuthFail(std::string_view src_ip, Msg* out) {
+  Begin(*out, "SNMP-WARNING-authenticationFailure");
+  AppendFmt(out->detail, "SNMP authentication failure from host %.*s",
+            SLD_SV(src_ip));
+  out->gt_template += "SNMP authentication failure from host *";
+}
 Msg V2SnmpAuthFail(std::string_view src_ip) {
-  return Make("SNMP-WARNING-authenticationFailure",
-              Fmt("SNMP authentication failure from host %.*s",
-                  static_cast<int>(src_ip.size()), src_ip.data()),
-              "SNMP authentication failure from host *");
+  Msg out;
+  V2SnmpAuthFail(src_ip, &out);
+  return out;
 }
 
+void V1FanFail(Msg* out) {
+  Begin(*out, "ENVMON-2-FANFAIL");
+  out->detail += "Fan tray failure detected, status critical";
+  out->gt_template += "Fan tray failure detected, status critical";
+}
 Msg V1FanFail() {
-  return Make("ENVMON-2-FANFAIL", "Fan tray failure detected, status critical",
-              "Fan tray failure detected, status critical");
+  Msg out;
+  V1FanFail(&out);
+  return out;
 }
 
+void V1Switchover(Msg* out) {
+  Begin(*out, "REDUNDANCY-3-SWITCHOVER");
+  out->detail += "RP switchover: standby route processor becoming active";
+  out->gt_template += "RP switchover: standby route processor becoming active";
+}
 Msg V1Switchover() {
-  return Make("REDUNDANCY-3-SWITCHOVER",
-              "RP switchover: standby route processor becoming active",
-              "RP switchover: standby route processor becoming active");
+  Msg out;
+  V1Switchover(&out);
+  return out;
 }
 
+void V1OirCard(std::string_view slot_pos, bool removed, Msg* out) {
+  if (removed) {
+    Begin(*out, "OIR-6-REMCARD");
+    AppendFmt(out->detail, "Card removed from slot %.*s, interfaces disabled",
+              SLD_SV(slot_pos));
+    out->gt_template += "Card removed from slot * interfaces disabled";
+    return;
+  }
+  Begin(*out, "OIR-6-INSCARD");
+  AppendFmt(out->detail,
+            "Card inserted in slot %.*s, interfaces administratively "
+            "shut down",
+            SLD_SV(slot_pos));
+  out->gt_template +=
+      "Card inserted in slot * interfaces administratively shut down";
+}
 Msg V1OirCard(std::string_view slot_pos, bool removed) {
-  if (removed) {
-    return Make("OIR-6-REMCARD",
-                Fmt("Card removed from slot %.*s, interfaces disabled",
-                    static_cast<int>(slot_pos.size()), slot_pos.data()),
-                "Card removed from slot * interfaces disabled");
-  }
-  return Make("OIR-6-INSCARD",
-              Fmt("Card inserted in slot %.*s, interfaces administratively "
-                  "shut down",
-                  static_cast<int>(slot_pos.size()), slot_pos.data()),
-              "Card inserted in slot * interfaces administratively shut "
-              "down");
+  Msg out;
+  V1OirCard(slot_pos, removed, &out);
+  return out;
 }
 
+void V2EnvTemp(int celsius, Msg* out) {
+  Begin(*out, "CHASSIS-MINOR-tmnxEnvTempTooHigh");
+  AppendFmt(out->detail, "Chassis temperature %d degrees exceeds threshold",
+            celsius);
+  out->gt_template += "Chassis temperature * degrees exceeds threshold";
+}
 Msg V2EnvTemp(int celsius) {
-  return Make("CHASSIS-MINOR-tmnxEnvTempTooHigh",
-              Fmt("Chassis temperature %d degrees exceeds threshold",
-                  celsius),
-              "Chassis temperature * degrees exceeds threshold");
+  Msg out;
+  V2EnvTemp(celsius, &out);
+  return out;
 }
 
+void V2FanFail(Msg* out) {
+  Begin(*out, "CHASSIS-MAJOR-fanFailure");
+  out->detail += "Fan tray failure detected, speed degraded";
+  out->gt_template += "Fan tray failure detected, speed degraded";
+}
 Msg V2FanFail() {
-  return Make("CHASSIS-MAJOR-fanFailure",
-              "Fan tray failure detected, speed degraded",
-              "Fan tray failure detected, speed degraded");
+  Msg out;
+  V2FanFail(&out);
+  return out;
 }
 
+void V2Switchover(Msg* out) {
+  Begin(*out, "CHASSIS-MAJOR-cpmSwitchover");
+  out->detail += "Control processor switchover, standby now active";
+  out->gt_template += "Control processor switchover, standby now active";
+}
 Msg V2Switchover() {
-  return Make("CHASSIS-MAJOR-cpmSwitchover",
-              "Control processor switchover, standby now active",
-              "Control processor switchover, standby now active");
+  Msg out;
+  V2Switchover(&out);
+  return out;
 }
 
-Msg V2OirCard(std::string_view slot_pos, bool removed) {
+void V2OirCard(std::string_view slot_pos, bool removed, Msg* out) {
   if (removed) {
-    return Make("CHASSIS-MAJOR-cardRemoved",
-                Fmt("Card in slot %.*s removed",
-                    static_cast<int>(slot_pos.size()), slot_pos.data()),
-                "Card in slot * removed");
+    Begin(*out, "CHASSIS-MAJOR-cardRemoved");
+    AppendFmt(out->detail, "Card in slot %.*s removed", SLD_SV(slot_pos));
+    out->gt_template += "Card in slot * removed";
+    return;
   }
-  return Make("CHASSIS-MINOR-cardInserted",
-              Fmt("Card in slot %.*s inserted",
-                  static_cast<int>(slot_pos.size()), slot_pos.data()),
-              "Card in slot * inserted");
+  Begin(*out, "CHASSIS-MINOR-cardInserted");
+  AppendFmt(out->detail, "Card in slot %.*s inserted", SLD_SV(slot_pos));
+  out->gt_template += "Card in slot * inserted";
+}
+Msg V2OirCard(std::string_view slot_pos, bool removed) {
+  Msg out;
+  V2OirCard(slot_pos, removed, &out);
+  return out;
 }
 
-Msg RareNoise(bool v1_style, int variant, long long value) {
+void RareNoise(bool v1_style, int variant, long long value, Msg* out) {
   static constexpr std::array<const char*, 10> kFacility = {
       "SYS",  "HARDWARE", "PLATFORM", "MEMPOOL", "FIB",
       "QOSM", "ACLMGR",   "VTYMGR",   "CLOCKSYNC", "LCDRV"};
   static constexpr std::array<const char*, 5> kMnemonic = {
       "NOTICE", "STATUS", "REPORT", "EVENT", "AUDIT"};
+  // Pre-lowered spellings of kMnemonic, so the V2 code render needs no
+  // per-call temporary string.
+  static constexpr std::array<const char*, 5> kMnemonicLower = {
+      "notice", "status", "report", "event", "audit"};
   static constexpr std::array<const char*, 5> kWhat = {
       "buffer pool usage is", "queue depth reached",
       "table entry count is", "retry counter at", "watchdog interval"};
@@ -408,20 +621,29 @@ Msg RareNoise(bool v1_style, int variant, long long value) {
   variant = ((variant % kRareNoiseVariants) + kRareNoiseVariants) %
             kRareNoiseVariants;
   const char* facility = kFacility[static_cast<std::size_t>(variant % 10)];
-  const char* mnemonic = kMnemonic[static_cast<std::size_t>(variant / 10)];
+  const std::size_t mnemonic = static_cast<std::size_t>(variant / 10);
   const char* what = kWhat[static_cast<std::size_t>(variant % 5)];
   const char* unit = kUnit[static_cast<std::size_t>(variant % 2)];
 
-  std::string code;
+  out->code.clear();
   if (v1_style) {
-    code = Fmt("%s-6-%s%d", facility, mnemonic, variant);
+    AppendFmt(out->code, "%s-6-%s%d", facility, kMnemonic[mnemonic], variant);
   } else {
-    std::string lower(mnemonic);
-    for (char& c : lower) c = static_cast<char>(std::tolower(c));
-    code = Fmt("%s-INFO-%s%d", facility, lower.c_str(), variant);
+    AppendFmt(out->code, "%s-INFO-%s%d", facility, kMnemonicLower[mnemonic],
+              variant);
   }
-  return Make(code, Fmt("%s %lld %s", what, value, unit),
-              Fmt("%s * %s", what, unit));
+  out->detail.clear();
+  AppendFmt(out->detail, "%s %lld %s", what, value, unit);
+  out->gt_template.assign(out->code);
+  out->gt_template += ' ';
+  AppendFmt(out->gt_template, "%s * %s", what, unit);
 }
+Msg RareNoise(bool v1_style, int variant, long long value) {
+  Msg out;
+  RareNoise(v1_style, variant, value, &out);
+  return out;
+}
+
+#undef SLD_SV
 
 }  // namespace sld::sim

@@ -22,6 +22,17 @@ struct Msg {
   std::string gt_template;  // "<code> <masked detail>"
 };
 
+// Every constructor below comes in two forms:
+//
+//   Msg  V1LinkUpDown(args...);            // value form
+//   void V1LinkUpDown(args..., Msg* out);  // appending form
+//
+// The appending form clears and refills `out`'s three strings in place,
+// reusing their capacity — zero heap allocations per message once the
+// fields have grown to steady state.  That is the contract slgen's
+// wire-rate render loop and bench_e2e's allocation audit depend on; the
+// value form is a thin wrapper over it, so both produce identical bytes.
+
 // Reasons a BGP adjacency goes down (the sub-types of the paper's Table 4).
 enum class BgpDownReason : int {
   kInterfaceFlap = 0,
@@ -33,51 +44,101 @@ std::string_view BgpDownReasonText(BgpDownReason r) noexcept;
 
 // ---- Vendor V1 (IOS-like) ----------------------------------------------
 Msg V1LinkUpDown(std::string_view ifname, bool up);
+void V1LinkUpDown(std::string_view ifname, bool up, Msg* out);
 Msg V1LineProtoUpDown(std::string_view ifname, bool up);
+void V1LineProtoUpDown(std::string_view ifname, bool up, Msg* out);
 Msg V1ControllerUpDown(std::string_view controller, bool up);
+void V1ControllerUpDown(std::string_view controller, bool up, Msg* out);
 Msg V1BgpVpnAdj(std::string_view neighbor_ip, std::string_view vrf, bool up,
                 BgpDownReason reason);
+void V1BgpVpnAdj(std::string_view neighbor_ip, std::string_view vrf, bool up,
+                 BgpDownReason reason, Msg* out);
 Msg V1BgpAdj(std::string_view neighbor_ip, bool up, BgpDownReason reason);
+void V1BgpAdj(std::string_view neighbor_ip, bool up, BgpDownReason reason,
+              Msg* out);
 Msg V1OspfAdj(std::string_view neighbor_ip, std::string_view ifname, bool up);
+void V1OspfAdj(std::string_view neighbor_ip, std::string_view ifname, bool up,
+               Msg* out);
 Msg V1PimNbrChange(std::string_view neighbor_ip, std::string_view ifname,
                    bool up);
+void V1PimNbrChange(std::string_view neighbor_ip, std::string_view ifname,
+                    bool up, Msg* out);
 Msg V1CpuRising(int total_pct, int intr_pct, int pid1, int u1, int pid2,
                 int u2, int pid3, int u3);
+void V1CpuRising(int total_pct, int intr_pct, int pid1, int u1, int pid2,
+                 int u2, int pid3, int u3, Msg* out);
 Msg V1CpuFalling(int total_pct, int intr_pct);
+void V1CpuFalling(int total_pct, int intr_pct, Msg* out);
 Msg V1TcpBadAuth(std::string_view src_ip, int src_port,
                  std::string_view dst_ip);
+void V1TcpBadAuth(std::string_view src_ip, int src_port,
+                  std::string_view dst_ip, Msg* out);
 Msg V1LoginFailed(std::string_view user, std::string_view src_ip);
+void V1LoginFailed(std::string_view user, std::string_view src_ip, Msg* out);
 Msg V1SnmpAuthFail(std::string_view src_ip);
+void V1SnmpAuthFail(std::string_view src_ip, Msg* out);
 Msg V1ConfigI(std::string_view user, std::string_view src_ip);
+void V1ConfigI(std::string_view user, std::string_view src_ip, Msg* out);
 Msg V1EnvTemp(int sensor, int celsius);
+void V1EnvTemp(int sensor, int celsius, Msg* out);
 Msg V1MplsTeLsp(std::string_view path, bool up);
+void V1MplsTeLsp(std::string_view path, bool up, Msg* out);
 Msg V1NtpSync(std::string_view server_ip);
+void V1NtpSync(std::string_view server_ip, Msg* out);
 Msg V1DuplexMismatch(std::string_view ifname);
+void V1DuplexMismatch(std::string_view ifname, Msg* out);
 Msg V1FanFail();
+void V1FanFail(Msg* out);
 Msg V1Switchover();
+void V1Switchover(Msg* out);
 Msg V1OirCard(std::string_view slot_pos, bool removed);
+void V1OirCard(std::string_view slot_pos, bool removed, Msg* out);
 
 // ---- Vendor V2 (TiMOS-like) --------------------------------------------
 Msg V2LinkState(std::string_view ifname, bool up);
+void V2LinkState(std::string_view ifname, bool up, Msg* out);
 Msg V2PortState(std::string_view port, bool up);
+void V2PortState(std::string_view port, bool up, Msg* out);
 Msg V2SapPortChange(std::string_view port);
+void V2SapPortChange(std::string_view port, Msg* out);
 Msg V2BgpSessionState(std::string_view neighbor_ip, bool up);
+void V2BgpSessionState(std::string_view neighbor_ip, bool up, Msg* out);
 Msg V2PimNeighborLoss(std::string_view neighbor_ip, std::string_view ifname);
+void V2PimNeighborLoss(std::string_view neighbor_ip, std::string_view ifname,
+                       Msg* out);
 Msg V2PimNeighborUp(std::string_view neighbor_ip, std::string_view ifname);
+void V2PimNeighborUp(std::string_view neighbor_ip, std::string_view ifname,
+                     Msg* out);
 Msg V2LspState(std::string_view path, bool up);
+void V2LspState(std::string_view path, bool up, Msg* out);
 Msg V2LspRetry(std::string_view path, int retry_seconds);
+void V2LspRetry(std::string_view path, int retry_seconds, Msg* out);
 Msg V2LagState(std::string_view lag, bool up);
+void V2LagState(std::string_view lag, bool up, Msg* out);
 Msg V2CpuUsage(bool high, int pct);
+void V2CpuUsage(bool high, int pct, Msg* out);
 Msg V2SshLoginFailed(std::string_view user, std::string_view src_ip);
+void V2SshLoginFailed(std::string_view user, std::string_view src_ip,
+                      Msg* out);
 Msg V2FtpLoginFailed(std::string_view user, std::string_view src_ip);
+void V2FtpLoginFailed(std::string_view user, std::string_view src_ip,
+                      Msg* out);
 Msg V2ServiceState(int service_id, bool up);
+void V2ServiceState(int service_id, bool up, Msg* out);
 Msg V2TimeSync(std::string_view server_ip);
+void V2TimeSync(std::string_view server_ip, Msg* out);
 Msg V2SnmpAuthFail(std::string_view src_ip);
+void V2SnmpAuthFail(std::string_view src_ip, Msg* out);
 Msg V2ConfigChange(std::string_view user, std::string_view src_ip);
+void V2ConfigChange(std::string_view user, std::string_view src_ip, Msg* out);
 Msg V2EnvTemp(int celsius);
+void V2EnvTemp(int celsius, Msg* out);
 Msg V2FanFail();
+void V2FanFail(Msg* out);
 Msg V2OirCard(std::string_view slot_pos, bool removed);
+void V2OirCard(std::string_view slot_pos, bool removed, Msg* out);
 Msg V2Switchover();
+void V2Switchover(Msg* out);
 
 // ---- Long-tail noise ------------------------------------------------------
 // Real router syslog has hundreds of message types, most of them rare.
@@ -86,5 +147,6 @@ Msg V2Switchover();
 // type-support distribution has the heavy tail Table 5 measures.
 inline constexpr int kRareNoiseVariants = 50;
 Msg RareNoise(bool v1_style, int variant, long long value);
+void RareNoise(bool v1_style, int variant, long long value, Msg* out);
 
 }  // namespace sld::sim

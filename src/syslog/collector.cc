@@ -57,17 +57,18 @@ void Collector::SyncGauges() noexcept {
   cells_.release_lag_ms->Set(lag);
 }
 
-bool Collector::IngestDatagram(std::string_view datagram) {
+bool Collector::IngestDatagram(std::string_view datagram,
+                               TimeMs* accepted_time) {
   auto rec = DecodeRfc3164(datagram, year_);
   if (!rec) {
     ++malformed_;
     if (cells_.malformed != nullptr) cells_.malformed->Inc();
     return false;
   }
-  return IngestRecord(std::move(*rec));
+  return IngestRecord(std::move(*rec), accepted_time);
 }
 
-bool Collector::IngestRecord(SyslogRecord rec) {
+bool Collector::IngestRecord(SyslogRecord rec, TimeMs* accepted_time) {
   // Strictly older than the released watermark: ordering can no longer be
   // preserved.  A tie (rec.time == released_through_) is NOT late — ties
   // release in arrival order, so accepting it keeps the output sorted and
@@ -106,6 +107,7 @@ bool Collector::IngestRecord(SyslogRecord rec) {
     buffered_hashes_.insert(hash);
   }
   if (rec.time > watermark_) watermark_ = rec.time;
+  if (accepted_time != nullptr) *accepted_time = rec.time;
   buffer_.emplace(rec.time, std::move(rec));
   ++accepted_;
   if (cells_.accepted != nullptr) cells_.accepted->Inc();

@@ -61,11 +61,14 @@ class Collector {
 
   // Ingests one wire datagram. Returns false (and counts the drop) when
   // the datagram is malformed or strictly older than the release
-  // watermark.
-  bool IngestDatagram(std::string_view datagram);
+  // watermark.  On acceptance, `accepted_time` (when non-null) receives
+  // the record's stream timestamp — the key the engine's ingest-to-emit
+  // latency tags are filed under.
+  bool IngestDatagram(std::string_view datagram,
+                      TimeMs* accepted_time = nullptr);
 
   // Ingests an already-parsed record (e.g. from a file).
-  bool IngestRecord(SyslogRecord rec);
+  bool IngestRecord(SyslogRecord rec, TimeMs* accepted_time = nullptr);
 
   // Records whose release time has passed, in timestamp order.
   // Ties are released in arrival order.

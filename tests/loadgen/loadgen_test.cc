@@ -1,0 +1,230 @@
+// Load-generator determinism: fault decisions are a pure function of
+// (seed, batch, index), so aggregate counts are invariant to how many
+// streams share the cursor; the ledger closes exactly; staged payloads
+// are decodable RFC 3164 with a monotone virtual clock.
+#include "loadgen/loadgen.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/workload.h"
+#include "syslog/udp.h"
+#include "syslog/wire.h"
+
+namespace sld::loadgen {
+namespace {
+
+struct RenderTotals {
+  StreamStats stats;
+  std::uint64_t staged = 0;  // wire slots across all rounds
+  std::size_t rounds = 0;
+  std::multiset<std::string> payloads;
+};
+
+// Drives `streams` round-robin against one shared cursor until the run
+// is exhausted — the single-process stand-in for N sender threads.
+RenderTotals RenderAll(const StreamOptions& options, int streams,
+                       std::uint64_t total, bool keep_payloads = false) {
+  std::atomic<std::uint64_t> cursor{0};
+  std::vector<Stream> pool;
+  pool.reserve(static_cast<std::size_t>(streams));
+  for (int i = 0; i < streams; ++i) pool.emplace_back(options, &cursor, total);
+
+  RenderTotals out;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (Stream& s : pool) {
+      if (s.RenderRound() == 0) continue;
+      progress = true;
+      ++out.rounds;
+      out.staged += s.wire_slots().size();
+      if (keep_payloads) {
+        for (const WireSlot& slot : s.wire_slots()) {
+          out.payloads.insert(std::string(s.SlotPayload(slot)));
+        }
+      }
+    }
+  }
+  for (Stream& s : pool) out.stats += s.stats();
+  return out;
+}
+
+StreamOptions FaultyOptions() {
+  StreamOptions options;
+  options.seed = 42;
+  options.faults.duplicate = 0.02;
+  options.faults.drop = 0.01;
+  options.faults.reorder = 0.05;
+  return options;
+}
+
+TEST(LoadgenTest, FaultCountsExactAndStreamCountInvariant) {
+  constexpr std::uint64_t kTotal = 100000;
+  const RenderTotals one = RenderAll(FaultyOptions(), 1, kTotal);
+
+  // Pinned values: a pure function of (seed=42, batch=64, total=100000)
+  // and the knob set — any drift means the word layout or the threshold
+  // mapping changed.
+  EXPECT_EQ(one.stats.generated, kTotal);
+  EXPECT_EQ(one.stats.duplicates, 2029u);
+  EXPECT_EQ(one.stats.injected_drops, 1025u);
+  EXPECT_EQ(one.stats.reorders, 4797u);
+
+  // Ledger: everything generated is either staged for the wire or
+  // withheld as an injected drop.
+  EXPECT_EQ(one.stats.sent(), one.stats.generated + one.stats.duplicates);
+  EXPECT_EQ(one.stats.sent(), one.staged + one.stats.injected_drops);
+
+  // The same counts at any stream (thread) count.
+  for (const int streams : {3, 8}) {
+    const RenderTotals many = RenderAll(FaultyOptions(), streams, kTotal);
+    EXPECT_EQ(many.stats.generated, one.stats.generated) << streams;
+    EXPECT_EQ(many.stats.duplicates, one.stats.duplicates) << streams;
+    EXPECT_EQ(many.stats.injected_drops, one.stats.injected_drops)
+        << streams;
+    EXPECT_EQ(many.stats.reorders, one.stats.reorders) << streams;
+    EXPECT_EQ(many.staged, one.staged) << streams;
+  }
+}
+
+TEST(LoadgenTest, PayloadsDecodeWithMonotoneVirtualClock) {
+  StreamOptions options;
+  options.seed = 7;
+  options.epoch = sim::DatasetEpoch();
+  options.msgs_per_vsec = 100;
+  std::atomic<std::uint64_t> cursor{0};
+  Stream stream(options, &cursor, 2048);
+
+  TimeMs last = options.epoch;
+  std::size_t decoded = 0;
+  while (stream.RenderRound() > 0) {
+    for (const WireSlot& slot : stream.wire_slots()) {
+      const auto rec = syslog::DecodeRfc3164(stream.SlotPayload(slot), 2009);
+      ASSERT_TRUE(rec.has_value()) << stream.SlotPayload(slot);
+      EXPECT_EQ(rec->router.substr(0, 6), "lg-rtr");
+      EXPECT_FALSE(rec->code.empty());
+      // No faults: slots are in index order, so time never goes back.
+      EXPECT_GE(rec->time, last);
+      last = rec->time;
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, 2048u);
+  // Index 2047 at 100 msgs/vsec is 20.47 virtual seconds in; RFC 3164
+  // timestamps carry whole seconds, so the decode truncates to 20.
+  EXPECT_EQ(last, options.epoch + (2047 / 100) * 1000);
+}
+
+TEST(LoadgenTest, DuplicateStagesTwoIdenticalCopies) {
+  StreamOptions options;
+  options.seed = 3;
+  options.faults.duplicate = 1.0;
+  std::atomic<std::uint64_t> cursor{0};
+  Stream stream(options, &cursor, 512);
+  while (stream.RenderRound() > 0) {
+    const auto& slots = stream.wire_slots();
+    ASSERT_EQ(slots.size() % 2, 0u);
+    for (std::size_t i = 0; i < slots.size(); i += 2) {
+      EXPECT_EQ(stream.SlotPayload(slots[i]), stream.SlotPayload(slots[i + 1]));
+    }
+  }
+  EXPECT_EQ(stream.stats().duplicates, stream.stats().generated);
+  EXPECT_EQ(stream.stats().sent(), 2 * stream.stats().generated);
+}
+
+TEST(LoadgenTest, DropWithholdsEveryCopy) {
+  StreamOptions options;
+  options.seed = 3;
+  options.faults.duplicate = 1.0;
+  options.faults.drop = 1.0;
+  const RenderTotals all = RenderAll(options, 1, 512);
+  EXPECT_EQ(all.staged, 0u);
+  // The duplicate copy is withheld together with the original, so the
+  // ledger still closes: sent = 2 * generated = injected_drops.
+  EXPECT_EQ(all.stats.injected_drops, 2 * all.stats.generated);
+  EXPECT_EQ(all.stats.sent(), all.stats.injected_drops);
+}
+
+TEST(LoadgenTest, ReorderPermutesButPreservesPayloads) {
+  StreamOptions options;
+  options.seed = 11;
+  const RenderTotals plain = RenderAll(options, 1, 1024, true);
+  options.faults.reorder = 1.0;
+  const RenderTotals swapped = RenderAll(options, 1, 1024, true);
+
+  // Every message after a round's first swaps with its predecessor.
+  EXPECT_EQ(swapped.stats.reorders,
+            swapped.stats.generated - swapped.rounds);
+  EXPECT_GT(swapped.stats.reorders, 0u);
+  // Reordering permutes the staged sequence; the payload multiset is
+  // untouched.
+  EXPECT_EQ(swapped.payloads, plain.payloads);
+  EXPECT_EQ(swapped.staged, plain.staged);
+}
+
+TEST(LoadgenTest, FillUniform64IsDeterministicPerSeed) {
+  Rng a(99);
+  Rng b(99);
+  std::vector<std::uint64_t> wa(256);
+  std::vector<std::uint64_t> wb(256);
+  a.FillUniform64(wa);
+  b.FillUniform64(wb);
+  EXPECT_EQ(wa, wb);
+
+  // A second fill from the same stream yields fresh words, and a
+  // different seed yields a different pool.
+  std::vector<std::uint64_t> wc(256);
+  a.FillUniform64(wc);
+  EXPECT_NE(wa, wc);
+  Rng c(100);
+  std::vector<std::uint64_t> wd(256);
+  c.FillUniform64(wd);
+  EXPECT_NE(wa, wd);
+
+  // The counter expansion must not repeat within a pool.
+  std::vector<std::uint64_t> sorted = wa;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(LoadgenTest, RunLedgerClosesOverLoopback) {
+  auto receiver = syslog::UdpReceiver::Bind(0);
+  ASSERT_TRUE(receiver.has_value());
+
+  RunOptions options;
+  options.port = receiver->port();
+  options.total = 5000;
+  options.threads = 2;
+  options.stream = FaultyOptions();
+  const RunResult result = sld::loadgen::Run(options);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.stats.generated, options.total);
+  EXPECT_EQ(result.stats.sent(),
+            result.stats.generated + result.stats.duplicates);
+  EXPECT_EQ(result.stats.sent(),
+            result.stats.wire + result.stats.injected_drops);
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+}
+
+TEST(LoadgenTest, RunRejectsUnparseableHost) {
+  RunOptions options;
+  options.host = "not-an-ip";
+  options.port = 1;
+  options.total = 1;
+  const RunResult result = sld::loadgen::Run(options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unparseable host"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sld::loadgen

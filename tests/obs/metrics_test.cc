@@ -44,6 +44,62 @@ TEST(MetricsTest, HistogramBucketsAndOverflow) {
   EXPECT_DOUBLE_EQ(s.sum, 1006.5);
 }
 
+TEST(MetricsTest, HistogramQuantileInterpolatesWithinBucket) {
+  Registry reg;
+  Histogram* h = reg.AddHistogram("latency", "help", {1.0, 2.0, 4.0});
+  // 10 observations uniformly landing in (1, 2]: the quantile walks the
+  // cumulative counts and interpolates linearly inside that bucket.
+  for (int i = 0; i < 10; ++i) h->Observe(1.5);
+  const MetricsSnapshot snap = reg.Collect();
+  const SeriesSnapshot& s = snap.series[0];
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 2.0);
+  // Ordering holds for any q pair.
+  EXPECT_LE(s.Quantile(0.50), s.Quantile(0.99));
+}
+
+TEST(MetricsTest, HistogramQuantileAcrossBuckets) {
+  Registry reg;
+  Histogram* h = reg.AddHistogram("latency", "help", {1.0, 2.0, 4.0});
+  // 50 in bucket 0, 30 in bucket 1, 20 in bucket 2.
+  for (int i = 0; i < 50; ++i) h->Observe(0.5);
+  for (int i = 0; i < 30; ++i) h->Observe(1.5);
+  for (int i = 0; i < 20; ++i) h->Observe(3.0);
+  const MetricsSnapshot snap = reg.Collect();
+  const SeriesSnapshot& s = snap.series[0];
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 1.0);   // rank 50 lands on bucket 0's edge
+  EXPECT_DOUBLE_EQ(s.Quantile(0.8), 2.0);   // rank 80 exhausts bucket 1
+  EXPECT_NEAR(s.Quantile(0.9), 3.0, 1e-9);  // halfway through bucket 2
+}
+
+TEST(MetricsTest, HistogramQuantileClampsOverflowAndEmpty) {
+  Registry reg;
+  Histogram* h = reg.AddHistogram("latency", "help", {1.0, 10.0});
+  {
+    // Empty histogram: no data, quantile is 0.
+    const MetricsSnapshot snap = reg.Collect();
+    EXPECT_DOUBLE_EQ(snap.series[0].Quantile(0.99), 0.0);
+  }
+  h->Observe(1000.0);  // +Inf bucket only
+  {
+    // The overflow bucket has no upper edge; clamp to the last finite
+    // bound rather than inventing a number.
+    const MetricsSnapshot snap = reg.Collect();
+    EXPECT_DOUBLE_EQ(snap.series[0].Quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(snap.series[0].Quantile(0.99), 10.0);
+  }
+}
+
+TEST(MetricsTest, RenderJsonCarriesHistogramPercentiles) {
+  Registry reg;
+  Histogram* h = reg.AddHistogram("latency", "help", {1.0, 2.0});
+  for (int i = 0; i < 4; ++i) h->Observe(0.5);
+  const std::string json = reg.Collect().RenderJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 // The core per-shard contract: every shard registers its OWN cell for
 // one logical series and hammers it from its own thread; Collect()
 // aggregates them into a single series.  Run under TSan in CI.

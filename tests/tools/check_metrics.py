@@ -10,6 +10,10 @@ the collector accounting identities documented in DESIGN.md section 9:
   accepted == released + buffered          (no record vanishes)
   accepted + late + malformed + duplicates == EXPECTED_INGESTED
 
+Every histogram series carrying p50/p99 fields is additionally
+range-checked: when count > 0, 0 <= p50 <= p99 <= last finite bucket
+bound (the +Inf bucket clamps there by construction).
+
 EXPECTED_INGESTED is the number of records offered to the collector
 (for `sldigest stream` runs, the archive size).
 
@@ -32,6 +36,29 @@ COLLECTOR_SERIES = (
     "collector_malformed_total",
     "collector_duplicate_total",
 )
+
+
+def check_histogram_quantiles(path, failures):
+    """p50/p99 sanity for every histogram series in the snapshot."""
+    with open(path, encoding="utf-8") as f:
+        snapshot = json.load(f)
+    for series in snapshot["series"]:
+        if series["type"] != "histogram":
+            continue
+        name = series["name"]
+        if "p50" not in series or "p99" not in series:
+            failures.append(f"histogram {name} missing p50/p99 fields")
+            continue
+        if series.get("count", 0) == 0:
+            continue
+        p50, p99 = series["p50"], series["p99"]
+        finite = [b["le"] for b in series["buckets"] if b["le"] != "+Inf"]
+        top = finite[-1] if finite else 0.0
+        if not 0.0 <= p50 <= p99 <= top:
+            failures.append(
+                f"histogram {name}: expected 0 <= p50 ({p50}) <= "
+                f"p99 ({p99}) <= {top}"
+            )
 
 
 def load_totals(path, by_tenant):
@@ -97,6 +124,7 @@ def main() -> int:
     path = args[0]
     failures = []
     lines = []
+    check_histogram_quantiles(path, failures)
 
     if not per_tenant:
         totals, _ = load_totals(path, by_tenant=False)

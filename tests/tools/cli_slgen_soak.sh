@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Loopback soak: slgen blasts a live `sldigest serve` with deterministic
+# fault injection and the ledgers on both sides must reconcile exactly
+# (DESIGN.md section 16):
+#
+#   sender:   sent = generated + duplicates = wire + injected_drops
+#   receiver: received = accepted + late + malformed + duplicates
+#   joint:    sent = accepted + kernel_drops + malformed + injected_drops
+#
+# with kernel_drops = wire - received (socket-buffer overflow is the only
+# loss source on loopback UDP), late = 0 (sender-thread skew is bounded
+# by threads x batch virtual milliseconds, far under the hold window) and
+# duplicates = 0 (serve runs without --dedup, so injected duplicates land
+# as ordinary accepted records).  check_metrics.py separately verifies
+# the collector's internal identities and the histogram p50/p99 ranges.
+#
+# Usage: cli_slgen_soak.sh SLDIGEST_BIN SLGEN_BIN CHECK_METRICS_PY
+set -euo pipefail
+BIN=$1
+SLGEN=$2
+CHECK=$3
+d=$(mktemp -d)
+cleanup() {
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$d"
+}
+trap cleanup EXIT
+
+# Two simulated days of history so serve has a KB to match against.
+"$BIN" gen --dataset A --days 2 --seed 41 \
+  --out "$d/hist.log" --configs "$d/cfg" > /dev/null
+"$BIN" learn --configs "$d/cfg" --history "$d/hist.log" \
+  --kb "$d/kb.txt" > /dev/null
+
+"$BIN" serve --configs "$d/cfg" --kb "$d/kb.txt" --port 0 \
+  --idle-exit-s 10 --metrics-out "$d/m.json" \
+  > "$d/serve.txt" 2> "$d/serve.err" &
+pid=$!
+port=""
+for _ in $(seq 1 150); do
+  port=$(grep -o 'listening on 127.0.0.1:[0-9]*' "$d/serve.err" \
+    2>/dev/null | grep -o '[0-9]*$' | head -1 || true)
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "serve never announced a port" >&2; exit 1; }
+
+# Paced well under loopback capacity so kernel_drops stays small, with
+# every fault knob engaged and the seed the unit tests pin counts for.
+"$SLGEN" --port "$port" --total 20000 --threads 2 --rate 15000 \
+  --duplicate 0.02 --drop 0.01 --reorder 0.05 --seed 42 \
+  --stats "$d/slgen.json" > "$d/slgen.txt"
+wait "$pid"
+
+received=$(grep -o 'done: [0-9]* datagrams' "$d/serve.err" \
+  | grep -o '[0-9]*' | head -1)
+srv_malformed=$(grep -o '([0-9]* malformed)' "$d/serve.err" \
+  | grep -o '[0-9]*' | head -1)
+
+# Collector-internal identities plus histogram p50/p99 range checks.
+python3 "$CHECK" "$d/m.json" "$received"
+
+python3 - "$d/slgen.json" "$d/m.json" "$received" "$srv_malformed" <<'PY'
+import json
+import sys
+
+slgen_path, metrics_path, received_s, srv_malformed_s = sys.argv[1:5]
+received = int(received_s)
+srv_malformed = int(srv_malformed_s)
+
+with open(slgen_path, encoding="utf-8") as f:
+    sl = json.load(f)
+with open(metrics_path, encoding="utf-8") as f:
+    snapshot = json.load(f)
+m = {s["name"]: s["value"] for s in snapshot["series"]
+     if s["type"] != "histogram"}
+
+failures = []
+
+
+def check(label, got, want):
+    if got != want:
+        failures.append(f"{label}: {got} != {want}")
+
+
+# Sender-side ledger (also enforced by slgen itself; re-derived here so
+# a stale --stats file cannot silently pass).
+check("sent = generated + duplicates", sl["sent"],
+      sl["generated"] + sl["duplicates"])
+check("sent = wire + injected_drops", sl["sent"],
+      sl["wire"] + sl["injected_drops"])
+
+# Receiver-side: no --dedup and a generous hold window mean every
+# received datagram is an accepted record.
+accepted = m["collector_accepted_total"]
+late = m["collector_late_total"]
+malformed = m["collector_malformed_total"]
+duplicates = m["collector_duplicate_total"]
+check("late", late, 0)
+check("malformed (collector)", malformed, 0)
+check("malformed (serve stderr)", srv_malformed, 0)
+check("duplicates (no --dedup)", duplicates, 0)
+check("received = accepted + late + malformed + duplicates", received,
+      accepted + late + malformed + duplicates)
+
+# The joint identity the whole soak exists to witness.
+kernel_drops = sl["wire"] - received
+if kernel_drops < 0:
+    failures.append(f"kernel_drops negative: wire {sl['wire']} < "
+                    f"received {received}")
+check("sent = accepted + kernel_drops + malformed + injected_drops",
+      sl["sent"],
+      accepted + kernel_drops + malformed + sl["injected_drops"])
+
+if failures:
+    for f in failures:
+        print(f"SOAK FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"soak reconciled: sent={sl['sent']} wire={sl['wire']} "
+      f"received={received} accepted={accepted} "
+      f"kernel_drops={kernel_drops} injected_drops={sl['injected_drops']}")
+PY
+echo "PASS: slgen/serve ledgers reconcile over loopback"

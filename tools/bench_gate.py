@@ -57,6 +57,20 @@ Dispatches on the "benchmark" field of FRESH.json:
                 the baseline only when the fresh host reports the same
                 cpu count (loopback drain rate does not travel across
                 host shapes).
+  e2e         - "ledger_ok" must be true (the slgen fault ledger and the
+                receiving engine's collector counters reconciled
+                exactly), allocs_per_msg must stay ~0 (the render +
+                sendmmsg path reuses its slab), speedup_vs_legacy over
+                the seed's paced single-sendto replay loop must reach
+                the 5x floor (--min-speedup raises but never lowers
+                it), the ingest-to-emit latency histogram must hold
+                samples with p99 under the ceiling, and -- on
+                multi-core hosts only -- slgen must not fall below 0.9x
+                of the in-bench unpaced single-sendto loop (on one cpu
+                the sender threads merely timeslice one core, so the
+                fan-out cannot help by construction).  Absolute slgen
+                msgs/s is compared against the baseline only when the
+                fresh host reports the same cpu count.
   kernels     - "identical" must be true (every SIMD level produced the
                 same checksums as the scalar oracle) and steady_allocs
                 must be zero on every host.  When the fresh run reports
@@ -472,6 +486,73 @@ def gate_ckpt(gate, fresh, baseline, args):
                   "baseline; nothing was gated")
 
 
+# Acceptance floors for the end-to-end soak: slgen throughput over the
+# seed's paced replay sender, its ratio to the unpaced single-sendto
+# loop, and the ingest-to-emit latency p99 ceiling (seconds).  The p99
+# ceiling is generous -- the soak holds records for a few virtual
+# seconds by design -- and exists to catch a stalled pump or an
+# unbounded tag backlog, not to benchmark the host.
+E2E_SPEEDUP_FLOOR = 5.0
+E2E_UNPACED_FLOOR = 0.9
+E2E_P99_CEILING_S = 15.0
+
+
+def gate_e2e(gate, fresh, baseline, args):
+    if not fresh.get("ledger_ok", False):
+        gate.fail("e2e bench reports ledger_ok=false: the slgen fault "
+                  "ledger and the engine's collector counters did not "
+                  "reconcile")
+
+    allocs = float(fresh.get("allocs_per_msg", -1.0))
+    print(f"allocs_per_msg: {allocs}")
+    if allocs < 0.0 or allocs > 0.01:
+        gate.fail(f"allocs_per_msg is {allocs}; the steady-state render + "
+                  "sendmmsg path must stay allocation-free")
+
+    floor = max(E2E_SPEEDUP_FLOOR, args.min_speedup)
+    speedup = float(fresh.get("speedup_vs_legacy", 0.0))
+    print(f"e2e speedup vs seed paced replay sender: {speedup:.2f}x "
+          f"(need >= {floor:.2f}x)")
+    if speedup < floor:
+        gate.fail(f"e2e slgen speedup {speedup:.2f}x over the seed replay "
+                  f"sender is below the {floor:.2f}x floor")
+
+    cpus = int(fresh.get("cpus", 0))
+    unpaced = float(fresh.get("speedup_vs_unpaced", 0.0))
+    if cpus <= 1:
+        print(f"unpaced-floor assertion skipped: fresh run reports "
+              f"cpus={cpus} (sender threads timeslice one core)")
+    else:
+        print(f"e2e speedup vs unpaced single-sendto loop: {unpaced:.2f}x "
+              f"(need >= {E2E_UNPACED_FLOOR:.2f}x)")
+        if unpaced < E2E_UNPACED_FLOOR:
+            gate.fail(f"e2e slgen at {unpaced:.2f}x of the unpaced "
+                      f"single-sendto loop is below the "
+                      f"{E2E_UNPACED_FLOOR:.2f}x floor on a {cpus}-cpu "
+                      "host")
+
+    latency = fresh.get("latency", {})
+    samples = int(latency.get("samples", 0))
+    p99 = float(latency.get("p99_s", -1.0))
+    print(f"e2e latency: {samples} samples, p99 {p99:.3f}s "
+          f"(ceiling {E2E_P99_CEILING_S:.0f}s)")
+    if samples <= 0:
+        gate.fail("e2e soak recorded no ingest-to-emit latency samples; "
+                  "the latency hook is not wired through")
+    elif p99 < 0.0 or p99 > E2E_P99_CEILING_S:
+        gate.fail(f"e2e latency p99 {p99:.3f}s breaches the "
+                  f"{E2E_P99_CEILING_S:.0f}s ceiling")
+
+    base_cpus = int(baseline.get("cpus", 0))
+    if cpus != base_cpus:
+        print(f"absolute-rate comparison skipped: fresh host has {cpus} "
+              f"cpus, baseline has {base_cpus}")
+        return
+    gate.check_rate("slgen_msgs_per_s",
+                    reps_of(fresh, "slgen_msgs_per_s", "slgen_reps"),
+                    reps_of(baseline, "slgen_msgs_per_s", "slgen_reps"))
+
+
 GATES = {
     "match": gate_match,
     "throughput": gate_throughput,
@@ -481,6 +562,7 @@ GATES = {
     "ablation": gate_ablation,
     "ckpt": gate_ckpt,
     "wire": gate_wire,
+    "e2e": gate_e2e,
 }
 
 

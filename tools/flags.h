@@ -67,6 +67,19 @@ class Flags {
     }
     return value;
   }
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.back().empty()) return fallback;
+    const std::string& text = it->second.back();
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+      std::fprintf(stderr, "flag --%s: not a number: %s\n", name.c_str(),
+                   text.c_str());
+      return fallback;
+    }
+    return value;
+  }
   std::string Require(const std::string& name) {
     if (!Has(name) || values_.at(name).back().empty()) {
       std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
